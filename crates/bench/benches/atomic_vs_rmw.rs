@@ -1,0 +1,80 @@
+//! Atomic-mutation aggregates vs read-modify-write under concurrency (§7):
+//! the SUM index is maintained with atomic ADD precisely because an RMW
+//! implementation "would not scale, as any two concurrent record updates
+//! would necessarily conflict".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rl_fdb::atomic::MutationType;
+use rl_fdb::Database;
+
+/// Simulate `writers` interleaved increments where every transaction reads
+/// before any commits (worst-case concurrency), then commit all, retrying
+/// failures. Returns total attempts (RMW amplifies attempts via conflicts).
+fn rmw_round(db: &Database, writers: usize) -> u64 {
+    let mut attempts = 0u64;
+    let mut pending: Vec<_> = (0..writers)
+        .map(|_| {
+            let tx = db.create_transaction();
+            let cur = tx
+                .get(b"ctr")
+                .unwrap()
+                .map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()));
+            (tx, cur)
+        })
+        .collect();
+    while let Some((tx, cur)) = pending.pop() {
+        attempts += 1;
+        tx.set(b"ctr", &(cur + 1).to_le_bytes());
+        if tx.commit().is_err() {
+            let tx = db.create_transaction();
+            let cur = tx
+                .get(b"ctr")
+                .unwrap()
+                .map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()));
+            pending.push((tx, cur));
+        }
+    }
+    attempts
+}
+
+fn atomic_round(db: &Database, writers: usize) -> u64 {
+    let txs: Vec<_> = (0..writers).map(|_| db.create_transaction()).collect();
+    for tx in &txs {
+        tx.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes()).unwrap();
+    }
+    let mut attempts = 0;
+    for tx in txs {
+        attempts += 1;
+        tx.commit().unwrap(); // never conflicts
+    }
+    attempts
+}
+
+fn bench_counter_strategies(c: &mut Criterion) {
+    // Sanity-check the conflict amplification once, outside the timing loop.
+    let db = Database::new();
+    let rmw_attempts = rmw_round(&db, 16);
+    let db = Database::new();
+    let atomic_attempts = atomic_round(&db, 16);
+    assert!(rmw_attempts > atomic_attempts);
+    eprintln!(
+        "16 interleaved increments: RMW {rmw_attempts} attempts vs atomic {atomic_attempts}"
+    );
+
+    let mut g = c.benchmark_group("concurrent_counter");
+    g.sample_size(20);
+    for writers in [4usize, 16] {
+        g.bench_function(format!("rmw_{writers}_writers"), |b| {
+            let db = Database::new();
+            b.iter(|| rmw_round(&db, writers));
+        });
+        g.bench_function(format!("atomic_{writers}_writers"), |b| {
+            let db = Database::new();
+            b.iter(|| atomic_round(&db, writers));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_counter_strategies);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Record save cost as a function of the number of maintained indexes
+//! (§6/§8.2: write overhead is dominated by index maintenance), plus the
+//! unchanged-index skip optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use record_layer::store::RecordStore;
+use rl_bench::metadata_with_value_indexes;
+use rl_fdb::{Database, Subspace};
+
+fn bench_save_by_index_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("save_vs_index_count");
+    g.sample_size(20);
+    for n_indexes in [0usize, 2, 4, 8] {
+        let metadata = metadata_with_value_indexes(n_indexes);
+        g.bench_with_input(BenchmarkId::from_parameter(n_indexes), &n_indexes, |b, &n| {
+            let db = Database::new();
+            let sub = Subspace::from_bytes(b"B".to_vec());
+            let mut id = 0i64;
+            b.iter(|| {
+                record_layer::run(&db, |tx| {
+                    let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                    let mut msg = store.new_record("Item")?;
+                    msg.set("id", id).unwrap();
+                    for i in 0..n {
+                        msg.set(&format!("f{i}"), id * 7 + i as i64).unwrap();
+                    }
+                    store.save_record(msg)?;
+                    Ok(())
+                })
+                .unwrap();
+                id += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_unchanged_index_skip(c: &mut Criterion) {
+    // Re-saving a record with identical indexed fields must skip index
+    // writes; changing every field pays full maintenance.
+    let metadata = metadata_with_value_indexes(6);
+    let mut g = c.benchmark_group("resave");
+    g.sample_size(20);
+    g.bench_function("indexed_fields_unchanged", |b| {
+        let db = Database::new();
+        let sub = Subspace::from_bytes(b"B".to_vec());
+        b.iter(|| {
+            record_layer::run(&db, |tx| {
+                let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                let mut msg = store.new_record("Item")?;
+                msg.set("id", 1i64).unwrap();
+                for i in 0..6 {
+                    msg.set(&format!("f{i}"), 42i64).unwrap();
+                }
+                store.save_record(msg)?;
+                Ok(())
+            })
+            .unwrap();
+        });
+    });
+    g.bench_function("indexed_fields_all_changed", |b| {
+        let db = Database::new();
+        let sub = Subspace::from_bytes(b"B".to_vec());
+        let mut v = 0i64;
+        b.iter(|| {
+            record_layer::run(&db, |tx| {
+                let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                let mut msg = store.new_record("Item")?;
+                msg.set("id", 1i64).unwrap();
+                for i in 0..6 {
+                    msg.set(&format!("f{i}"), v + i as i64).unwrap();
+                }
+                store.save_record(msg)?;
+                Ok(())
+            })
+            .unwrap();
+            v += 100;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_save_by_index_count, bench_unchanged_index_skip);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Query planning + execution: index-satisfiable predicates vs full scans
+//! with residual filters (Appendix C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use record_layer::plan::RecordQueryPlanner;
+use record_layer::query::{Comparison, QueryComponent, RecordQuery};
+use record_layer::store::RecordStore;
+use rl_bench::item_metadata;
+use rl_fdb::{Database, Subspace};
+
+fn seeded_db(metadata: &record_layer::metadata::RecordMetaData, n: i64) -> Database {
+    let db = Database::new();
+    let sub = Subspace::from_bytes(b"P".to_vec());
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, metadata)?;
+        for i in 0..n {
+            let mut msg = store.new_record("Item")?;
+            msg.set("id", i).unwrap();
+            msg.set("group", format!("g{}", i % 20)).unwrap();
+            msg.set("score", i % 100).unwrap();
+            store.save_record(msg)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let metadata = item_metadata(false, false);
+    let db = seeded_db(&metadata, 2000);
+    let sub = Subspace::from_bytes(b"P".to_vec());
+
+    let indexed_query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
+        QueryComponent::field("group", Comparison::Equals("g7".into())),
+        QueryComponent::field("score", Comparison::GreaterThan(50i64.into())),
+    ]));
+    let unindexed_query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field("id", Comparison::LessThan(100i64.into())));
+
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(20);
+    g.bench_function("plan_only", |b| {
+        let planner = RecordQueryPlanner::new(&metadata);
+        b.iter(|| planner.plan(&indexed_query).unwrap());
+    });
+    g.bench_function("execute_index_scan", |b| {
+        let planner = RecordQueryPlanner::new(&metadata);
+        let plan = planner.plan(&indexed_query).unwrap();
+        assert!(plan.describe().contains("IndexScan"), "{}", plan.describe());
+        b.iter(|| {
+            record_layer::run(&db, |tx| {
+                let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                plan.execute_all(&store)
+            })
+            .unwrap()
+        });
+    });
+    g.bench_function("execute_full_scan_filter", |b| {
+        let planner = RecordQueryPlanner::new(&metadata);
+        let plan = planner.plan(&unindexed_query).unwrap();
+        assert!(plan.describe().contains("FullScan"), "{}", plan.describe());
+        b.iter(|| {
+            record_layer::run(&db, |tx| {
+                let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                plan.execute_all(&store)
+            })
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! RANK index operations (Appendix B): insert, rank lookup, select, and
+//! the comparison against linearly scanning to the k-th entry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use record_layer::index::rank::RankedSet;
+use rl_fdb::tuple::Tuple;
+use rl_fdb::{Database, Subspace};
+
+fn populated_set(n: i64) -> Database {
+    let db = Database::new();
+    record_layer::run(&db, |tx| {
+        let set = RankedSet::new(tx, Subspace::from_bytes(b"R".to_vec()), 6);
+        for v in 0..n {
+            set.insert(&Tuple::from(((v * 37) % (n * 4), v)))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+fn bench_rank_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank");
+    g.sample_size(20);
+    for n in [256i64, 2048] {
+        let db = populated_set(n);
+        g.bench_with_input(BenchmarkId::new("rank_lookup", n), &n, |b, &n| {
+            let tx = db.create_transaction();
+            let set = RankedSet::new(&tx, Subspace::from_bytes(b"R".to_vec()), 6);
+            let probe = Tuple::from((((n / 2) * 37) % (n * 4), n / 2));
+            b.iter(|| set.rank(&probe).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("select_median", n), &n, |b, &n| {
+            let tx = db.create_transaction();
+            let set = RankedSet::new(&tx, Subspace::from_bytes(b"R".to_vec()), 6);
+            b.iter(|| set.select(n / 2).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("insert_erase", n), &n, |b, &n| {
+            let tx = db.create_transaction();
+            let set = RankedSet::new(&tx, Subspace::from_bytes(b"R".to_vec()), 6);
+            let probe = Tuple::from((n * 8, -1i64));
+            b.iter(|| {
+                set.insert(&probe).unwrap();
+                set.erase(&probe).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank_ops);
+criterion_main!(benches);

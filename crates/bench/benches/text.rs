@@ -1,0 +1,52 @@
+//! TEXT index throughput vs bunch size (Appendix B / Table 2): insertion
+//! locality and token/prefix query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use record_layer::index::text::BunchedMap;
+use rl_fdb::tuple::Tuple;
+use rl_fdb::{Database, Subspace};
+
+fn bench_bunched_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text_bunched_map");
+    g.sample_size(20);
+    for bunch in [1usize, 20] {
+        g.bench_with_input(BenchmarkId::new("insert_1k_postings", bunch), &bunch, |b, &bunch| {
+            b.iter(|| {
+                let db = Database::new();
+                record_layer::run(&db, |tx| {
+                    let map = BunchedMap::new(tx, Subspace::from_bytes(b"T".to_vec()), bunch);
+                    for i in 0..1000i64 {
+                        map.insert(&format!("token{}", i % 50), &Tuple::from((i,)), &[i % 7])?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            });
+        });
+
+        // Pre-built index for query benches.
+        let db = Database::new();
+        record_layer::run(&db, |tx| {
+            let map = BunchedMap::new(tx, Subspace::from_bytes(b"T".to_vec()), bunch);
+            for i in 0..2000i64 {
+                map.insert(&format!("token{:03}", i % 100), &Tuple::from((i,)), &[i % 7])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("scan_token", bunch), &bunch, |b, &bunch| {
+            let tx = db.create_transaction();
+            let map = BunchedMap::new(&tx, Subspace::from_bytes(b"T".to_vec()), bunch);
+            b.iter(|| map.scan_token("token042").unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("scan_prefix", bunch), &bunch, |b, &bunch| {
+            let tx = db.create_transaction();
+            let map = BunchedMap::new(&tx, Subspace::from_bytes(b"T".to_vec()), bunch);
+            b.iter(|| map.scan_prefix("token04").unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bunched_map);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Tuple-layer encode/decode throughput: every key the Record Layer writes
+//! goes through this path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rl_fdb::tuple::{Tuple, TupleElement};
+
+fn bench_tuple(c: &mut Criterion) {
+    let simple = Tuple::from(("user", 123_456i64, "application"));
+    let complex = Tuple::new()
+        .push("prefix")
+        .push(-987_654_321i64)
+        .push(3.14159f64)
+        .push(b"binary-data".as_slice())
+        .push(Tuple::from(("nested", 1i64)))
+        .push(TupleElement::Null);
+    let packed_simple = simple.pack();
+    let packed_complex = complex.pack();
+
+    let mut g = c.benchmark_group("tuple");
+    g.bench_function("pack_simple", |b| b.iter(|| black_box(&simple).pack()));
+    g.bench_function("pack_complex", |b| b.iter(|| black_box(&complex).pack()));
+    g.bench_function("unpack_simple", |b| {
+        b.iter(|| Tuple::unpack(black_box(&packed_simple)).unwrap())
+    });
+    g.bench_function("unpack_complex", |b| {
+        b.iter(|| Tuple::unpack(black_box(&packed_complex)).unwrap())
+    });
+    g.bench_function("pack_unpack_roundtrip", |b| {
+        b.iter(|| Tuple::unpack(&black_box(&complex).pack()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tuple);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Read-version caching (§4): avoiding getReadVersion round-trips for
+//! read-only transactions willing to accept bounded staleness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rl_fdb::database::ReadVersionCache;
+use rl_fdb::Database;
+
+fn bench_version_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grv");
+    g.sample_size(30);
+
+    g.bench_function("fresh_grv_every_tx", |b| {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+        b.iter(|| {
+            let tx = db.create_transaction();
+            tx.get(b"k").unwrap()
+        });
+    });
+
+    g.bench_function("cached_read_version", |b| {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+        let cache = ReadVersionCache::new();
+        b.iter(|| {
+            let tx = cache.create_transaction(&db, 1_000, 0).unwrap();
+            tx.get(b"k").unwrap()
+        });
+    });
+
+    // Report GRV call amplification once.
+    let db = Database::new();
+    let t = db.create_transaction();
+    t.set(b"k", b"v");
+    t.commit().unwrap();
+    let cache = ReadVersionCache::new();
+    let before = db.grv_call_count();
+    for _ in 0..1000 {
+        let tx = cache.create_transaction(&db, 1_000, 0).unwrap();
+        let _ = tx.get(b"k").unwrap();
+    }
+    let cached_calls = db.grv_call_count() - before;
+    let before = db.grv_call_count();
+    for _ in 0..1000 {
+        let tx = db.create_transaction();
+        let _ = tx.get(b"k").unwrap();
+    }
+    let fresh_calls = db.grv_call_count() - before;
+    eprintln!("GRV calls for 1000 read-only txs: cached={cached_calls} fresh={fresh_calls}");
+    assert!(cached_calls <= 2 && fresh_calls == 1000);
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_version_cache);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! The pre-FoundationDB baselines from Table 1 (§8.1).
+//!
+//! **ZoneCasBackend** models CloudKit-on-Cassandra: atomic multi-record
+//! batches within a zone are implemented by serializing *all* updates to
+//! the zone through a per-zone update counter maintained with
+//! compare-and-set. Two consequences the paper calls out:
+//! there is no concurrency within a zone (even for different records), and
+//! zone size is bounded by a partition. We reproduce the concurrency
+//! behaviour: every writer reads and overwrites the counter key, so
+//! concurrent writers to one zone conflict and retry — in contrast to the
+//! Record Layer path, where only true record conflicts abort.
+//!
+//! **AsyncIndexer** models Solr-maintained secondary indexes: index
+//! updates are queued and applied later, so queries running between a
+//! write and the indexer's catch-up observe stale results — the "eventual"
+//! index consistency row of Table 1.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use rl_fdb::tuple::{Tuple, TupleElement};
+use rl_fdb::{Database, RangeOptions, Subspace};
+
+/// Cassandra-style zone backend with CAS-serialized zone updates.
+#[derive(Clone)]
+pub struct ZoneCasBackend {
+    db: Database,
+    subspace: Subspace,
+}
+
+impl ZoneCasBackend {
+    pub fn new(db: &Database, subspace: Subspace) -> Self {
+        ZoneCasBackend { db: db.clone(), subspace }
+    }
+
+    fn counter_key(&self, zone: &str) -> Vec<u8> {
+        self.subspace.pack(&Tuple::new().push("ctr").push(zone))
+    }
+
+    fn record_key(&self, zone: &str, name: &str) -> Vec<u8> {
+        self.subspace.pack(&Tuple::new().push("rec").push(zone).push(name))
+    }
+
+    fn sync_key(&self, zone: &str, counter: i64) -> Vec<u8> {
+        self.subspace.pack(&Tuple::new().push("sync").push(zone).push(counter))
+    }
+
+    /// Save a record: read-CAS the zone counter (serializing the zone),
+    /// write the record and the counter-ordered sync entry. Returns the
+    /// number of commit attempts (1 = no contention).
+    pub fn save(&self, zone: &str, name: &str, payload: &[u8]) -> rl_fdb::Result<u64> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let tx = self.db.create_transaction();
+            // The CAS read: this is what serializes the whole zone.
+            let current = tx
+                .get(&self.counter_key(zone))?
+                .map(|v| {
+                    let mut buf = [0u8; 8];
+                    buf[..v.len().min(8)].copy_from_slice(&v[..v.len().min(8)]);
+                    i64::from_le_bytes(buf)
+                })
+                .unwrap_or(0);
+            let next = current + 1;
+            tx.set(&self.counter_key(zone), &next.to_le_bytes());
+            tx.set(&self.record_key(zone, name), payload);
+            tx.set(&self.sync_key(zone, next), name.as_bytes());
+            match tx.commit() {
+                Ok(()) => return Ok(attempts),
+                Err(e) if e.is_retryable() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Read a record.
+    pub fn load(&self, zone: &str, name: &str) -> rl_fdb::Result<Option<Vec<u8>>> {
+        let tx = self.db.create_transaction();
+        tx.get(&self.record_key(zone, name))
+    }
+
+    /// Sync: scan the update-counter index after `since`.
+    pub fn sync(&self, zone: &str, since: i64) -> rl_fdb::Result<Vec<(i64, String)>> {
+        let tx = self.db.create_transaction();
+        let sub = self.subspace.subspace(&Tuple::new().push("sync").push(zone));
+        let begin = sub.pack(&Tuple::new().push(since + 1));
+        let (_, end) = sub.range();
+        let kvs = tx.get_range(&begin, &end, RangeOptions::default())?;
+        kvs.into_iter()
+            .map(|kv| {
+                let t = sub.unpack(&kv.key)?;
+                let counter = t.get(0).and_then(TupleElement::as_int).unwrap_or(0);
+                Ok((counter, String::from_utf8_lossy(&kv.value).into_owned()))
+            })
+            .collect()
+    }
+}
+
+/// One queued index mutation.
+#[derive(Debug, Clone)]
+enum IndexOp {
+    Put { field_value: String, record: String },
+    Remove { field_value: String, record: String },
+}
+
+/// Solr-style asynchronous secondary index: writes enqueue, a background
+/// "indexer" applies them later, queries see whatever has been applied.
+#[derive(Clone, Default)]
+pub struct AsyncIndexer {
+    state: Arc<Mutex<AsyncIndexState>>,
+}
+
+#[derive(Default)]
+struct AsyncIndexState {
+    queue: VecDeque<IndexOp>,
+    /// field value → record names (the "index").
+    applied: std::collections::BTreeMap<String, Vec<String>>,
+}
+
+impl AsyncIndexer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called by the write path: enqueue the index update (the write
+    /// itself returns before the index reflects it).
+    pub fn enqueue_put(&self, field_value: &str, record: &str) {
+        self.state.lock().unwrap().queue.push_back(IndexOp::Put {
+            field_value: field_value.to_string(),
+            record: record.to_string(),
+        });
+    }
+
+    pub fn enqueue_remove(&self, field_value: &str, record: &str) {
+        self.state.lock().unwrap().queue.push_back(IndexOp::Remove {
+            field_value: field_value.to_string(),
+            record: record.to_string(),
+        });
+    }
+
+    /// The background job: apply up to `n` pending updates.
+    pub fn apply_pending(&self, n: usize) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let mut applied = 0;
+        while applied < n {
+            let Some(op) = st.queue.pop_front() else { break };
+            match op {
+                IndexOp::Put { field_value, record } => {
+                    let entries = st.applied.entry(field_value).or_default();
+                    if !entries.contains(&record) {
+                        entries.push(record);
+                    }
+                }
+                IndexOp::Remove { field_value, record } => {
+                    if let Some(entries) = st.applied.get_mut(&field_value) {
+                        entries.retain(|r| r != &record);
+                    }
+                }
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Query the (possibly stale) index.
+    pub fn query(&self, field_value: &str) -> Vec<String> {
+        self.state
+            .lock()
+            .unwrap()
+            .applied
+            .get(field_value)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// How many updates have not yet been applied.
+    pub fn lag(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_cas_serializes_writers_in_a_zone() {
+        let db = Database::new();
+        let backend = ZoneCasBackend::new(&db, Subspace::from_bytes(b"cas".to_vec()));
+        // Two deliberately interleaved writers to the same zone: both read
+        // the counter before either commits — exactly one must retry.
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        let key = backend.counter_key("z");
+        let _ = t1.get(&key).unwrap();
+        let _ = t2.get(&key).unwrap();
+        t1.set(&key, &1i64.to_le_bytes());
+        t2.set(&key, &1i64.to_le_bytes());
+        t1.commit().unwrap();
+        assert_eq!(t2.commit(), Err(rl_fdb::Error::NotCommitted));
+    }
+
+    #[test]
+    fn zone_cas_writers_to_different_zones_do_not_interfere() {
+        let db = Database::new();
+        let backend = ZoneCasBackend::new(&db, Subspace::from_bytes(b"cas".to_vec()));
+        let a1 = backend.save("za", "r1", b"v").unwrap();
+        let a2 = backend.save("zb", "r1", b"v").unwrap();
+        assert_eq!(a1, 1);
+        assert_eq!(a2, 1);
+    }
+
+    #[test]
+    fn zone_cas_sync_orders_by_counter() {
+        let db = Database::new();
+        let backend = ZoneCasBackend::new(&db, Subspace::from_bytes(b"cas".to_vec()));
+        backend.save("z", "a", b"1").unwrap();
+        backend.save("z", "b", b"2").unwrap();
+        backend.save("z", "a", b"3").unwrap();
+        let all = backend.sync("z", 0).unwrap();
+        let names: Vec<&str> = all.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "a"]);
+        let tail = backend.sync("z", 2).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(backend.load("z", "a").unwrap().unwrap(), b"3");
+    }
+
+    #[test]
+    fn async_indexer_is_eventually_consistent() {
+        let idx = AsyncIndexer::new();
+        idx.enqueue_put("red", "rec1");
+        // The Table 1 failure mode: query before the indexer catches up
+        // misses the record.
+        assert!(idx.query("red").is_empty());
+        assert_eq!(idx.lag(), 1);
+        idx.apply_pending(10);
+        assert_eq!(idx.query("red"), vec!["rec1".to_string()]);
+        assert_eq!(idx.lag(), 0);
+        // Removal also lags.
+        idx.enqueue_remove("red", "rec1");
+        assert_eq!(idx.query("red"), vec!["rec1".to_string()]);
+        idx.apply_pending(10);
+        assert!(idx.query("red").is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # cloudkit-sim — a CloudKit-style multi-tenant service layer (§8)
+//!
+//! CloudKit is the paper's flagship Record Layer client: a container per
+//! application, a record store per (user, application) pair — billions of
+//! logical databases — records organized into *zones*, change-tracking
+//! ("sync") built on VERSION indexes, and cross-cluster move support via
+//! per-user *incarnations*.
+//!
+//! This crate reproduces that service layer over `record-layer`, plus the
+//! two pre-FoundationDB baselines that Table 1 compares against:
+//!
+//! * [`baseline::ZoneCasBackend`] — the Cassandra-era design: all updates
+//!   to a zone serialized through a per-zone update counter maintained
+//!   with compare-and-set, giving zone-level concurrency only.
+//! * [`baseline::AsyncIndexer`] — the Solr-era design: secondary indexes
+//!   updated asynchronously, giving eventual consistency that queries can
+//!   observe.
+
+pub mod baseline;
+pub mod service;
+pub mod sync;
+
+pub use service::{CloudKit, CloudKitConfig, RecordData};
+pub use sync::{SyncChange, SyncToken};

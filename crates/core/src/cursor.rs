@@ -1,0 +1,723 @@
+//! Streaming cursors with continuations and resource limits (§3.1, §4,
+//! §8.2).
+//!
+//! Every operation that streams data — record scans, index scans, queries —
+//! returns results through a [`RecordCursor`]. When a cursor stops, it
+//! reports *why* ([`NoNextReason`]) and hands back a [`Continuation`]: an
+//! opaque binary value encoding the position of the next value. A client
+//! (or the same client in a later transaction) resumes by passing the
+//! continuation back, which is how scans longer than the 5-second
+//! transaction limit are split across transactions while the layer itself
+//! stays stateless.
+
+use std::sync::{Arc, Mutex};
+
+use crate::error::{Error, Result};
+use rl_fdb::{RangeOptions, Transaction};
+
+/// An opaque, serializable position in a cursor stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Continuation {
+    /// Begin from the start of the stream.
+    Start,
+    /// Resume after the encoded position.
+    At(Vec<u8>),
+    /// The stream is exhausted; resuming returns nothing.
+    End,
+}
+
+impl Continuation {
+    /// Serialize for transport to a client. The encoding is
+    /// self-describing: 0x00 = start, 0x01 ‖ pos = position, 0x02 = end.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Continuation::Start => vec![0x00],
+            Continuation::At(pos) => {
+                let mut out = Vec::with_capacity(pos.len() + 1);
+                out.push(0x01);
+                out.extend_from_slice(pos);
+                out
+            }
+            Continuation::End => vec![0x02],
+        }
+    }
+
+    /// Deserialize a client-supplied continuation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Continuation> {
+        match bytes.split_first() {
+            Some((0x00, [])) => Ok(Continuation::Start),
+            Some((0x01, rest)) => Ok(Continuation::At(rest.to_vec())),
+            Some((0x02, [])) => Ok(Continuation::End),
+            _ => Err(Error::InvalidContinuation("unrecognized continuation encoding".into())),
+        }
+    }
+
+    pub fn is_end(&self) -> bool {
+        matches!(self, Continuation::End)
+    }
+}
+
+/// Why a cursor returned no next value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoNextReason {
+    /// There are genuinely no more values.
+    SourceExhausted,
+    /// The caller's return-row limit was reached.
+    ReturnLimitReached,
+    /// The scanned-records limit was reached (§8.2 resource isolation).
+    ScanLimitReached,
+    /// The scanned-bytes limit was reached.
+    ByteLimitReached,
+    /// The (logical) time limit was reached.
+    TimeLimitReached,
+}
+
+impl NoNextReason {
+    /// Out-of-band reasons mean "stopped early — resume with the
+    /// continuation"; in-band means the data ran out.
+    pub fn is_out_of_band(&self) -> bool {
+        !matches!(self, NoNextReason::SourceExhausted)
+    }
+}
+
+/// One step of a cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CursorResult<T> {
+    /// A value, plus the continuation that resumes *after* it.
+    Next { value: T, continuation: Continuation },
+    /// No next value; the continuation resumes where the cursor stopped.
+    NoNext { reason: NoNextReason, continuation: Continuation },
+}
+
+impl<T> CursorResult<T> {
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            CursorResult::Next { value, .. } => Some(value),
+            CursorResult::NoNext { .. } => None,
+        }
+    }
+
+    pub fn continuation(&self) -> &Continuation {
+        match self {
+            CursorResult::Next { continuation, .. } => continuation,
+            CursorResult::NoNext { continuation, .. } => continuation,
+        }
+    }
+}
+
+/// A pull-based cursor over a stream of values.
+pub trait RecordCursor {
+    type Item;
+
+    /// Advance to the next value or stopping condition.
+    fn next(&mut self) -> Result<CursorResult<Self::Item>>;
+
+    /// Drain into a vector, returning the values plus the final
+    /// no-next result `(reason, continuation)`.
+    fn collect_remaining(&mut self) -> Result<(Vec<Self::Item>, NoNextReason, Continuation)>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        loop {
+            match self.next()? {
+                CursorResult::Next { value, .. } => out.push(value),
+                CursorResult::NoNext { reason, continuation } => {
+                    return Ok((out, reason, continuation))
+                }
+            }
+        }
+    }
+}
+
+impl<T> RecordCursor for Box<dyn RecordCursor<Item = T> + '_> {
+    type Item = T;
+
+    fn next(&mut self) -> Result<CursorResult<T>> {
+        (**self).next()
+    }
+}
+
+/// Execution limits for an operation (§8.2: "the Record Layer's ability to
+/// enforce limits on the total number of records or bytes read while
+/// servicing a request").
+#[derive(Debug, Clone, Default)]
+pub struct ExecuteProperties {
+    /// Maximum rows to *return* before stopping with `ReturnLimitReached`.
+    pub return_limit: Option<usize>,
+    /// Maximum underlying records/entries to *scan* before stopping with
+    /// `ScanLimitReached` (scans ≥ returns when filters discard rows).
+    pub scan_limit: Option<usize>,
+    /// Maximum bytes to scan before stopping with `ByteLimitReached`.
+    pub byte_limit: Option<usize>,
+    /// Use snapshot isolation for reads (no read conflicts).
+    pub snapshot: bool,
+}
+
+impl ExecuteProperties {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_return_limit(mut self, n: usize) -> Self {
+        self.return_limit = Some(n);
+        self
+    }
+
+    pub fn with_scan_limit(mut self, n: usize) -> Self {
+        self.scan_limit = Some(n);
+        self
+    }
+
+    pub fn with_byte_limit(mut self, n: usize) -> Self {
+        self.byte_limit = Some(n);
+        self
+    }
+
+    pub fn with_snapshot(mut self, snapshot: bool) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
+    pub fn limiter(&self) -> ScanLimiter {
+        ScanLimiter::new(self.scan_limit, self.byte_limit)
+    }
+}
+
+#[derive(Debug)]
+struct ScanState {
+    records_remaining: Option<isize>,
+    bytes_remaining: Option<isize>,
+}
+
+/// Shared scan-budget tracker. Multiple cursors feeding one plan share a
+/// single limiter so the *total* work is bounded.
+#[derive(Debug, Clone)]
+pub struct ScanLimiter {
+    state: Arc<Mutex<ScanState>>,
+}
+
+impl ScanLimiter {
+    pub fn new(scan_limit: Option<usize>, byte_limit: Option<usize>) -> Self {
+        ScanLimiter {
+            state: Arc::new(Mutex::new(ScanState {
+                records_remaining: scan_limit.map(|n| n as isize),
+                bytes_remaining: byte_limit.map(|n| n as isize),
+            })),
+        }
+    }
+
+    /// An unlimited limiter.
+    pub fn unlimited() -> Self {
+        ScanLimiter::new(None, None)
+    }
+
+    /// Charge one scanned record of `bytes` size. Returns the stop reason
+    /// if a budget has been exhausted *before* this scan.
+    pub fn try_record_scan(&self, bytes: usize) -> Option<NoNextReason> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(r) = st.records_remaining {
+            if r <= 0 {
+                return Some(NoNextReason::ScanLimitReached);
+            }
+        }
+        if let Some(b) = st.bytes_remaining {
+            if b <= 0 {
+                return Some(NoNextReason::ByteLimitReached);
+            }
+        }
+        if let Some(r) = st.records_remaining.as_mut() {
+            *r -= 1;
+        }
+        if let Some(b) = st.bytes_remaining.as_mut() {
+            *b -= bytes as isize;
+        }
+        None
+    }
+}
+
+/// A cursor over raw key-value pairs in a key range, reading in batches and
+/// producing a continuation after every row. The continuation encodes the
+/// last-returned key.
+pub struct KeyValueCursor<'a> {
+    tx: &'a Transaction,
+    begin: Vec<u8>,
+    end: Vec<u8>,
+    reverse: bool,
+    snapshot: bool,
+    batch_size: usize,
+    limiter: ScanLimiter,
+    buffer: std::collections::VecDeque<rl_fdb::KeyValue>,
+    exhausted_source: bool,
+    last_key: Option<Vec<u8>>,
+    done: bool,
+}
+
+impl<'a> KeyValueCursor<'a> {
+    /// Create a cursor over `[begin, end)`, resuming from `continuation`.
+    pub fn new(
+        tx: &'a Transaction,
+        begin: Vec<u8>,
+        end: Vec<u8>,
+        reverse: bool,
+        snapshot: bool,
+        limiter: ScanLimiter,
+        continuation: &Continuation,
+    ) -> Result<Self> {
+        let (begin, end, done) = match continuation {
+            Continuation::Start => (begin, end, false),
+            Continuation::At(last) => {
+                if reverse {
+                    // Resume scanning keys strictly below `last`.
+                    (begin, last.clone(), false)
+                } else {
+                    (rl_fdb::key_after(last), end, false)
+                }
+            }
+            Continuation::End => (begin, end, true),
+        };
+        Ok(KeyValueCursor {
+            tx,
+            begin,
+            end,
+            reverse,
+            snapshot,
+            batch_size: 256,
+            limiter,
+            buffer: std::collections::VecDeque::new(),
+            exhausted_source: false,
+            last_key: None,
+            done,
+        })
+    }
+
+    fn continuation(&self) -> Continuation {
+        match &self.last_key {
+            Some(k) => Continuation::At(k.clone()),
+            None => Continuation::Start,
+        }
+    }
+
+    fn fill_buffer(&mut self) -> Result<()> {
+        if self.exhausted_source {
+            return Ok(());
+        }
+        let options = RangeOptions::new().limit(self.batch_size).reverse(self.reverse);
+        let kvs = if self.snapshot {
+            self.tx.get_range_snapshot(&self.begin, &self.end, options)?
+        } else {
+            self.tx.get_range(&self.begin, &self.end, options)?
+        };
+        if kvs.len() < self.batch_size {
+            self.exhausted_source = true;
+        }
+        if let Some(last) = kvs.last() {
+            if self.reverse {
+                self.end = last.key.clone();
+            } else {
+                self.begin = rl_fdb::key_after(&last.key);
+            }
+        }
+        self.buffer.extend(kvs);
+        Ok(())
+    }
+}
+
+impl RecordCursor for KeyValueCursor<'_> {
+    type Item = rl_fdb::KeyValue;
+
+    fn next(&mut self) -> Result<CursorResult<rl_fdb::KeyValue>> {
+        if self.done {
+            return Ok(CursorResult::NoNext {
+                reason: NoNextReason::SourceExhausted,
+                continuation: Continuation::End,
+            });
+        }
+        if self.buffer.is_empty() {
+            self.fill_buffer()?;
+        }
+        match self.buffer.front() {
+            None => {
+                self.done = true;
+                Ok(CursorResult::NoNext {
+                    reason: NoNextReason::SourceExhausted,
+                    continuation: Continuation::End,
+                })
+            }
+            Some(front) => {
+                let size = front.key.len() + front.value.len();
+                if let Some(reason) = self.limiter.try_record_scan(size) {
+                    return Ok(CursorResult::NoNext { reason, continuation: self.continuation() });
+                }
+                let kv = self.buffer.pop_front().unwrap();
+                self.last_key = Some(kv.key.clone());
+                Ok(CursorResult::Next { value: kv, continuation: self.continuation() })
+            }
+        }
+    }
+}
+
+/// A cursor over an in-memory list (testing and small plan stages). The
+/// continuation is the element index.
+pub struct ListCursor<T> {
+    items: Vec<T>,
+    pos: usize,
+}
+
+impl<T: Clone> ListCursor<T> {
+    pub fn new(items: Vec<T>, continuation: &Continuation) -> Result<Self> {
+        let pos = match continuation {
+            Continuation::Start => 0,
+            Continuation::At(bytes) => {
+                let arr: [u8; 8] = bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| Error::InvalidContinuation("bad list continuation".into()))?;
+                u64::from_be_bytes(arr) as usize
+            }
+            Continuation::End => items.len(),
+        };
+        Ok(ListCursor { items, pos })
+    }
+}
+
+impl<T: Clone> RecordCursor for ListCursor<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Result<CursorResult<T>> {
+        if self.pos >= self.items.len() {
+            return Ok(CursorResult::NoNext {
+                reason: NoNextReason::SourceExhausted,
+                continuation: Continuation::End,
+            });
+        }
+        let value = self.items[self.pos].clone();
+        self.pos += 1;
+        Ok(CursorResult::Next {
+            value,
+            continuation: Continuation::At((self.pos as u64).to_be_bytes().to_vec()),
+        })
+    }
+}
+
+/// Adapter applying a fallible transform to each value.
+pub struct MapCursor<C, F> {
+    inner: C,
+    f: F,
+}
+
+impl<C, F, U> MapCursor<C, F>
+where
+    C: RecordCursor,
+    F: FnMut(C::Item) -> Result<U>,
+{
+    pub fn new(inner: C, f: F) -> Self {
+        MapCursor { inner, f }
+    }
+}
+
+impl<C, F, U> RecordCursor for MapCursor<C, F>
+where
+    C: RecordCursor,
+    F: FnMut(C::Item) -> Result<U>,
+{
+    type Item = U;
+
+    fn next(&mut self) -> Result<CursorResult<U>> {
+        match self.inner.next()? {
+            CursorResult::Next { value, continuation } => Ok(CursorResult::Next {
+                value: (self.f)(value)?,
+                continuation,
+            }),
+            CursorResult::NoNext { reason, continuation } => {
+                Ok(CursorResult::NoNext { reason, continuation })
+            }
+        }
+    }
+}
+
+/// Adapter dropping values failing a predicate. The continuation of a
+/// skipped row is remembered so resumption never replays skipped rows.
+pub struct FilterCursor<C, F> {
+    inner: C,
+    f: F,
+}
+
+impl<C, F> FilterCursor<C, F>
+where
+    C: RecordCursor,
+    F: FnMut(&C::Item) -> Result<bool>,
+{
+    pub fn new(inner: C, f: F) -> Self {
+        FilterCursor { inner, f }
+    }
+}
+
+impl<C, F> RecordCursor for FilterCursor<C, F>
+where
+    C: RecordCursor,
+    F: FnMut(&C::Item) -> Result<bool>,
+{
+    type Item = C::Item;
+
+    fn next(&mut self) -> Result<CursorResult<C::Item>> {
+        loop {
+            match self.inner.next()? {
+                CursorResult::Next { value, continuation } => {
+                    if (self.f)(&value)? {
+                        return Ok(CursorResult::Next { value, continuation });
+                    }
+                }
+                stop @ CursorResult::NoNext { .. } => return Ok(stop),
+            }
+        }
+    }
+}
+
+/// Adapter enforcing a return-row limit.
+pub struct TakeCursor<C> {
+    inner: C,
+    remaining: usize,
+    last_continuation: Continuation,
+}
+
+impl<C: RecordCursor> TakeCursor<C> {
+    pub fn new(inner: C, limit: usize) -> Self {
+        TakeCursor { inner, remaining: limit, last_continuation: Continuation::Start }
+    }
+}
+
+impl<C: RecordCursor> RecordCursor for TakeCursor<C> {
+    type Item = C::Item;
+
+    fn next(&mut self) -> Result<CursorResult<C::Item>> {
+        if self.remaining == 0 {
+            return Ok(CursorResult::NoNext {
+                reason: NoNextReason::ReturnLimitReached,
+                continuation: self.last_continuation.clone(),
+            });
+        }
+        match self.inner.next()? {
+            CursorResult::Next { value, continuation } => {
+                self.remaining -= 1;
+                self.last_continuation = continuation.clone();
+                Ok(CursorResult::Next { value, continuation })
+            }
+            stop @ CursorResult::NoNext { .. } => Ok(stop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_fdb::Database;
+
+    #[test]
+    fn continuation_roundtrip() {
+        for c in [
+            Continuation::Start,
+            Continuation::At(b"pos".to_vec()),
+            Continuation::End,
+        ] {
+            assert_eq!(Continuation::from_bytes(&c.to_bytes()).unwrap(), c);
+        }
+        assert!(Continuation::from_bytes(&[]).is_err());
+        assert!(Continuation::from_bytes(&[9]).is_err());
+        assert!(Continuation::from_bytes(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn no_next_reason_bands() {
+        assert!(!NoNextReason::SourceExhausted.is_out_of_band());
+        assert!(NoNextReason::ScanLimitReached.is_out_of_band());
+        assert!(NoNextReason::ReturnLimitReached.is_out_of_band());
+    }
+
+    fn seed_db() -> Database {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        for i in 0..20u8 {
+            tx.set(&[b'k', i], &[i]);
+        }
+        tx.commit().unwrap();
+        db
+    }
+
+    #[test]
+    fn kv_cursor_scans_in_order() {
+        let db = seed_db();
+        let tx = db.create_transaction();
+        let mut c = KeyValueCursor::new(
+            &tx,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            false,
+            false,
+            ScanLimiter::unlimited(),
+            &Continuation::Start,
+        )
+        .unwrap();
+        let (items, reason, cont) = c.collect_remaining().unwrap();
+        assert_eq!(items.len(), 20);
+        assert_eq!(reason, NoNextReason::SourceExhausted);
+        assert!(cont.is_end());
+        assert!(items.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn kv_cursor_reverse() {
+        let db = seed_db();
+        let tx = db.create_transaction();
+        let mut c = KeyValueCursor::new(
+            &tx,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            true,
+            false,
+            ScanLimiter::unlimited(),
+            &Continuation::Start,
+        )
+        .unwrap();
+        let (items, _, _) = c.collect_remaining().unwrap();
+        assert_eq!(items.len(), 20);
+        assert!(items.windows(2).all(|w| w[0].key > w[1].key));
+    }
+
+    #[test]
+    fn kv_cursor_resumes_from_continuation() {
+        let db = seed_db();
+        let tx = db.create_transaction();
+        let limiter = ScanLimiter::new(Some(7), None);
+        let mut c = KeyValueCursor::new(
+            &tx,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            false,
+            false,
+            limiter,
+            &Continuation::Start,
+        )
+        .unwrap();
+        let (first, reason, cont) = c.collect_remaining().unwrap();
+        assert_eq!(first.len(), 7);
+        assert_eq!(reason, NoNextReason::ScanLimitReached);
+
+        // Resume — possibly in a brand-new transaction (statelessness).
+        let tx2 = db.create_transaction();
+        let mut c2 = KeyValueCursor::new(
+            &tx2,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            false,
+            false,
+            ScanLimiter::unlimited(),
+            &cont,
+        )
+        .unwrap();
+        let (rest, reason, _) = c2.collect_remaining().unwrap();
+        assert_eq!(rest.len(), 13);
+        assert_eq!(reason, NoNextReason::SourceExhausted);
+        assert_eq!(rest[0].key, vec![b'k', 7]);
+    }
+
+    #[test]
+    fn kv_cursor_reverse_resume() {
+        let db = seed_db();
+        let tx = db.create_transaction();
+        let limiter = ScanLimiter::new(Some(5), None);
+        let mut c = KeyValueCursor::new(
+            &tx,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            true,
+            false,
+            limiter,
+            &Continuation::Start,
+        )
+        .unwrap();
+        let (first, _, cont) = c.collect_remaining().unwrap();
+        assert_eq!(first.len(), 5);
+        assert_eq!(first.last().unwrap().key, vec![b'k', 15]);
+
+        let mut c2 = KeyValueCursor::new(
+            &tx,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            true,
+            false,
+            ScanLimiter::unlimited(),
+            &cont,
+        )
+        .unwrap();
+        let (rest, _, _) = c2.collect_remaining().unwrap();
+        assert_eq!(rest.len(), 15);
+        assert_eq!(rest[0].key, vec![b'k', 14]);
+    }
+
+    #[test]
+    fn byte_limit_stops_scan() {
+        let db = seed_db();
+        let tx = db.create_transaction();
+        let limiter = ScanLimiter::new(None, Some(10)); // each row is 3 bytes
+        let mut c = KeyValueCursor::new(
+            &tx,
+            b"k".to_vec(),
+            b"l".to_vec(),
+            false,
+            false,
+            limiter,
+            &Continuation::Start,
+        )
+        .unwrap();
+        let (items, reason, _) = c.collect_remaining().unwrap();
+        assert_eq!(reason, NoNextReason::ByteLimitReached);
+        assert!(items.len() < 20);
+    }
+
+    #[test]
+    fn list_cursor_with_continuation() {
+        let items = vec![1, 2, 3, 4, 5];
+        let mut c = ListCursor::new(items.clone(), &Continuation::Start).unwrap();
+        let r1 = c.next().unwrap();
+        let r2 = c.next().unwrap();
+        assert_eq!(r1.value(), Some(&1));
+        assert_eq!(r2.value(), Some(&2));
+        let mut resumed = ListCursor::new(items, r2.continuation()).unwrap();
+        assert_eq!(resumed.next().unwrap().value(), Some(&3));
+    }
+
+    #[test]
+    fn map_filter_take_combinators() {
+        let items: Vec<i32> = (0..10).collect();
+        let base = ListCursor::new(items, &Continuation::Start).unwrap();
+        let mapped = MapCursor::new(base, |v| Ok(v * 2));
+        let filtered = FilterCursor::new(mapped, |v| Ok(v % 4 == 0));
+        let mut limited = TakeCursor::new(filtered, 3);
+        let (vals, reason, _) = limited.collect_remaining().unwrap();
+        assert_eq!(vals, vec![0, 4, 8]);
+        assert_eq!(reason, NoNextReason::ReturnLimitReached);
+    }
+
+    #[test]
+    fn take_cursor_reports_source_exhaustion_when_shorter() {
+        let base = ListCursor::new(vec![1, 2], &Continuation::Start).unwrap();
+        let mut limited = TakeCursor::new(base, 10);
+        let (vals, reason, _) = limited.collect_remaining().unwrap();
+        assert_eq!(vals, vec![1, 2]);
+        assert_eq!(reason, NoNextReason::SourceExhausted);
+    }
+
+    #[test]
+    fn shared_limiter_bounds_total_work() {
+        let limiter = ScanLimiter::new(Some(5), None);
+        assert!(limiter.try_record_scan(1).is_none());
+        for _ in 0..4 {
+            limiter.try_record_scan(1);
+        }
+        assert_eq!(limiter.try_record_scan(1), Some(NoNextReason::ScanLimitReached));
+        // A clone shares the same budget.
+        let clone = limiter.clone();
+        assert_eq!(clone.try_record_scan(1), Some(NoNextReason::ScanLimitReached));
+    }
+}

@@ -1,0 +1,485 @@
+//! RANK indexes (Appendix B): efficient access to records by ordinal rank
+//! and, conversely, the rank of a value — a probabilistic augmented
+//! skip list persisted in the key-value store.
+//!
+//! Layout mirrors Figure 5: the index subspace has one child per level
+//! (`prefix/0` … `prefix/L-1`); each key-value pair at level `l` maps an
+//! entry tuple to the number of set elements in `[entry, next-entry-at-l)`.
+//! Level 0 contains every entry with count 1; each higher level samples the
+//! one below it. An implicit *begin sentinel* (the empty tuple) anchors
+//! every level so a predecessor always exists.
+//!
+//! Per §10.1, navigation uses snapshot reads plus targeted conflict keys:
+//! counts on non-member levels are bumped with atomic ADD (conflict-free),
+//! so only level-membership splits create read-modify-write conflicts.
+
+use std::hash::{Hash, Hasher};
+
+use rl_fdb::atomic::MutationType;
+use rl_fdb::subspace::Subspace;
+use rl_fdb::tuple::Tuple;
+use rl_fdb::{RangeOptions, Transaction};
+
+use crate::error::{Error, Result};
+use crate::index::{evaluate_index_expr, to_index_entries, IndexContext, IndexMaintainer};
+use crate::store::{RecordStore, StoredRecord, TupleRange};
+
+/// Child subspace holding plain VALUE-style entries (scans by score).
+const ENTRIES: i64 = 0;
+/// Child subspace holding the skip-list levels.
+const LEVELS: i64 = 1;
+
+/// Sampling: an entry is a member of level `l >= 1` with probability
+/// `FAN^-l`, decided by a deterministic hash so inserts and erases agree.
+const FAN: u64 = 8;
+
+pub struct RankIndexMaintainer;
+
+/// A durable ordered set with O(log n) rank/select, usable on its own.
+pub struct RankedSet<'a> {
+    tx: &'a Transaction,
+    subspace: Subspace,
+    nlevels: usize,
+}
+
+fn le_count(bytes: &[u8]) -> i64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    i64::from_le_bytes(buf)
+}
+
+impl<'a> RankedSet<'a> {
+    pub fn new(tx: &'a Transaction, subspace: Subspace, nlevels: usize) -> Self {
+        assert!(nlevels >= 2, "a ranked set needs at least 2 levels");
+        RankedSet { tx, subspace, nlevels }
+    }
+
+    fn level_subspace(&self, level: usize) -> Subspace {
+        self.subspace.child(level as i64)
+    }
+
+    fn entry_key(&self, level: usize, entry: &Tuple) -> Vec<u8> {
+        self.level_subspace(level).pack(entry)
+    }
+
+    /// The begin sentinel packs as the bare level prefix (empty tuple).
+    fn sentinel_key(&self, level: usize) -> Vec<u8> {
+        self.level_subspace(level).prefix().to_vec()
+    }
+
+    /// Deterministic membership: which levels contain `entry`.
+    fn height(&self, entry: &Tuple) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        entry.pack().hash(&mut hasher);
+        let h = hasher.finish();
+        let mut level = 0;
+        let mut threshold = FAN;
+        while level + 1 < self.nlevels && h % threshold == 0 {
+            level += 1;
+            threshold = threshold.saturating_mul(FAN);
+        }
+        level
+    }
+
+    fn read_count(&self, key: &[u8]) -> Result<Option<i64>> {
+        Ok(self.tx.get_snapshot(key)?.map(|v| le_count(&v)))
+    }
+
+    /// Last entry key at `level` with key `<= bound_key` (the predecessor
+    /// finger), falling back to the sentinel.
+    fn predecessor_key(&self, level: usize, bound_key: &[u8]) -> Result<Vec<u8>> {
+        let begin = self.sentinel_key(level);
+        let end = rl_fdb::key_after(bound_key);
+        let kvs = self.tx.get_range_snapshot(
+            &begin,
+            &end,
+            RangeOptions::new().limit(1).reverse(true),
+        )?;
+        Ok(kvs.into_iter().next().map(|kv| kv.key).unwrap_or(begin))
+    }
+
+    /// Sum of counts of entries at `level` in `[from_key, to_key)`.
+    fn count_range(&self, _level: usize, from_key: &[u8], to_key: &[u8]) -> Result<i64> {
+        let kvs = self
+            .tx
+            .get_range_snapshot(from_key, to_key, RangeOptions::default())?;
+        Ok(kvs.iter().map(|kv| le_count(&kv.value)).sum())
+    }
+
+    /// Whether the set contains `entry`.
+    pub fn contains(&self, entry: &Tuple) -> Result<bool> {
+        Ok(self.tx.get_snapshot(&self.entry_key(0, entry))?.is_some())
+    }
+
+    /// Ensure the sentinel exists at every level (idempotent).
+    fn init(&self) -> Result<()> {
+        for level in 0..self.nlevels {
+            let key = self.sentinel_key(level);
+            if self.tx.get_snapshot(&key)?.is_none() {
+                self.tx.try_set(&key, &0i64.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert an entry; returns false if already present.
+    pub fn insert(&self, entry: &Tuple) -> Result<bool> {
+        if self.contains(entry)? {
+            return Ok(false);
+        }
+        self.init()?;
+        // The level-0 key is the distinguished key (§10.1): conflict with
+        // concurrent insert/erase of the same entry, nothing else.
+        self.tx.add_read_conflict_key(&self.entry_key(0, entry));
+
+        let height = self.height(entry);
+        for level in 0..self.nlevels {
+            let key = self.entry_key(level, entry);
+            if level == 0 {
+                self.tx.try_set(&key, &1i64.to_le_bytes())?;
+            } else if level <= height {
+                // Member: split the predecessor's finger.
+                let prev_key = self.predecessor_key(level, &key)?;
+                let prev_count = self.read_count(&prev_key)?.unwrap_or(0);
+                // Elements in [prev, entry): measured one level below,
+                // where both prev and entry already exist.
+                let prev_below = self.translate_level(&prev_key, level, level - 1)?;
+                let entry_below = self.entry_key(level - 1, entry);
+                let before = self.count_range(level - 1, &prev_below, &entry_below)?;
+                self.tx.try_set(&prev_key, &before.to_le_bytes())?;
+                self.tx
+                    .try_set(&key, &(prev_count - before + 1).to_le_bytes())?;
+            } else {
+                // Not a member: the covering finger grows by one. Atomic
+                // ADD keeps concurrent inserts conflict-free here.
+                let prev_key = self.predecessor_key(level, &key)?;
+                self.tx.mutate(MutationType::Add, &prev_key, &1i64.to_le_bytes())?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Re-key an entry key from one level subspace to another.
+    fn translate_level(&self, key: &[u8], from: usize, to: usize) -> Result<Vec<u8>> {
+        let from_sub = self.level_subspace(from);
+        if key == from_sub.prefix() {
+            return Ok(self.sentinel_key(to));
+        }
+        let t = from_sub.unpack(key).map_err(Error::Fdb)?;
+        Ok(self.entry_key(to, &t))
+    }
+
+    /// Remove an entry; returns false if absent.
+    pub fn erase(&self, entry: &Tuple) -> Result<bool> {
+        if !self.contains(entry)? {
+            return Ok(false);
+        }
+        self.tx.add_read_conflict_key(&self.entry_key(0, entry));
+        let height = self.height(entry);
+        for level in 0..self.nlevels {
+            let key = self.entry_key(level, entry);
+            if level == 0 {
+                self.tx.clear(&key);
+            } else if level <= height {
+                // Member: its covered elements fold back into the
+                // predecessor's finger (minus the entry itself).
+                let count = self.read_count(&key)?.unwrap_or(1);
+                // Predecessor strictly before the entry.
+                let prev_key = {
+                    let begin = self.sentinel_key(level);
+                    let kvs = self.tx.get_range_snapshot(
+                        &begin,
+                        &key,
+                        RangeOptions::new().limit(1).reverse(true),
+                    )?;
+                    kvs.into_iter().next().map(|kv| kv.key).unwrap_or(begin)
+                };
+                self.tx.clear(&key);
+                self.tx
+                    .mutate(MutationType::Add, &prev_key, &(count - 1).to_le_bytes())?;
+            } else {
+                let prev_key = self.predecessor_key(level, &key)?;
+                self.tx
+                    .mutate(MutationType::Add, &prev_key, &(-1i64).to_le_bytes())?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// The 0-based ordinal rank of an entry, or `None` if absent —
+    /// the Figure 5(b) walk.
+    pub fn rank(&self, entry: &Tuple) -> Result<Option<i64>> {
+        if !self.contains(entry)? {
+            return Ok(None);
+        }
+        let mut rank: i64 = 0;
+        let top = self.nlevels - 1;
+        let mut cur = self.sentinel_key(top);
+        for level in (0..self.nlevels).rev() {
+            if level != top {
+                cur = self.translate_level(&cur, level + 1, level)?;
+            }
+            let target = self.entry_key(level, entry);
+            // Walk fingers at this level while the next entry is <= target.
+            loop {
+                let next = self.tx.get_range_snapshot(
+                    &rl_fdb::key_after(&cur),
+                    &rl_fdb::key_after(&target),
+                    RangeOptions::new().limit(1),
+                )?;
+                match next.into_iter().next() {
+                    Some(kv) => {
+                        rank += self.read_count(&cur)?.unwrap_or(0);
+                        cur = kv.key;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(Some(rank))
+    }
+
+    /// The entry at 0-based `rank`, or `None` if out of bounds — the
+    /// inverse walk.
+    pub fn select(&self, rank: i64) -> Result<Option<Tuple>> {
+        if rank < 0 {
+            return Ok(None);
+        }
+        let mut remaining = rank;
+        let top = self.nlevels - 1;
+        let mut cur = self.sentinel_key(top);
+        for level in (0..self.nlevels).rev() {
+            if level != top {
+                cur = self.translate_level(&cur, level + 1, level)?;
+            }
+            let (_, level_end) = self.level_subspace(level).range_inclusive();
+            loop {
+                let count = match self.read_count(&cur)? {
+                    Some(c) => c,
+                    None => break, // empty set
+                };
+                if remaining < count {
+                    break; // descend
+                }
+                let next = self.tx.get_range_snapshot(
+                    &rl_fdb::key_after(&cur),
+                    &level_end,
+                    RangeOptions::new().limit(1),
+                )?;
+                match next.into_iter().next() {
+                    Some(kv) => {
+                        remaining -= count;
+                        cur = kv.key;
+                    }
+                    None => return Ok(None), // rank beyond the set
+                }
+            }
+        }
+        if cur == self.sentinel_key(0) {
+            return Ok(None);
+        }
+        let t = self.level_subspace(0).unpack(&cur).map_err(Error::Fdb)?;
+        Ok(Some(t))
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> Result<i64> {
+        let top = self.nlevels - 1;
+        let (begin, end) = self.level_subspace(top).range_inclusive();
+        self.count_range(top, &begin, &end)
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+impl IndexMaintainer for RankIndexMaintainer {
+    fn update(
+        &self,
+        ctx: &IndexContext<'_>,
+        old: Option<&StoredRecord>,
+        new: Option<&StoredRecord>,
+    ) -> Result<()> {
+        let nlevels = ctx.index.options.rank_levels;
+        let entries_sub = ctx.subspace.child(ENTRIES);
+        let set = RankedSet::new(ctx.tx, ctx.subspace.child(LEVELS), nlevels);
+
+        let old_entries = old
+            .map(|r| evaluate_index_expr(ctx.index, r).map(|t| to_index_entries(ctx.index, t, &r.primary_key)))
+            .transpose()?
+            .unwrap_or_default();
+        let new_entries = new
+            .map(|r| evaluate_index_expr(ctx.index, r).map(|t| to_index_entries(ctx.index, t, &r.primary_key)))
+            .transpose()?
+            .unwrap_or_default();
+
+        for e in &old_entries {
+            if new_entries.contains(e) {
+                continue;
+            }
+            let full = e.key.clone().concat(&e.primary_key);
+            ctx.tx.clear(&entries_sub.pack(&full));
+            set.erase(&full)?;
+        }
+        for e in &new_entries {
+            if old_entries.contains(e) {
+                continue;
+            }
+            let full = e.key.clone().concat(&e.primary_key);
+            ctx.tx.try_set(&entries_sub.pack(&full), &[])?;
+            set.insert(&full)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> RecordStore<'a> {
+    /// The ranked set underlying a RANK index.
+    pub fn ranked_set(&self, index_name: &str) -> Result<RankedSet<'a>> {
+        let index = self.require_readable(index_name)?;
+        Ok(RankedSet::new(
+            self.transaction(),
+            self.index_subspace(index).child(LEVELS),
+            index.options.rank_levels,
+        ))
+    }
+
+    /// 0-based rank of `entry` (score columns ⧺ primary key) in a RANK
+    /// index, or `None` when absent.
+    pub fn rank_of(&self, index_name: &str, entry: &Tuple) -> Result<Option<i64>> {
+        self.ranked_set(index_name)?.rank(entry)
+    }
+
+    /// The entry (score columns ⧺ primary key) at `rank` in a RANK index.
+    pub fn entry_at_rank(&self, index_name: &str, rank: i64) -> Result<Option<Tuple>> {
+        self.ranked_set(index_name)?.select(rank)
+    }
+
+    /// Number of entries in a RANK index.
+    pub fn rank_count(&self, index_name: &str) -> Result<i64> {
+        self.ranked_set(index_name)?.len()
+    }
+
+    /// Scan a RANK index's plain entries by score range (like a VALUE
+    /// index scan), returning `(score…, pk…)` tuples in order.
+    pub fn scan_rank_entries(&self, index_name: &str, range: &TupleRange) -> Result<Vec<Tuple>> {
+        let index = self.require_readable(index_name)?;
+        let sub = self.index_subspace(index).child(ENTRIES);
+        let (begin, end) = range.to_byte_range(&sub);
+        let kvs = self
+            .transaction()
+            .get_range(&begin, &end, RangeOptions::default())?;
+        kvs.iter()
+            .map(|kv| sub.unpack(&kv.key).map_err(Error::Fdb))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_fdb::Database;
+
+    fn with_set(f: impl Fn(&RankedSet<'_>)) {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        let set = RankedSet::new(&tx, Subspace::from_bytes(b"R".to_vec()), 4);
+        f(&set);
+    }
+
+    #[test]
+    fn insert_contains_erase() {
+        with_set(|set| {
+            let e = Tuple::from((5i64, "pk"));
+            assert!(!set.contains(&e).unwrap());
+            assert!(set.insert(&e).unwrap());
+            assert!(set.contains(&e).unwrap());
+            assert!(!set.insert(&e).unwrap(), "duplicate insert must be a no-op");
+            assert!(set.erase(&e).unwrap());
+            assert!(!set.contains(&e).unwrap());
+            assert!(!set.erase(&e).unwrap());
+        });
+    }
+
+    #[test]
+    fn figure5_rank_semantics() {
+        // Six elements; rank of the 5th (0-based 4) must be 4 regardless of
+        // which levels sampled what.
+        with_set(|set| {
+            for s in ["a", "b", "c", "d", "e", "f"] {
+                set.insert(&Tuple::from((s,))).unwrap();
+            }
+            assert_eq!(set.rank(&Tuple::from(("e",))).unwrap(), Some(4));
+            assert_eq!(set.rank(&Tuple::from(("a",))).unwrap(), Some(0));
+            assert_eq!(set.rank(&Tuple::from(("f",))).unwrap(), Some(5));
+            assert_eq!(set.rank(&Tuple::from(("zz",))).unwrap(), None);
+            assert_eq!(set.len().unwrap(), 6);
+        });
+    }
+
+    #[test]
+    fn rank_and_select_inverse_on_random_data() {
+        with_set(|set| {
+            let mut values: Vec<i64> = (0..200).map(|i| (i * 37) % 1000).collect();
+            values.sort_unstable();
+            values.dedup();
+            for v in &values {
+                set.insert(&Tuple::from((*v,))).unwrap();
+            }
+            assert_eq!(set.len().unwrap(), values.len() as i64);
+            for (expected_rank, v) in values.iter().enumerate() {
+                let t = Tuple::from((*v,));
+                assert_eq!(
+                    set.rank(&t).unwrap(),
+                    Some(expected_rank as i64),
+                    "rank of {v}"
+                );
+                assert_eq!(
+                    set.select(expected_rank as i64).unwrap(),
+                    Some(t),
+                    "select({expected_rank})"
+                );
+            }
+            assert_eq!(set.select(values.len() as i64).unwrap(), None);
+            assert_eq!(set.select(-1).unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn ranks_stay_consistent_under_deletions() {
+        with_set(|set| {
+            for v in 0..100i64 {
+                set.insert(&Tuple::from((v,))).unwrap();
+            }
+            // Delete the even values.
+            for v in (0..100i64).step_by(2) {
+                set.erase(&Tuple::from((v,))).unwrap();
+            }
+            assert_eq!(set.len().unwrap(), 50);
+            for (i, v) in (1..100i64).step_by(2).enumerate() {
+                assert_eq!(set.rank(&Tuple::from((v,))).unwrap(), Some(i as i64));
+            }
+        });
+    }
+
+    #[test]
+    fn persists_across_transactions() {
+        let db = Database::new();
+        let sub = Subspace::from_bytes(b"R".to_vec());
+        crate::run(&db, |tx| {
+            let set = RankedSet::new(tx, sub.clone(), 4);
+            for v in 0..50i64 {
+                set.insert(&Tuple::from((v,)))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let tx = db.create_transaction();
+        let set = RankedSet::new(&tx, sub, 4);
+        assert_eq!(set.len().unwrap(), 50);
+        assert_eq!(set.rank(&Tuple::from((25i64,))).unwrap(), Some(25));
+        assert_eq!(set.select(10).unwrap(), Some(Tuple::from((10i64,))));
+    }
+}

@@ -1,0 +1,279 @@
+//! The KeySpace API (§4): a filesystem-like logical directory tree over
+//! the global keyspace. A path through the tree compiles to a tuple that
+//! becomes a row-key prefix, and sibling directories are guaranteed
+//! logically isolated and non-overlapping. Directory names can be mapped
+//! to small integers via the directory layer.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rl_fdb::directory::DirectoryLayer;
+use rl_fdb::subspace::Subspace;
+use rl_fdb::tuple::{Tuple, TupleElement};
+use rl_fdb::Transaction;
+
+use crate::error::{Error, Result};
+
+/// What values a directory level admits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyType {
+    /// The directory name itself is the key element (a constant).
+    Constant,
+    /// A caller-supplied string (e.g. a user id).
+    String,
+    /// A caller-supplied integer.
+    Long,
+    /// The directory name is translated to a small integer through the
+    /// directory layer (§2), shrinking every key below it.
+    DirectoryLayer,
+}
+
+/// One level of the logical directory tree.
+#[derive(Debug, Clone)]
+pub struct KeySpaceDirectory {
+    pub name: String,
+    pub key_type: KeyType,
+    children: BTreeMap<String, Arc<KeySpaceDirectory>>,
+}
+
+impl KeySpaceDirectory {
+    pub fn new(name: impl Into<String>, key_type: KeyType) -> Self {
+        KeySpaceDirectory { name: name.into(), key_type, children: BTreeMap::new() }
+    }
+
+    /// Attach a child directory, which must be uniquely named among its
+    /// siblings (the isolation guarantee).
+    pub fn child(mut self, child: KeySpaceDirectory) -> Self {
+        self.children.insert(child.name.clone(), Arc::new(child));
+        self
+    }
+}
+
+/// The root of a key space: a set of named top-level directories.
+#[derive(Debug, Clone)]
+pub struct KeySpace {
+    roots: BTreeMap<String, Arc<KeySpaceDirectory>>,
+    directory_layer: DirectoryLayer,
+}
+
+impl KeySpace {
+    pub fn new(top: KeySpaceDirectory) -> Self {
+        KeySpace::with_roots(vec![top])
+    }
+
+    pub fn with_roots(tops: Vec<KeySpaceDirectory>) -> Self {
+        KeySpace {
+            roots: tops.into_iter().map(|d| (d.name.clone(), Arc::new(d))).collect(),
+            directory_layer: DirectoryLayer::new(),
+        }
+    }
+
+    /// Begin a path at a top-level directory.
+    pub fn path(&self, name: &str) -> Result<KeySpacePath> {
+        let dir = self
+            .roots
+            .get(name)
+            .ok_or_else(|| Error::MetaData(format!("no directory {name} under key space root")))?
+            .clone();
+        let path = KeySpacePath {
+            keyspace: self.clone(),
+            segments: vec![(dir, None)],
+        };
+        Ok(path)
+    }
+}
+
+/// A concrete path through the directory tree, with values bound for
+/// String/Long levels.
+#[derive(Debug, Clone)]
+pub struct KeySpacePath {
+    keyspace: KeySpace,
+    segments: Vec<(Arc<KeySpaceDirectory>, Option<TupleElement>)>,
+}
+
+impl KeySpacePath {
+    /// Bind a value for the current level (String/Long key types).
+    pub fn value(mut self, value: impl Into<TupleElement>) -> Result<Self> {
+        let (dir, slot) = self
+            .segments
+            .last_mut()
+            .expect("path always has at least one segment");
+        let value = value.into();
+        match (&dir.key_type, &value) {
+            (KeyType::String, TupleElement::String(_)) | (KeyType::Long, TupleElement::Int(_)) => {
+                *slot = Some(value);
+                Ok(self)
+            }
+            (kt, v) => Err(Error::MetaData(format!(
+                "directory {} of type {kt:?} cannot hold value {v:?}",
+                dir.name
+            ))),
+        }
+    }
+
+    /// Descend into a named child directory.
+    pub fn add(mut self, name: &str) -> Result<Self> {
+        let (current, _) = self.segments.last().unwrap();
+        let child = current
+            .children
+            .get(name)
+            .ok_or_else(|| {
+                Error::MetaData(format!("no directory {name} under {}", current.name))
+            })?
+            .clone();
+        self.segments.push((child, None));
+        Ok(self)
+    }
+
+    /// Descend and bind in one step.
+    pub fn add_value(self, name: &str, value: impl Into<TupleElement>) -> Result<Self> {
+        self.add(name)?.value(value)
+    }
+
+    /// Compile the path to its tuple form, resolving DirectoryLayer levels
+    /// to small integers (allocating on first use).
+    pub fn to_tuple(&self, tx: &Transaction) -> Result<Tuple> {
+        let mut t = Tuple::new();
+        for (dir, value) in &self.segments {
+            match dir.key_type {
+                KeyType::Constant => t.add(dir.name.as_str()),
+                KeyType::DirectoryLayer => {
+                    let sub = self
+                        .keyspace
+                        .directory_layer
+                        .create_or_open(tx, &[dir.name.as_str()])
+                        .map_err(Error::Fdb)?;
+                    // The directory layer's subspace prefix is a packed
+                    // small integer; splice its element into the tuple.
+                    let inner = Tuple::unpack(sub.prefix()).map_err(Error::Fdb)?;
+                    t.add(inner.get(0).cloned().unwrap_or(TupleElement::Null));
+                }
+                KeyType::String | KeyType::Long => {
+                    let v = value.clone().ok_or_else(|| {
+                        Error::MetaData(format!("directory {} has no bound value", dir.name))
+                    })?;
+                    t.add(v);
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Compile to the subspace rooted at this path.
+    pub fn to_subspace(&self, tx: &Transaction) -> Result<Subspace> {
+        Ok(Subspace::from_tuple(&self.to_tuple(tx)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_fdb::Database;
+
+    fn cloudkit_keyspace() -> KeySpace {
+        // The Figure 3 layout: cloudkit / user / application / (data…).
+        KeySpace::new(
+            KeySpaceDirectory::new("cloudkit", KeyType::DirectoryLayer).child(
+                KeySpaceDirectory::new("user", KeyType::Long)
+                    .child(KeySpaceDirectory::new("application", KeyType::String)),
+            ),
+        )
+    }
+
+    #[test]
+    fn paths_compile_to_tuples() {
+        let db = Database::new();
+        let ks = cloudkit_keyspace();
+        let t = db
+            .run(|tx| {
+                let path = ks
+                    .path("cloudkit")
+                    .unwrap()
+                    .add_value("user", 42i64)
+                    .unwrap()
+                    .add_value("application", "notes")
+                    .unwrap();
+                path.to_tuple(tx).map_err(|_| rl_fdb::Error::NotCommitted)
+            })
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(1), Some(&TupleElement::Int(42)));
+        assert_eq!(t.get(2), Some(&TupleElement::String("notes".into())));
+    }
+
+    #[test]
+    fn sibling_paths_are_disjoint() {
+        let db = Database::new();
+        let ks = cloudkit_keyspace();
+        let (a, b) = db
+            .run(|tx| {
+                let mk = |user: i64, app: &str| {
+                    ks.path("cloudkit")
+                        .unwrap()
+                        .add_value("user", user)
+                        .unwrap()
+                        .add_value("application", app)
+                        .unwrap()
+                        .to_subspace(tx)
+                        .map_err(|_| rl_fdb::Error::NotCommitted)
+                };
+                Ok((mk(1, "notes")?, mk(2, "notes")?))
+            })
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(!a.contains(b.prefix()));
+        assert!(!b.contains(a.prefix()));
+    }
+
+    #[test]
+    fn directory_layer_levels_are_stable_and_small() {
+        let db = Database::new();
+        let ks = cloudkit_keyspace();
+        let mk = || {
+            db.run(|tx| {
+                ks.path("cloudkit")
+                    .unwrap()
+                    .add_value("user", 1i64)
+                    .unwrap()
+                    .to_tuple(tx)
+                    .map_err(|_| rl_fdb::Error::NotCommitted)
+            })
+            .unwrap()
+        };
+        let first = mk();
+        let second = mk();
+        // Same path resolves to the same small integer both times.
+        assert_eq!(first, second);
+        assert!(matches!(first.get(0), Some(TupleElement::Int(_))));
+    }
+
+    #[test]
+    fn unbound_value_rejected() {
+        let db = Database::new();
+        let ks = cloudkit_keyspace();
+        let err = db
+            .run(|tx| {
+                let path = ks.path("cloudkit").unwrap().add("user").unwrap();
+                match path.to_tuple(tx) {
+                    Err(_) => Ok(true),
+                    Ok(_) => Ok(false),
+                }
+            })
+            .unwrap();
+        assert!(err);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let ks = cloudkit_keyspace();
+        let path = ks.path("cloudkit").unwrap().add("user").unwrap();
+        assert!(path.value("not-an-int").is_err());
+    }
+
+    #[test]
+    fn unknown_child_rejected() {
+        let ks = cloudkit_keyspace();
+        assert!(ks.path("nope").is_err());
+        assert!(ks.path("cloudkit").unwrap().add("nope").is_err());
+    }
+}

@@ -1,0 +1,912 @@
+//! Query planning and execution (Appendix C).
+//!
+//! The planner turns a declarative [`RecordQuery`] into a tree of concrete
+//! operations — index scans, full scans, residual filters, unions,
+//! intersections, text scans — that execute as streaming cursors with
+//! continuations. Plans are plain data ([`RecordQueryPlan`]): clients can
+//! cache them and re-execute with bound continuations, the moral
+//! equivalent of a SQL `PREPARE` statement.
+//!
+//! This is the paper's shipped heuristic planner; the Cascades-style
+//! rewrite (Appendix C "future directions") is future work here too.
+
+use std::collections::BTreeSet;
+
+use rl_fdb::subspace::Subspace;
+use rl_fdb::tuple::{Tuple, TupleElement};
+
+use crate::cursor::{Continuation, CursorResult, ExecuteProperties, NoNextReason, RecordCursor};
+use crate::error::{Error, Result};
+use crate::expr::{FanType, KeyExpression, KeyPart};
+use crate::metadata::{IndexType, RecordMetaData};
+use crate::query::{Comparison, QueryComponent, RecordQuery, TextComparison};
+use crate::store::{RecordStore, StoredRecord, TupleRange};
+
+/// Key bounds for an index scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanBounds {
+    Range(TupleRange),
+    /// Equality prefix columns followed by a *string prefix* match on the
+    /// next column (byte-level, exploiting tuple encoding).
+    StringPrefix { prefix_cols: Tuple, prefix: String },
+}
+
+impl ScanBounds {
+    pub fn to_byte_range(&self, subspace: &Subspace) -> (Vec<u8>, Vec<u8>) {
+        match self {
+            ScanBounds::Range(r) => r.to_byte_range(subspace),
+            ScanBounds::StringPrefix { prefix_cols, prefix } => {
+                // Pack the equality columns, then the string *without* its
+                // terminator: every longer string shares these bytes.
+                let mut begin = subspace.pack(prefix_cols);
+                let with_str = Tuple::new().push(prefix.as_str()).pack();
+                begin.extend_from_slice(&with_str[..with_str.len() - 1]);
+                let mut end = begin.clone();
+                end.push(0xFF);
+                (begin, end)
+            }
+        }
+    }
+}
+
+/// An executable query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordQueryPlan {
+    /// Scan the record extent, filtering.
+    FullScan {
+        record_types: Option<BTreeSet<String>>,
+        residual: Option<QueryComponent>,
+        reverse: bool,
+    },
+    /// Scan an index range, fetch each record, apply residual filters.
+    IndexScan {
+        index_name: String,
+        bounds: ScanBounds,
+        reverse: bool,
+        record_types: Option<BTreeSet<String>>,
+        residual: Option<QueryComponent>,
+    },
+    /// Serve a full-text predicate from a TEXT index.
+    TextScan {
+        index_name: String,
+        comparison: TextComparison,
+        record_types: Option<BTreeSet<String>>,
+        residual: Option<QueryComponent>,
+    },
+    /// Distinct union of sub-plans (OR queries).
+    Union { children: Vec<RecordQueryPlan> },
+    /// Records produced by every sub-plan (AND across different indexes).
+    Intersection { children: Vec<RecordQueryPlan> },
+}
+
+impl RecordQueryPlan {
+    /// Human-readable plan shape (for tests and EXPLAIN-style output).
+    pub fn describe(&self) -> String {
+        match self {
+            RecordQueryPlan::FullScan { residual, .. } => {
+                if residual.is_some() {
+                    "Filter(FullScan)".to_string()
+                } else {
+                    "FullScan".to_string()
+                }
+            }
+            RecordQueryPlan::IndexScan { index_name, residual, reverse, .. } => {
+                let base = if *reverse {
+                    format!("IndexScan({index_name}, reverse)")
+                } else {
+                    format!("IndexScan({index_name})")
+                };
+                if residual.is_some() {
+                    format!("Filter({base})")
+                } else {
+                    base
+                }
+            }
+            RecordQueryPlan::TextScan { index_name, .. } => format!("TextScan({index_name})"),
+            RecordQueryPlan::Union { children } => {
+                let inner: Vec<String> = children.iter().map(RecordQueryPlan::describe).collect();
+                format!("Union({})", inner.join(", "))
+            }
+            RecordQueryPlan::Intersection { children } => {
+                let inner: Vec<String> = children.iter().map(RecordQueryPlan::describe).collect();
+                format!("Intersection({})", inner.join(", "))
+            }
+        }
+    }
+
+    /// Execute against a store, resuming from `continuation`. The
+    /// `return_limit` in `props` is enforced at the top of the plan; scan
+    /// and byte limits are shared by every cursor the plan spawns.
+    pub fn execute<'a>(
+        &self,
+        store: &RecordStore<'a>,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<PlanCursor<'a>> {
+        let mut inner_props = props.clone();
+        inner_props.return_limit = None;
+        let cursor = self.execute_inner(store, continuation, &inner_props)?;
+        Ok(match props.return_limit {
+            Some(n) => Box::new(crate::cursor::TakeCursor::new(cursor, n)),
+            None => cursor,
+        })
+    }
+
+    fn execute_inner<'a>(
+        &self,
+        store: &RecordStore<'a>,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<PlanCursor<'a>> {
+        match self {
+            RecordQueryPlan::FullScan { record_types, residual, reverse } => {
+                let scan = if *reverse {
+                    store.scan_records_reverse(&TupleRange::all(), continuation, props)?
+                } else {
+                    store.scan_records(&TupleRange::all(), continuation, props)?
+                };
+                Ok(Box::new(FilteredRecordCursor {
+                    inner: Box::new(scan),
+                    record_types: record_types.clone(),
+                    residual: residual.clone(),
+                }))
+            }
+            RecordQueryPlan::IndexScan { index_name, bounds, reverse, record_types, residual } => {
+                let index = store.require_readable(index_name)?;
+                let subspace = store.index_subspace(index);
+                let (begin, end) = bounds.to_byte_range(&subspace);
+                // Scan the index subspace's byte range, fetching records by
+                // the primary key carried in each entry.
+                let kv = crate::cursor::KeyValueCursor::new(
+                    store.transaction(),
+                    begin,
+                    end,
+                    *reverse,
+                    props.snapshot,
+                    props.limiter(),
+                    continuation,
+                )?;
+                Ok(Box::new(IndexFetchCursor {
+                    store: store.clone_parts(),
+                    kv,
+                    subspace,
+                    key_columns: index.key_expression.key_column_count(),
+                    record_types: record_types.clone(),
+                    residual: residual.clone(),
+                }))
+            }
+            RecordQueryPlan::TextScan { index_name, comparison, record_types, residual } => {
+                let pks = store.text_search(index_name, comparison)?;
+                let mut records = Vec::new();
+                for pk in pks {
+                    if let Some(rec) = store.load_record(&pk)? {
+                        let type_ok = record_types
+                            .as_ref()
+                            .map_or(true, |ts| ts.contains(&rec.record_type));
+                        let residual_ok = match residual {
+                            Some(r) => r.eval(&rec.record_type, &rec.message)?,
+                            None => true,
+                        };
+                        if type_ok && residual_ok {
+                            records.push(rec);
+                        }
+                    }
+                }
+                Ok(Box::new(crate::cursor::ListCursor::new(records, continuation)?))
+            }
+            RecordQueryPlan::Union { children } => {
+                UnionCursor::create(children, store, continuation, props)
+            }
+            RecordQueryPlan::Intersection { children } => {
+                // Evaluate the first child fully, then stream the last
+                // child filtered by membership.
+                let mut pk_sets: Vec<BTreeSet<Vec<u8>>> = Vec::new();
+                for child in &children[..children.len() - 1] {
+                    let mut cursor = child.execute_inner(store, &Continuation::Start, props)?;
+                    let mut set = BTreeSet::new();
+                    loop {
+                        match cursor.next()? {
+                            CursorResult::Next { value, .. } => {
+                                set.insert(value.primary_key.pack());
+                            }
+                            CursorResult::NoNext { reason: NoNextReason::SourceExhausted, .. } => break,
+                            CursorResult::NoNext { reason, continuation } => {
+                                // Out-of-band stop inside the buffered side
+                                // cannot be resumed precisely; surface it.
+                                let _ = (reason, continuation);
+                                return Err(Error::Unplannable(
+                                    "scan limit hit while buffering intersection branch".into(),
+                                ));
+                            }
+                        }
+                    }
+                    pk_sets.push(set);
+                }
+                let last = children.last().unwrap().execute_inner(store, continuation, props)?;
+                Ok(Box::new(IntersectionCursor { inner: last, pk_sets }))
+            }
+        }
+    }
+
+    /// Execute and collect all records (convenience for tests/examples).
+    pub fn execute_all(&self, store: &RecordStore<'_>) -> Result<Vec<StoredRecord>> {
+        let mut cursor = self.execute(store, &Continuation::Start, &ExecuteProperties::new())?;
+        let (records, _, _) = cursor.collect_remaining_boxed()?;
+        Ok(records)
+    }
+}
+
+/// Boxed cursor of query results.
+pub type PlanCursor<'a> = Box<dyn RecordCursor<Item = StoredRecord> + 'a>;
+
+/// Helper so boxed cursors can drain (trait objects can't use the default
+/// `collect_remaining` which requires `Sized`).
+pub trait BoxedCursorExt {
+    fn collect_remaining_boxed(
+        &mut self,
+    ) -> Result<(Vec<StoredRecord>, NoNextReason, Continuation)>;
+}
+
+impl BoxedCursorExt for PlanCursor<'_> {
+    fn collect_remaining_boxed(
+        &mut self,
+    ) -> Result<(Vec<StoredRecord>, NoNextReason, Continuation)> {
+        let mut out = Vec::new();
+        loop {
+            match self.next()? {
+                CursorResult::Next { value, .. } => out.push(value),
+                CursorResult::NoNext { reason, continuation } => {
+                    return Ok((out, reason, continuation))
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- plan cursors
+
+struct FilteredRecordCursor<'a> {
+    inner: Box<dyn RecordCursor<Item = StoredRecord> + 'a>,
+    record_types: Option<BTreeSet<String>>,
+    residual: Option<QueryComponent>,
+}
+
+impl RecordCursor for FilteredRecordCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        loop {
+            match self.inner.next()? {
+                CursorResult::Next { value, continuation } => {
+                    if let Some(types) = &self.record_types {
+                        if !types.contains(&value.record_type) {
+                            continue;
+                        }
+                    }
+                    if let Some(residual) = &self.residual {
+                        if !residual.eval(&value.record_type, &value.message)? {
+                            continue;
+                        }
+                    }
+                    return Ok(CursorResult::Next { value, continuation });
+                }
+                stop @ CursorResult::NoNext { .. } => return Ok(stop),
+            }
+        }
+    }
+}
+
+/// Scans index keys and fetches the indexed records (the "primary fetch").
+struct IndexFetchCursor<'a> {
+    store: StoreParts<'a>,
+    kv: crate::cursor::KeyValueCursor<'a>,
+    subspace: Subspace,
+    key_columns: usize,
+    record_types: Option<BTreeSet<String>>,
+    residual: Option<QueryComponent>,
+}
+
+/// Cloneable store handle pieces needed by cursors that outlive the
+/// `RecordStore` value (but not the transaction).
+pub struct StoreParts<'a> {
+    tx: &'a rl_fdb::Transaction,
+    subspace: Subspace,
+    metadata: &'a RecordMetaData,
+}
+
+impl<'a> RecordStore<'a> {
+    fn clone_parts(&self) -> StoreParts<'a> {
+        StoreParts {
+            tx: self.transaction(),
+            subspace: self.subspace().clone(),
+            metadata: self.metadata_ref(),
+        }
+    }
+}
+
+impl<'a> StoreParts<'a> {
+    fn open(&self) -> Result<RecordStore<'a>> {
+        RecordStore::open_or_create(self.tx, &self.subspace, self.metadata)
+    }
+}
+
+impl RecordCursor for IndexFetchCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        loop {
+            match self.kv.next()? {
+                CursorResult::Next { value: kv, continuation } => {
+                    let t = self.subspace.unpack(&kv.key).map_err(Error::Fdb)?;
+                    let pk = t.suffix(self.key_columns);
+                    let store = self.store.open()?;
+                    let Some(record) = store.load_record(&pk)? else {
+                        continue; // index entry racing a delete
+                    };
+                    if let Some(types) = &self.record_types {
+                        if !types.contains(&record.record_type) {
+                            continue;
+                        }
+                    }
+                    if let Some(residual) = &self.residual {
+                        if !residual.eval(&record.record_type, &record.message)? {
+                            continue;
+                        }
+                    }
+                    return Ok(CursorResult::Next { value: record, continuation });
+                }
+                CursorResult::NoNext { reason, continuation } => {
+                    return Ok(CursorResult::NoNext { reason, continuation })
+                }
+            }
+        }
+    }
+}
+
+/// Sequentially executes union branches, deduplicating by primary key.
+/// The continuation encodes `(branch, inner continuation, seen pks)` so a
+/// resumed union never returns a duplicate.
+struct UnionCursor<'a> {
+    children: Vec<RecordQueryPlan>,
+    store: StoreParts<'a>,
+    props: ExecuteProperties,
+    branch: usize,
+    current: PlanCursor<'a>,
+    seen: BTreeSet<Vec<u8>>,
+}
+
+impl<'a> UnionCursor<'a> {
+    fn create(
+        children: &[RecordQueryPlan],
+        store: &RecordStore<'a>,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<PlanCursor<'a>> {
+        let (branch, inner, seen) = match continuation {
+            Continuation::Start => (0usize, Continuation::Start, BTreeSet::new()),
+            Continuation::End => (children.len(), Continuation::End, BTreeSet::new()),
+            Continuation::At(bytes) => {
+                let t = Tuple::unpack(bytes)
+                    .map_err(|e| Error::InvalidContinuation(format!("union: {e}")))?;
+                let branch = t
+                    .get(0)
+                    .and_then(TupleElement::as_int)
+                    .ok_or_else(|| Error::InvalidContinuation("union branch".into()))?
+                    as usize;
+                let inner = Continuation::from_bytes(
+                    t.get(1)
+                        .and_then(TupleElement::as_bytes)
+                        .ok_or_else(|| Error::InvalidContinuation("union inner".into()))?,
+                )?;
+                let seen = t
+                    .get(2)
+                    .and_then(TupleElement::as_tuple)
+                    .map(|seen_t| {
+                        seen_t
+                            .elements()
+                            .iter()
+                            .filter_map(|e| e.as_bytes().map(<[u8]>::to_vec))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                (branch, inner, seen)
+            }
+        };
+        let current: PlanCursor<'a> = if branch < children.len() {
+            children[branch].execute_inner(store, &inner, props)?
+        } else {
+            Box::new(crate::cursor::ListCursor::new(Vec::new(), &Continuation::Start)?)
+        };
+        Ok(Box::new(UnionCursor {
+            children: children.to_vec(),
+            store: store.clone_parts(),
+            props: props.clone(),
+            branch,
+            current,
+            seen,
+        }))
+    }
+
+    fn encode_continuation(&self, inner: &Continuation) -> Continuation {
+        let mut seen_t = Tuple::new();
+        for pk in &self.seen {
+            seen_t.add(pk.clone());
+        }
+        Continuation::At(
+            Tuple::new()
+                .push(self.branch as i64)
+                .push(inner.to_bytes())
+                .push(seen_t)
+                .pack(),
+        )
+    }
+}
+
+impl RecordCursor for UnionCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        loop {
+            if self.branch >= self.children.len() {
+                return Ok(CursorResult::NoNext {
+                    reason: NoNextReason::SourceExhausted,
+                    continuation: Continuation::End,
+                });
+            }
+            match self.current.next()? {
+                CursorResult::Next { value, continuation } => {
+                    let pk = value.primary_key.pack();
+                    if self.seen.insert(pk) {
+                        let cont = self.encode_continuation(&continuation);
+                        return Ok(CursorResult::Next { value, continuation: cont });
+                    }
+                }
+                CursorResult::NoNext { reason: NoNextReason::SourceExhausted, .. } => {
+                    self.branch += 1;
+                    if self.branch < self.children.len() {
+                        let store = self.store.open()?;
+                        self.current = self.children[self.branch].execute_inner(
+                            &store,
+                            &Continuation::Start,
+                            &self.props,
+                        )?;
+                    }
+                }
+                CursorResult::NoNext { reason, continuation } => {
+                    let cont = self.encode_continuation(&continuation);
+                    return Ok(CursorResult::NoNext { reason, continuation: cont });
+                }
+            }
+        }
+    }
+}
+
+struct IntersectionCursor<'a> {
+    inner: PlanCursor<'a>,
+    pk_sets: Vec<BTreeSet<Vec<u8>>>,
+}
+
+impl RecordCursor for IntersectionCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        loop {
+            match self.inner.next()? {
+                CursorResult::Next { value, continuation } => {
+                    let pk = value.primary_key.pack();
+                    if self.pk_sets.iter().all(|s| s.contains(&pk)) {
+                        return Ok(CursorResult::Next { value, continuation });
+                    }
+                }
+                stop @ CursorResult::NoNext { .. } => return Ok(stop),
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- planner
+
+/// The heuristic query planner.
+pub struct RecordQueryPlanner<'m> {
+    metadata: &'m RecordMetaData,
+}
+
+/// One sargable conjunct extracted from the filter.
+#[derive(Debug, Clone)]
+struct Conjunct {
+    component: QueryComponent,
+    /// Field path + fan type for index matching, when extractable.
+    path: Option<(Vec<String>, FanType)>,
+    comparison: Option<Comparison>,
+}
+
+impl<'m> RecordQueryPlanner<'m> {
+    pub fn new(metadata: &'m RecordMetaData) -> Self {
+        RecordQueryPlanner { metadata }
+    }
+
+    /// Plan a query. Fails with [`Error::UnsupportedSort`] when a requested
+    /// sort has no supporting index (§3.1: no in-memory sorts).
+    pub fn plan(&self, query: &RecordQuery) -> Result<RecordQueryPlan> {
+        let types: Option<BTreeSet<String>> = if query.record_types.is_empty() {
+            None
+        } else {
+            Some(query.record_types.iter().cloned().collect())
+        };
+
+        // OR at the top level: union the branch plans when each branch is
+        // independently index-plannable.
+        if let Some(QueryComponent::Or(branches)) = &query.filter {
+            if query.sort.is_none() {
+                let mut children = Vec::new();
+                let mut all_indexed = true;
+                for branch in branches {
+                    let sub = RecordQuery {
+                        record_types: query.record_types.clone(),
+                        filter: Some(branch.clone()),
+                        sort: None,
+                        sort_reverse: false,
+                    };
+                    match self.plan(&sub)? {
+                        plan @ (RecordQueryPlan::IndexScan { .. }
+                        | RecordQueryPlan::TextScan { .. }) => children.push(plan),
+                        _ => {
+                            all_indexed = false;
+                            break;
+                        }
+                    }
+                }
+                if all_indexed && !children.is_empty() {
+                    return Ok(RecordQueryPlan::Union { children });
+                }
+            }
+        }
+
+        let conjuncts = Self::conjuncts(query.filter.as_ref());
+
+        // Try every VALUE index; keep the best-scoring candidate.
+        let mut best: Option<(usize, RecordQueryPlan)> = None;
+        for index in self.metadata.indexes() {
+            if index.index_type != IndexType::Value {
+                continue;
+            }
+            if !self.index_covers_types(index, &types) {
+                continue;
+            }
+            let Some(parts) = index.key_expression.flatten() else {
+                continue;
+            };
+            if let Some((score, plan)) =
+                self.match_index(index, &parts, &conjuncts, query, &types)?
+            {
+                if best.as_ref().map_or(true, |(s, _)| score > *s) {
+                    best = Some((score, plan));
+                }
+            }
+        }
+        // An intersection of single-column index scans can cover more
+        // conjuncts than the best single index; prefer it when it does.
+        if query.sort.is_none() {
+            if let Some(RecordQueryPlan::Intersection { children }) =
+                self.plan_intersection(&conjuncts, &types)?
+            {
+                let intersection_score = children.len() * 2;
+                if best.as_ref().map_or(true, |(s, _)| intersection_score > *s) {
+                    return Ok(RecordQueryPlan::Intersection { children });
+                }
+            }
+        }
+        if let Some((score, plan)) = best {
+            if score > 0 || query.sort.is_some() {
+                return Ok(plan);
+            }
+        }
+
+        // Sort requested but no index matched: maybe the primary key
+        // supports it (full scan is pk-ordered); else unsupported.
+        if let Some(sort) = &query.sort {
+            if self.primary_key_satisfies_sort(&types, sort) {
+                return Ok(RecordQueryPlan::FullScan {
+                    record_types: types,
+                    residual: query.filter.clone(),
+                    reverse: query.sort_reverse,
+                });
+            }
+            return Err(Error::UnsupportedSort(format!(
+                "no readable index supports sort {sort:?}; the layer does not sort in memory"
+            )));
+        }
+
+        // Text predicates: serve from a TEXT index when available.
+        if let Some(plan) = self.plan_text(&conjuncts, &types)? {
+            return Ok(plan);
+        }
+
+        // AND across two single-column indexes: intersection.
+        if let Some(plan) = self.plan_intersection(&conjuncts, &types)? {
+            return Ok(plan);
+        }
+
+        Ok(RecordQueryPlan::FullScan {
+            record_types: types,
+            residual: query.filter.clone(),
+            reverse: false,
+        })
+    }
+
+    fn conjuncts(filter: Option<&QueryComponent>) -> Vec<Conjunct> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&QueryComponent> = Vec::new();
+        if let Some(f) = filter {
+            match f {
+                QueryComponent::And(parts) => stack.extend(parts.iter()),
+                other => stack.push(other),
+            }
+        }
+        for component in stack {
+            let (path, comparison) = match component {
+                QueryComponent::Field { path, comparison } => {
+                    (Some((path.clone(), FanType::Scalar)), Some(comparison.clone()))
+                }
+                QueryComponent::OneOfThem { field, comparison } => {
+                    (Some((vec![field.clone()], FanType::Fanout)), Some(comparison.clone()))
+                }
+                _ => (None, None),
+            };
+            out.push(Conjunct { component: component.clone(), path, comparison });
+        }
+        out
+    }
+
+    fn index_covers_types(
+        &self,
+        index: &crate::metadata::Index,
+        types: &Option<BTreeSet<String>>,
+    ) -> bool {
+        match types {
+            None => index.record_types.is_empty(), // all-types query needs a universal index
+            Some(ts) => ts.iter().all(|t| index.applies_to(t)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_index(
+        &self,
+        index: &crate::metadata::Index,
+        parts: &[KeyPart],
+        conjuncts: &[Conjunct],
+        query: &RecordQuery,
+        types: &Option<BTreeSet<String>>,
+    ) -> Result<Option<(usize, RecordQueryPlan)>> {
+        let mut consumed = vec![false; conjuncts.len()];
+        let mut eq_prefix = Tuple::new();
+        let mut eq_count = 0usize;
+
+        // Greedily consume equality conjuncts along the index's columns.
+        for part in parts {
+            let KeyPart::Field { path, fan_type } = part else { break };
+            let found = conjuncts.iter().enumerate().find(|(i, c)| {
+                !consumed[*i]
+                    && c.path.as_ref().is_some_and(|(p, ft)| p == path && ft == fan_type)
+                    && matches!(c.comparison, Some(Comparison::Equals(_)))
+            });
+            match found {
+                Some((i, c)) => {
+                    if let Some(Comparison::Equals(v)) = &c.comparison {
+                        eq_prefix.add(v.clone());
+                    }
+                    consumed[i] = true;
+                    eq_count += 1;
+                }
+                None => break,
+            }
+        }
+
+        // One range/prefix comparison on the next column.
+        let mut bounds = ScanBounds::Range(TupleRange::prefix(eq_prefix.clone()));
+        let mut range_count = 0usize;
+        if let Some(KeyPart::Field { path, fan_type }) = parts.get(eq_count) {
+            let mut low: Option<(TupleElement, bool)> = None;
+            let mut high: Option<(TupleElement, bool)> = None;
+            let mut string_prefix: Option<String> = None;
+            for (i, c) in conjuncts.iter().enumerate() {
+                if consumed[i] || c.path.as_ref().map(|(p, ft)| (p, *ft)) != Some((path, *fan_type))
+                {
+                    continue;
+                }
+                match &c.comparison {
+                    Some(Comparison::GreaterThan(v)) => {
+                        low = Some((v.clone(), false));
+                        consumed[i] = true;
+                        range_count += 1;
+                    }
+                    Some(Comparison::GreaterThanOrEquals(v)) => {
+                        low = Some((v.clone(), true));
+                        consumed[i] = true;
+                        range_count += 1;
+                    }
+                    Some(Comparison::LessThan(v)) => {
+                        high = Some((v.clone(), false));
+                        consumed[i] = true;
+                        range_count += 1;
+                    }
+                    Some(Comparison::LessThanOrEquals(v)) => {
+                        high = Some((v.clone(), true));
+                        consumed[i] = true;
+                        range_count += 1;
+                    }
+                    Some(Comparison::StartsWith(p)) if string_prefix.is_none() => {
+                        string_prefix = Some(p.clone());
+                        consumed[i] = true;
+                        range_count += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(prefix) = string_prefix {
+                bounds = ScanBounds::StringPrefix { prefix_cols: eq_prefix.clone(), prefix };
+            } else if low.is_some() || high.is_some() {
+                let low_t = low.map(|(el, incl)| (eq_prefix.clone().push(el), incl));
+                let high_t = high.map(|(el, incl)| (eq_prefix.clone().push(el), incl));
+                bounds = ScanBounds::Range(TupleRange {
+                    low: low_t.or_else(|| Some((eq_prefix.clone(), true))),
+                    high: high_t.or_else(|| Some((eq_prefix.clone(), true))),
+                });
+            }
+        }
+
+        let matched = eq_count + range_count;
+
+        // Sort satisfaction: the index's column order after the equality
+        // prefix (or from the start) must begin with the sort columns.
+        let mut reverse = false;
+        if let Some(sort) = &query.sort {
+            let Some(sort_parts) = sort.flatten() else {
+                return Ok(None);
+            };
+            let tail = &parts[eq_count.min(parts.len())..];
+            let satisfies = tail.len() >= sort_parts.len()
+                && tail[..sort_parts.len()] == sort_parts[..]
+                || parts.len() >= sort_parts.len() && parts[..sort_parts.len()] == sort_parts[..];
+            if !satisfies {
+                return Ok(None);
+            }
+            reverse = query.sort_reverse;
+        } else if matched == 0 {
+            return Ok(None);
+        }
+
+        // Residual: everything not consumed.
+        let residual_parts: Vec<QueryComponent> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed[*i])
+            .map(|(_, c)| c.component.clone())
+            .collect();
+        let residual = match residual_parts.len() {
+            0 => None,
+            1 => Some(residual_parts.into_iter().next().unwrap()),
+            _ => Some(QueryComponent::And(residual_parts)),
+        };
+
+        let score = matched * 2 + usize::from(query.sort.is_some());
+        Ok(Some((
+            score,
+            RecordQueryPlan::IndexScan {
+                index_name: index.name.clone(),
+                bounds,
+                reverse,
+                record_types: types.clone(),
+                residual,
+            },
+        )))
+    }
+
+    fn primary_key_satisfies_sort(
+        &self,
+        types: &Option<BTreeSet<String>>,
+        sort: &KeyExpression,
+    ) -> bool {
+        let Some(sort_parts) = sort.flatten() else { return false };
+        let mut candidates: Vec<&crate::metadata::RecordType> = Vec::new();
+        match types {
+            Some(ts) => {
+                for t in ts {
+                    match self.metadata.record_type(t) {
+                        Ok(rt) => candidates.push(rt),
+                        Err(_) => return false,
+                    }
+                }
+            }
+            None => candidates.extend(self.metadata.record_types()),
+        }
+        candidates.iter().all(|rt| {
+            rt.primary_key
+                .flatten()
+                .is_some_and(|pk| pk.len() >= sort_parts.len() && pk[..sort_parts.len()] == sort_parts[..])
+        })
+    }
+
+    fn plan_text(
+        &self,
+        conjuncts: &[Conjunct],
+        types: &Option<BTreeSet<String>>,
+    ) -> Result<Option<RecordQueryPlan>> {
+        for (i, c) in conjuncts.iter().enumerate() {
+            let Some(Comparison::Text(cmp)) = &c.comparison else { continue };
+            let Some((path, _)) = &c.path else { continue };
+            for index in self.metadata.indexes() {
+                if index.index_type != IndexType::Text || !self.index_covers_types(index, types) {
+                    continue;
+                }
+                let Some(parts) = index.key_expression.flatten() else { continue };
+                let matches_field =
+                    matches!(parts.first(), Some(KeyPart::Field { path: p, .. }) if p == path);
+                if !matches_field {
+                    continue;
+                }
+                let residual_parts: Vec<QueryComponent> = conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, c)| c.component.clone())
+                    .collect();
+                let residual = match residual_parts.len() {
+                    0 => None,
+                    1 => Some(residual_parts.into_iter().next().unwrap()),
+                    _ => Some(QueryComponent::And(residual_parts)),
+                };
+                return Ok(Some(RecordQueryPlan::TextScan {
+                    index_name: index.name.clone(),
+                    comparison: cmp.clone(),
+                    record_types: types.clone(),
+                    residual,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    fn plan_intersection(
+        &self,
+        conjuncts: &[Conjunct],
+        types: &Option<BTreeSet<String>>,
+    ) -> Result<Option<RecordQueryPlan>> {
+        // Find two equality conjuncts each served by a different
+        // single-column index.
+        let mut children = Vec::new();
+        for c in conjuncts {
+            let Some((path, fan)) = &c.path else { continue };
+            if !matches!(c.comparison, Some(Comparison::Equals(_))) {
+                continue;
+            }
+            for index in self.metadata.indexes() {
+                if index.index_type != IndexType::Value || !self.index_covers_types(index, types) {
+                    continue;
+                }
+                let Some(parts) = index.key_expression.flatten() else { continue };
+                if parts.len() == 1
+                    && matches!(&parts[0], KeyPart::Field { path: p, fan_type } if p == path && fan_type == fan)
+                {
+                    if let Some(Comparison::Equals(v)) = &c.comparison {
+                        children.push(RecordQueryPlan::IndexScan {
+                            index_name: index.name.clone(),
+                            bounds: ScanBounds::Range(TupleRange::prefix(
+                                Tuple::new().push(v.clone()),
+                            )),
+                            reverse: false,
+                            record_types: types.clone(),
+                            residual: None,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        if children.len() >= 2 && children.len() == conjuncts.len() {
+            Ok(Some(RecordQueryPlan::Intersection { children }))
+        } else {
+            Ok(None)
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The declarative query API (Appendix C): Boolean predicates over record
+//! fields, assembled fluently and either planned into index scans
+//! ([`crate::plan`]) or evaluated directly against records as residual
+//! filters.
+
+use rl_fdb::tuple::TupleElement;
+use rl_message::{DynamicMessage, Value};
+
+use crate::error::{Error, Result};
+use crate::expr::value_to_element;
+
+/// Full-text comparisons served by TEXT indexes (Appendix B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextComparison {
+    /// All of the tokens appear in the field.
+    ContainsAll(Vec<String>),
+    /// Any of the tokens appears.
+    ContainsAny(Vec<String>),
+    /// A token beginning with this prefix appears.
+    ContainsPrefix(String),
+    /// The tokens appear adjacent and in order.
+    ContainsPhrase(Vec<String>),
+    /// All tokens appear within a window of `max_distance` tokens.
+    ContainsAllWithin { tokens: Vec<String>, max_distance: usize },
+}
+
+/// A scalar comparison against a field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Comparison {
+    Equals(TupleElement),
+    NotEquals(TupleElement),
+    LessThan(TupleElement),
+    LessThanOrEquals(TupleElement),
+    GreaterThan(TupleElement),
+    GreaterThanOrEquals(TupleElement),
+    StartsWith(String),
+    In(Vec<TupleElement>),
+    IsNull,
+    NotNull,
+    Text(TextComparison),
+}
+
+impl Comparison {
+    /// Whether an index scan over sorted keys can serve this comparison
+    /// (used by the planner to decide sargability).
+    pub fn is_sargable(&self) -> bool {
+        !matches!(self, Comparison::NotEquals(_) | Comparison::Text(_))
+    }
+
+    /// Evaluate against an extracted element (`None` = field unset).
+    pub fn eval(&self, actual: Option<&TupleElement>) -> bool {
+        use Comparison::*;
+        match self {
+            IsNull => matches!(actual, None | Some(TupleElement::Null)),
+            NotNull => !matches!(actual, None | Some(TupleElement::Null)),
+            _ => {
+                let Some(actual) = actual else { return false };
+                if matches!(actual, TupleElement::Null) {
+                    return false;
+                }
+                match self {
+                    Equals(v) => actual == v,
+                    NotEquals(v) => actual != v,
+                    LessThan(v) => actual < v,
+                    LessThanOrEquals(v) => actual <= v,
+                    GreaterThan(v) => actual > v,
+                    GreaterThanOrEquals(v) => actual >= v,
+                    StartsWith(prefix) => match actual {
+                        TupleElement::String(s) => s.starts_with(prefix.as_str()),
+                        _ => false,
+                    },
+                    In(vs) => vs.contains(actual),
+                    Text(t) => match actual {
+                        TupleElement::String(s) => eval_text(t, s),
+                        _ => false,
+                    },
+                    IsNull | NotNull => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Token-level text matching, used for residual filtering; TEXT index scans
+/// implement the same semantics over postings.
+fn eval_text(cmp: &TextComparison, text: &str) -> bool {
+    let tokens: Vec<String> = crate::index::text::WhitespaceTokenizer.tokenize(text);
+    match cmp {
+        TextComparison::ContainsAll(ts) => ts.iter().all(|t| tokens.contains(t)),
+        TextComparison::ContainsAny(ts) => ts.iter().any(|t| tokens.contains(t)),
+        TextComparison::ContainsPrefix(p) => tokens.iter().any(|t| t.starts_with(p.as_str())),
+        TextComparison::ContainsPhrase(ts) => {
+            if ts.is_empty() {
+                return true;
+            }
+            tokens.windows(ts.len()).any(|w| w == ts.as_slice())
+        }
+        TextComparison::ContainsAllWithin { tokens: ts, max_distance } => {
+            let positions: Vec<Vec<usize>> = ts
+                .iter()
+                .map(|t| {
+                    tokens
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, tok)| *tok == t)
+                        .map(|(i, _)| i)
+                        .collect()
+                })
+                .collect();
+            if positions.iter().any(Vec::is_empty) {
+                return false;
+            }
+            // Any combination within the window; brute force over the first
+            // token's occurrences suffices for correctness.
+            positions[0].iter().any(|&p0| {
+                positions[1..].iter().all(|ps| {
+                    ps.iter().any(|&p| p.abs_diff(p0) <= *max_distance)
+                })
+            })
+        }
+    }
+}
+
+/// A Boolean predicate over a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryComponent {
+    /// Compare a (possibly nested, dot-free) field path.
+    Field { path: Vec<String>, comparison: Comparison },
+    /// True when *any* element of a repeated field matches.
+    OneOfThem { field: String, comparison: Comparison },
+    And(Vec<QueryComponent>),
+    Or(Vec<QueryComponent>),
+    Not(Box<QueryComponent>),
+    /// Record-type check (useful because all types share one extent).
+    RecordType(String),
+}
+
+impl QueryComponent {
+    /// `field("name").comparison` builder.
+    pub fn field(name: impl Into<String>, comparison: Comparison) -> Self {
+        QueryComponent::Field { path: vec![name.into()], comparison }
+    }
+
+    /// Nested path builder, e.g. `["parent", "a"]`.
+    pub fn nested(path: &[&str], comparison: Comparison) -> Self {
+        QueryComponent::Field {
+            path: path.iter().map(|s| s.to_string()).collect(),
+            comparison,
+        }
+    }
+
+    pub fn one_of_them(field: impl Into<String>, comparison: Comparison) -> Self {
+        QueryComponent::OneOfThem { field: field.into(), comparison }
+    }
+
+    pub fn and(parts: Vec<QueryComponent>) -> Self {
+        QueryComponent::And(parts)
+    }
+
+    pub fn or(parts: Vec<QueryComponent>) -> Self {
+        QueryComponent::Or(parts)
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(part: QueryComponent) -> Self {
+        QueryComponent::Not(Box::new(part))
+    }
+
+    /// Evaluate against a record (residual filtering).
+    pub fn eval(&self, record_type: &str, msg: &DynamicMessage) -> Result<bool> {
+        match self {
+            QueryComponent::Field { path, comparison } => {
+                let el = extract_path(msg, path)?;
+                Ok(comparison.eval(el.as_ref()))
+            }
+            QueryComponent::OneOfThem { field, comparison } => {
+                for v in msg.get_repeated(field) {
+                    let el = value_to_element(v)?;
+                    if comparison.eval(Some(&el)) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            QueryComponent::And(parts) => {
+                for p in parts {
+                    if !p.eval(record_type, msg)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            QueryComponent::Or(parts) => {
+                for p in parts {
+                    if p.eval(record_type, msg)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            QueryComponent::Not(p) => Ok(!p.eval(record_type, msg)?),
+            QueryComponent::RecordType(t) => Ok(t == record_type),
+        }
+    }
+}
+
+/// Walk a nested field path on a message, returning the leaf element.
+/// Missing fields yield `None`.
+pub fn extract_path(msg: &DynamicMessage, path: &[String]) -> Result<Option<TupleElement>> {
+    let mut current = msg;
+    for (i, name) in path.iter().enumerate() {
+        let is_last = i + 1 == path.len();
+        match current.get(name) {
+            None => return Ok(None),
+            Some(Value::Message(nested)) if !is_last => current = nested,
+            Some(v) if is_last => return Ok(Some(value_to_element(v)?)),
+            Some(_) => {
+                return Err(Error::KeyExpression(format!(
+                    "path component {name} is not a nested message"
+                )))
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// A declarative query: which record types, what filter, what order
+/// (Appendix C).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecordQuery {
+    /// Empty = all record types.
+    pub record_types: Vec<String>,
+    pub filter: Option<QueryComponent>,
+    /// Requested sort, which must be servable by an index or the primary
+    /// key (§3.1: no in-memory sorts).
+    pub sort: Option<crate::expr::KeyExpression>,
+    pub sort_reverse: bool,
+}
+
+impl RecordQuery {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_type(mut self, name: impl Into<String>) -> Self {
+        self.record_types.push(name.into());
+        self
+    }
+
+    pub fn filter(mut self, filter: QueryComponent) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    pub fn sort(mut self, sort: crate::expr::KeyExpression, reverse: bool) -> Self {
+        self.sort = Some(sort);
+        self.sort_reverse = reverse;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor};
+
+    fn pool() -> DescriptorPool {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(
+            MessageDescriptor::new(
+                "Inner",
+                vec![FieldDescriptor::optional("a", 1, FieldType::Int64)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        pool.add_message(
+            MessageDescriptor::new(
+                "T",
+                vec![
+                    FieldDescriptor::optional("n", 1, FieldType::Int64),
+                    FieldDescriptor::optional("s", 2, FieldType::String),
+                    FieldDescriptor::repeated("tags", 3, FieldType::String),
+                    FieldDescriptor::optional("inner", 4, FieldType::Message("Inner".into())),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        pool
+    }
+
+    fn record(pool: &DescriptorPool) -> DynamicMessage {
+        let mut inner = DynamicMessage::new(pool.message("Inner").unwrap());
+        inner.set("a", 5i64).unwrap();
+        let mut m = DynamicMessage::new(pool.message("T").unwrap());
+        m.set("n", 10i64).unwrap();
+        m.set("s", "hello world").unwrap();
+        m.push("tags", "red").unwrap();
+        m.push("tags", "blue").unwrap();
+        m.set("inner", inner).unwrap();
+        m
+    }
+
+    #[test]
+    fn scalar_comparisons() {
+        let pool = pool();
+        let m = record(&pool);
+        let eval = |c: QueryComponent| c.eval("T", &m).unwrap();
+        assert!(eval(QueryComponent::field("n", Comparison::Equals(TupleElement::Int(10)))));
+        assert!(eval(QueryComponent::field("n", Comparison::LessThan(TupleElement::Int(11)))));
+        assert!(!eval(QueryComponent::field("n", Comparison::GreaterThan(TupleElement::Int(10)))));
+        assert!(eval(QueryComponent::field(
+            "n",
+            Comparison::GreaterThanOrEquals(TupleElement::Int(10))
+        )));
+        assert!(eval(QueryComponent::field("s", Comparison::StartsWith("hello".into()))));
+        assert!(eval(QueryComponent::field(
+            "n",
+            Comparison::In(vec![TupleElement::Int(9), TupleElement::Int(10)])
+        )));
+        assert!(eval(QueryComponent::field("n", Comparison::NotNull)));
+    }
+
+    #[test]
+    fn null_semantics() {
+        let pool = pool();
+        let empty = DynamicMessage::new(pool.message("T").unwrap());
+        let c = QueryComponent::field("n", Comparison::IsNull);
+        assert!(c.eval("T", &empty).unwrap());
+        // Comparisons against missing fields are false, not errors.
+        let c = QueryComponent::field("n", Comparison::Equals(TupleElement::Int(0)));
+        assert!(!c.eval("T", &empty).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let pool = pool();
+        let m = record(&pool);
+        let t = QueryComponent::field("n", Comparison::Equals(TupleElement::Int(10)));
+        let f = QueryComponent::field("n", Comparison::Equals(TupleElement::Int(11)));
+        assert!(QueryComponent::and(vec![t.clone(), t.clone()]).eval("T", &m).unwrap());
+        assert!(!QueryComponent::and(vec![t.clone(), f.clone()]).eval("T", &m).unwrap());
+        assert!(QueryComponent::or(vec![f.clone(), t.clone()]).eval("T", &m).unwrap());
+        assert!(!QueryComponent::or(vec![f.clone(), f.clone()]).eval("T", &m).unwrap());
+        assert!(QueryComponent::not(f).eval("T", &m).unwrap());
+        assert!(!QueryComponent::not(t).eval("T", &m).unwrap());
+    }
+
+    #[test]
+    fn one_of_them_matches_any_element() {
+        let pool = pool();
+        let m = record(&pool);
+        assert!(QueryComponent::one_of_them("tags", Comparison::Equals(TupleElement::String("blue".into())))
+            .eval("T", &m)
+            .unwrap());
+        assert!(!QueryComponent::one_of_them("tags", Comparison::Equals(TupleElement::String("green".into())))
+            .eval("T", &m)
+            .unwrap());
+    }
+
+    #[test]
+    fn nested_paths() {
+        let pool = pool();
+        let m = record(&pool);
+        assert!(QueryComponent::nested(&["inner", "a"], Comparison::Equals(TupleElement::Int(5)))
+            .eval("T", &m)
+            .unwrap());
+        // Missing nested message: comparison is false.
+        let empty = DynamicMessage::new(pool.message("T").unwrap());
+        assert!(!QueryComponent::nested(&["inner", "a"], Comparison::Equals(TupleElement::Int(5)))
+            .eval("T", &empty)
+            .unwrap());
+    }
+
+    #[test]
+    fn record_type_component() {
+        let pool = pool();
+        let m = record(&pool);
+        assert!(QueryComponent::RecordType("T".into()).eval("T", &m).unwrap());
+        assert!(!QueryComponent::RecordType("U".into()).eval("T", &m).unwrap());
+    }
+
+    #[test]
+    fn text_comparisons() {
+        let pool = pool();
+        let m = record(&pool);
+        let eval = |t: TextComparison| {
+            QueryComponent::field("s", Comparison::Text(t)).eval("T", &m).unwrap()
+        };
+        assert!(eval(TextComparison::ContainsAll(vec!["hello".into(), "world".into()])));
+        assert!(!eval(TextComparison::ContainsAll(vec!["hello".into(), "mars".into()])));
+        assert!(eval(TextComparison::ContainsAny(vec!["mars".into(), "world".into()])));
+        assert!(eval(TextComparison::ContainsPrefix("wor".into())));
+        assert!(eval(TextComparison::ContainsPhrase(vec!["hello".into(), "world".into()])));
+        assert!(!eval(TextComparison::ContainsPhrase(vec!["world".into(), "hello".into()])));
+        assert!(eval(TextComparison::ContainsAllWithin {
+            tokens: vec!["hello".into(), "world".into()],
+            max_distance: 1
+        }));
+    }
+
+    #[test]
+    fn sargability() {
+        assert!(Comparison::Equals(TupleElement::Int(1)).is_sargable());
+        assert!(Comparison::LessThan(TupleElement::Int(1)).is_sargable());
+        assert!(!Comparison::NotEquals(TupleElement::Int(1)).is_sargable());
+        assert!(!Comparison::Text(TextComparison::ContainsPrefix("x".into())).is_sargable());
+    }
+
+    #[test]
+    fn query_builder() {
+        let q = RecordQuery::new()
+            .record_type("T")
+            .filter(QueryComponent::field("n", Comparison::NotNull))
+            .sort(crate::expr::KeyExpression::field("n"), true);
+        assert_eq!(q.record_types, vec!["T".to_string()]);
+        assert!(q.filter.is_some());
+        assert!(q.sort_reverse);
+    }
+}

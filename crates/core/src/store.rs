@@ -1,0 +1,1023 @@
+//! The record store (§4): an entire logical database — records, indexes,
+//! and operational state — encapsulated in one contiguous subspace.
+//!
+//! Layout within the store's subspace `S`:
+//!
+//! | key                               | contents                          |
+//! |-----------------------------------|-----------------------------------|
+//! | `S(0)`                            | store header (format, metadata, user versions) |
+//! | `S(1, pk…, -1)`                   | record commit version (12 bytes)  |
+//! | `S(1, pk…, 0)`                    | unsplit record payload            |
+//! | `S(1, pk…, 1..n)`                 | split record chunks (§4 splitting)|
+//! | `S(2, index_name, …)`             | index entries / structures        |
+//! | `S(3, index_name)`                | index state byte                  |
+//! | `S(4, index_name, …)`             | online-build progress (RangeSet)  |
+//!
+//! The version split `-1` immediately precedes the record's payload keys so
+//! both are fetched with a single range read (§4).
+
+use std::sync::Arc;
+
+use rl_fdb::atomic::MutationType;
+use rl_fdb::subspace::Subspace;
+use rl_fdb::tuple::{Tuple, TupleElement};
+use rl_fdb::version::Versionstamp;
+use rl_fdb::{RangeOptions, Transaction};
+use rl_message::DynamicMessage;
+
+use crate::cursor::{
+    Continuation, CursorResult, ExecuteProperties, KeyValueCursor, NoNextReason, RecordCursor,
+};
+use crate::error::{Error, Result};
+use crate::expr::EvalContext;
+use crate::index::{IndexContext, IndexEntry, IndexRegistry, IndexState};
+use crate::metadata::{Index, RecordMetaData};
+use crate::serialize::{PlainSerializer, RecordSerializer};
+
+const HEADER: i64 = 0;
+const RECORDS: i64 = 1;
+const INDEXES: i64 = 2;
+const INDEX_STATE: i64 = 3;
+const INDEX_RANGES: i64 = 4;
+
+/// Current on-disk format version written to store headers.
+pub const FORMAT_VERSION: i64 = 1;
+
+/// Default maximum bytes per record chunk when splitting (§4). Records
+/// larger than one chunk are spread over `(pk, 1..n)` keys, comfortably
+/// below FoundationDB's 100 kB value limit.
+pub const DEFAULT_SPLIT_SIZE: usize = 90_000;
+
+/// A record as stored: message, type, primary key, and commit version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    pub primary_key: Tuple,
+    pub record_type: String,
+    pub message: DynamicMessage,
+    /// The commit version of the record's last modification. Incomplete
+    /// for records saved in the current (uncommitted) transaction.
+    pub version: Option<Versionstamp>,
+    /// Number of key-value pairs the payload occupies (1 = unsplit).
+    pub split_count: usize,
+}
+
+impl StoredRecord {
+    /// Serialized payload size in bytes (used by size-tracking indexes).
+    pub fn serialized_size(&self) -> usize {
+        self.message.encode().len()
+    }
+}
+
+/// The store header: versions tracked per §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreHeader {
+    pub format_version: i64,
+    pub metadata_version: u64,
+    /// Client-managed "application version" (§5).
+    pub user_version: u64,
+}
+
+impl StoreHeader {
+    fn encode(&self) -> Vec<u8> {
+        Tuple::new()
+            .push(self.format_version)
+            .push(self.metadata_version as i64)
+            .push(self.user_version as i64)
+            .pack()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<StoreHeader> {
+        let t = Tuple::unpack(bytes).map_err(Error::Fdb)?;
+        let get = |i: usize| {
+            t.get(i)
+                .and_then(TupleElement::as_int)
+                .ok_or_else(|| Error::MetaData("corrupt store header".into()))
+        };
+        Ok(StoreHeader {
+            format_version: get(0)?,
+            metadata_version: get(1)? as u64,
+            user_version: get(2)? as u64,
+        })
+    }
+}
+
+/// An inclusive/exclusive range over tuples, mapped onto byte ranges within
+/// an index or record subspace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TupleRange {
+    pub low: Option<(Tuple, bool)>,
+    pub high: Option<(Tuple, bool)>,
+}
+
+impl TupleRange {
+    /// The unbounded range.
+    pub fn all() -> Self {
+        TupleRange::default()
+    }
+
+    /// All tuples extending `prefix` (equality on the leading columns).
+    pub fn prefix(prefix: Tuple) -> Self {
+        TupleRange { low: Some((prefix.clone(), true)), high: Some((prefix, true)) }
+    }
+
+    pub fn between(low: Option<(Tuple, bool)>, high: Option<(Tuple, bool)>) -> Self {
+        TupleRange { low, high }
+    }
+
+    /// Map to a concrete byte range within `subspace`. Inclusive bounds
+    /// cover all tuples extending the bound; exclusive bounds skip them.
+    pub fn to_byte_range(&self, subspace: &Subspace) -> (Vec<u8>, Vec<u8>) {
+        let (default_begin, default_end) = subspace.range();
+        let begin = match &self.low {
+            None => default_begin,
+            Some((t, inclusive)) => {
+                let packed = subspace.pack(t);
+                if *inclusive {
+                    packed
+                } else {
+                    let mut k = packed;
+                    k.push(0xFF);
+                    k
+                }
+            }
+        };
+        let end = match &self.high {
+            None => default_end,
+            Some((t, inclusive)) => {
+                let packed = subspace.pack(t);
+                if *inclusive {
+                    let mut k = packed;
+                    k.push(0xFF);
+                    k
+                } else {
+                    packed
+                }
+            }
+        };
+        (begin, end)
+    }
+}
+
+/// Builder for opening a [`RecordStore`] with non-default serializer,
+/// registry, or split size.
+pub struct RecordStoreBuilder {
+    serializer: Arc<dyn RecordSerializer>,
+    registry: Arc<IndexRegistry>,
+    split_size: usize,
+}
+
+impl Default for RecordStoreBuilder {
+    fn default() -> Self {
+        RecordStoreBuilder {
+            serializer: Arc::new(PlainSerializer),
+            registry: Arc::new(IndexRegistry::default()),
+            split_size: DEFAULT_SPLIT_SIZE,
+        }
+    }
+}
+
+impl RecordStoreBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn serializer(mut self, s: Arc<dyn RecordSerializer>) -> Self {
+        self.serializer = s;
+        self
+    }
+
+    pub fn registry(mut self, r: Arc<IndexRegistry>) -> Self {
+        self.registry = r;
+        self
+    }
+
+    /// Chunk size for record splitting (lowered in tests to exercise the
+    /// splitting path with small records).
+    pub fn split_size(mut self, n: usize) -> Self {
+        self.split_size = n;
+        self
+    }
+
+    /// Open the store, creating it or catching it up to `metadata` as
+    /// needed (§5 metadata management).
+    pub fn open_or_create<'a>(
+        self,
+        tx: &'a Transaction,
+        subspace: &Subspace,
+        metadata: &'a RecordMetaData,
+    ) -> Result<RecordStore<'a>> {
+        let store = RecordStore {
+            tx,
+            subspace: subspace.clone(),
+            metadata,
+            serializer: self.serializer,
+            registry: self.registry,
+            split_size: self.split_size,
+        };
+        store.check_version()?;
+        Ok(store)
+    }
+}
+
+/// A handle to one record store within one transaction. Stateless by
+/// design: dropping it loses nothing — all state is in the database.
+pub struct RecordStore<'a> {
+    tx: &'a Transaction,
+    subspace: Subspace,
+    metadata: &'a RecordMetaData,
+    serializer: Arc<dyn RecordSerializer>,
+    registry: Arc<IndexRegistry>,
+    split_size: usize,
+}
+
+impl<'a> RecordStore<'a> {
+    /// Open with defaults; see [`RecordStoreBuilder`] for customization.
+    pub fn open_or_create(
+        tx: &'a Transaction,
+        subspace: &Subspace,
+        metadata: &'a RecordMetaData,
+    ) -> Result<RecordStore<'a>> {
+        RecordStoreBuilder::new().open_or_create(tx, subspace, metadata)
+    }
+
+    pub fn transaction(&self) -> &'a Transaction {
+        self.tx
+    }
+
+    pub fn metadata(&self) -> &RecordMetaData {
+        self.metadata
+    }
+
+    /// The metadata reference with the transaction's lifetime (for cursors
+    /// that outlive the `RecordStore` value).
+    pub fn metadata_ref(&self) -> &'a RecordMetaData {
+        self.metadata
+    }
+
+    pub fn subspace(&self) -> &Subspace {
+        &self.subspace
+    }
+
+    pub fn registry(&self) -> &IndexRegistry {
+        &self.registry
+    }
+
+    fn header_key(&self) -> Vec<u8> {
+        self.subspace.pack(&Tuple::new().push(HEADER))
+    }
+
+    fn records_subspace(&self) -> Subspace {
+        self.subspace.child(RECORDS)
+    }
+
+    /// The subspace dedicated to one index.
+    pub fn index_subspace(&self, index: &Index) -> Subspace {
+        self.subspace.child(INDEXES).child(index.name.as_str())
+    }
+
+    fn index_state_key(&self, index_name: &str) -> Vec<u8> {
+        self.subspace.child(INDEX_STATE).pack(&Tuple::new().push(index_name))
+    }
+
+    /// Subspace recording online-build progress for an index.
+    pub fn index_range_subspace(&self, index: &Index) -> Subspace {
+        self.subspace.child(INDEX_RANGES).child(index.name.as_str())
+    }
+
+    // ------------------------------------------------------------- header
+
+    /// Read the store header, if the store exists.
+    pub fn header(&self) -> Result<Option<StoreHeader>> {
+        match self.tx.get(&self.header_key())? {
+            Some(bytes) => Ok(Some(StoreHeader::decode(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn write_header(&self, header: StoreHeader) -> Result<()> {
+        self.tx.try_set(&self.header_key(), &header.encode())?;
+        Ok(())
+    }
+
+    /// Set the client-managed application version (§5).
+    pub fn set_user_version(&self, user_version: u64) -> Result<()> {
+        let mut header = self
+            .header()?
+            .ok_or_else(|| Error::MetaData("store does not exist".into()))?;
+        header.user_version = user_version;
+        self.write_header(header)
+    }
+
+    /// §5: on open, compare the store's recorded metadata version with the
+    /// supplied metadata; create the store, fail on staleness, or catch up.
+    fn check_version(&self) -> Result<()> {
+        match self.header()? {
+            None => {
+                // New store: all current indexes are trivially built.
+                self.write_header(StoreHeader {
+                    format_version: FORMAT_VERSION,
+                    metadata_version: self.metadata.version(),
+                    user_version: 0,
+                })?;
+                for index in self.metadata.indexes() {
+                    self.set_index_state(&index.name, IndexState::Readable)?;
+                }
+                Ok(())
+            }
+            Some(header) => {
+                if header.metadata_version > self.metadata.version() {
+                    // The client used an out-of-date metadata cache.
+                    return Err(Error::StaleMetaData {
+                        store_version: header.metadata_version,
+                        supplied_version: self.metadata.version(),
+                    });
+                }
+                if header.metadata_version < self.metadata.version() {
+                    self.catch_up_metadata(header)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply metadata changes newer than the store's recorded version:
+    /// enable new indexes (§5 "Adding indexes") and clear dropped ones.
+    fn catch_up_metadata(&self, mut header: StoreHeader) -> Result<()> {
+        let has_records = self.has_any_record()?;
+        for index in self.metadata.indexes() {
+            if index.added_version > header.metadata_version {
+                if has_records {
+                    // Cannot build inline: reindexing may exceed the
+                    // transaction limit. Disabled until an online build.
+                    self.set_index_state(&index.name, IndexState::Disabled)?;
+                } else {
+                    self.set_index_state(&index.name, IndexState::Readable)?;
+                }
+            }
+        }
+        // Indexes with recorded state that are no longer in the metadata
+        // were dropped: clear their data cheaply with a range clear (§6).
+        let state_sub = self.subspace.child(INDEX_STATE);
+        let (begin, end) = state_sub.range();
+        for kv in self.tx.get_range(&begin, &end, RangeOptions::default())? {
+            let name_tuple = state_sub.unpack(&kv.key).map_err(Error::Fdb)?;
+            let name = name_tuple
+                .get(0)
+                .and_then(TupleElement::as_str)
+                .ok_or_else(|| Error::MetaData("corrupt index state key".into()))?;
+            if self.metadata.index(name).is_err() {
+                let data_sub = self.subspace.child(INDEXES).child(name);
+                let (db, de) = data_sub.range_inclusive();
+                self.tx.clear_range(&db, &de);
+                let range_sub = self.subspace.child(INDEX_RANGES).child(name);
+                let (rb, re) = range_sub.range_inclusive();
+                self.tx.clear_range(&rb, &re);
+                self.tx.clear(&kv.key);
+            }
+        }
+        header.metadata_version = self.metadata.version();
+        self.write_header(header)
+    }
+
+    /// Whether the store holds at least one record.
+    pub fn has_any_record(&self) -> Result<bool> {
+        let (begin, end) = self.records_subspace().range();
+        Ok(!self
+            .tx
+            .get_range_snapshot(&begin, &end, RangeOptions::new().limit(1))?
+            .is_empty())
+    }
+
+    // ------------------------------------------------------- index states
+
+    pub fn index_state(&self, index_name: &str) -> Result<IndexState> {
+        self.metadata.index(index_name)?;
+        match self.tx.get(&self.index_state_key(index_name))? {
+            Some(bytes) if bytes.len() == 1 => IndexState::from_byte(bytes[0]),
+            Some(_) => Err(Error::MetaData("corrupt index state".into())),
+            None => Ok(IndexState::Readable),
+        }
+    }
+
+    pub fn set_index_state(&self, index_name: &str, state: IndexState) -> Result<()> {
+        self.tx.try_set(&self.index_state_key(index_name), &[state.to_byte()])?;
+        Ok(())
+    }
+
+    /// Require an index to be readable before scanning it.
+    pub fn require_readable(&self, index_name: &str) -> Result<&Index> {
+        let index = self.metadata.index(index_name)?;
+        let state = self.index_state(index_name)?;
+        if state != IndexState::Readable {
+            return Err(Error::IndexNotReadable {
+                index: index_name.to_string(),
+                state: state.name().to_string(),
+            });
+        }
+        Ok(index)
+    }
+
+    // ------------------------------------------------------------ records
+
+    /// Create an empty message of a registered record type.
+    pub fn new_record(&self, record_type: &str) -> Result<DynamicMessage> {
+        self.metadata.record_type(record_type)?;
+        let desc = self
+            .metadata
+            .pool()
+            .message(record_type)
+            .ok_or_else(|| Error::UnknownRecordType(record_type.to_string()))?;
+        Ok(DynamicMessage::new(desc))
+    }
+
+    /// Evaluate the primary key for a message per its record type.
+    pub fn primary_key_of(&self, message: &DynamicMessage) -> Result<Tuple> {
+        let rt = self.metadata.record_type(message.type_name())?;
+        let ctx = EvalContext::new(message, message.type_name());
+        rt.primary_key.evaluate_single(&ctx)
+    }
+
+    /// Save (insert or replace) a record, maintaining every applicable
+    /// index in the same transaction (§6).
+    pub fn save_record(&self, message: DynamicMessage) -> Result<StoredRecord> {
+        let record_type = message.type_name().to_string();
+        let primary_key = self.primary_key_of(&message)?;
+
+        let old = self.load_record(&primary_key)?;
+
+        let version = if self.metadata.store_record_versions {
+            Some(Versionstamp::incomplete(self.tx.next_user_version()))
+        } else {
+            None
+        };
+        let serialized = self.serialize_record(&record_type, &message)?;
+        let split_count = serialized.len().div_ceil(self.split_size).max(1);
+        let new = StoredRecord {
+            primary_key: primary_key.clone(),
+            record_type,
+            message,
+            version,
+            split_count,
+        };
+
+        self.update_indexes(old.as_ref(), Some(&new))?;
+
+        // Replace the old payload: a range clear is necessary since the old
+        // record may have been split across multiple keys (§6).
+        let rec_sub = self.records_subspace().subspace(&primary_key);
+        if old.is_some() {
+            let (begin, end) = rec_sub.range_inclusive();
+            self.tx.clear_range(&begin, &end);
+        }
+
+        // Write the new payload chunks.
+        if split_count == 1 {
+            self.tx.try_set(&rec_sub.pack(&Tuple::new().push(0i64)), &serialized)?;
+        } else {
+            if !self.metadata.split_long_records {
+                return Err(Error::RecordTooLarge { size: serialized.len() });
+            }
+            for (i, chunk) in serialized.chunks(self.split_size).enumerate() {
+                self.tx
+                    .try_set(&rec_sub.pack(&Tuple::new().push((i + 1) as i64)), chunk)?;
+            }
+        }
+
+        // Write the version split (-1) via a versionstamped value so the
+        // commit version is filled in by the database (§4, §7).
+        if self.metadata.store_record_versions {
+            let key = rec_sub.pack(&Tuple::new().push(-1i64));
+            let mut param = new.version.unwrap().as_bytes().to_vec();
+            param.extend_from_slice(&0u32.to_le_bytes());
+            self.tx.mutate(MutationType::SetVersionstampedValue, &key, &param)?;
+        }
+
+        Ok(new)
+    }
+
+    /// Load a record by primary key: one range read fetches the version
+    /// split and all payload chunks together (§4).
+    pub fn load_record(&self, primary_key: &Tuple) -> Result<Option<StoredRecord>> {
+        let rec_sub = self.records_subspace().subspace(primary_key);
+        let (begin, end) = rec_sub.range();
+        let kvs = self.tx.get_range(&begin, &end, RangeOptions::default())?;
+        self.assemble_record(primary_key, &kvs.iter().map(|kv| (kv.key.clone(), kv.value.clone())).collect::<Vec<_>>())
+    }
+
+    /// Reassemble a record from its (suffix-keyed) chunks.
+    fn assemble_record(
+        &self,
+        primary_key: &Tuple,
+        kvs: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<Option<StoredRecord>> {
+        if kvs.is_empty() {
+            return Ok(None);
+        }
+        let rec_sub = self.records_subspace().subspace(primary_key);
+        let mut version = None;
+        let mut payload = Vec::new();
+        let mut split_count = 0usize;
+        for (key, value) in kvs {
+            let suffix = rec_sub.unpack(key).map_err(Error::Fdb)?;
+            let idx = suffix
+                .get(0)
+                .and_then(TupleElement::as_int)
+                .ok_or_else(|| Error::Serialization("bad record split suffix".into()))?;
+            if idx == -1 {
+                version = Some(Versionstamp::try_from_slice(value).map_err(Error::Fdb)?);
+            } else {
+                payload.extend_from_slice(value);
+                split_count += 1;
+            }
+        }
+        if split_count == 0 {
+            // Only a version key survived — treat as missing (can happen
+            // transiently if a caller cleared payload keys directly).
+            return Ok(None);
+        }
+        let (record_type, message) = self.deserialize_record(&payload)?;
+        Ok(Some(StoredRecord {
+            primary_key: primary_key.clone(),
+            record_type,
+            message,
+            version,
+            split_count,
+        }))
+    }
+
+    /// Delete a record by primary key, maintaining indexes. Returns whether
+    /// a record existed.
+    pub fn delete_record(&self, primary_key: &Tuple) -> Result<bool> {
+        let Some(old) = self.load_record(primary_key)? else {
+            return Ok(false);
+        };
+        self.update_indexes(Some(&old), None)?;
+        let rec_sub = self.records_subspace().subspace(primary_key);
+        let (begin, end) = rec_sub.range_inclusive();
+        self.tx.clear_range(&begin, &end);
+        Ok(true)
+    }
+
+    /// Delete every record and all index data, keeping the store header —
+    /// a cheap range clear thanks to the contiguous layout (§3).
+    pub fn delete_all_records(&self) -> Result<()> {
+        for sub in [
+            self.records_subspace(),
+            self.subspace.child(INDEXES),
+            self.subspace.child(INDEX_RANGES),
+        ] {
+            let (begin, end) = sub.range_inclusive();
+            self.tx.clear_range(&begin, &end);
+        }
+        Ok(())
+    }
+
+    /// The commit version of a record's last modification, if stored.
+    pub fn load_record_version(&self, primary_key: &Tuple) -> Result<Option<Versionstamp>> {
+        let key = self
+            .records_subspace()
+            .subspace(primary_key)
+            .pack(&Tuple::new().push(-1i64));
+        match self.tx.get(&key)? {
+            Some(v) => Ok(Some(Versionstamp::try_from_slice(&v).map_err(Error::Fdb)?)),
+            None => Ok(None),
+        }
+    }
+
+    // ----------------------------------------------------------- indexing
+
+    /// Run every applicable maintainer for a record change.
+    fn update_indexes(
+        &self,
+        old: Option<&StoredRecord>,
+        new: Option<&StoredRecord>,
+    ) -> Result<()> {
+        for index in self.metadata.indexes() {
+            let state = self.index_state(&index.name)?;
+            if !state.is_maintained() {
+                continue;
+            }
+            let old_in = old.filter(|o| index.applies_to(&o.record_type));
+            let new_in = new.filter(|n| index.applies_to(&n.record_type));
+            if old_in.is_none() && new_in.is_none() {
+                continue;
+            }
+            let ctx = IndexContext {
+                tx: self.tx,
+                index,
+                subspace: self.index_subspace(index),
+                metadata: self.metadata,
+            };
+            self.registry.maintainer(index)?.update(&ctx, old_in, new_in)?;
+        }
+        Ok(())
+    }
+
+    /// Re-apply one index's maintainer for a single record (used by the
+    /// online index builder).
+    pub fn update_one_index(&self, index: &Index, record: &StoredRecord) -> Result<()> {
+        let ctx = IndexContext {
+            tx: self.tx,
+            index,
+            subspace: self.index_subspace(index),
+            metadata: self.metadata,
+        };
+        self.registry.maintainer(index)?.update(&ctx, None, Some(record))
+    }
+
+    /// Clear one index's data (before a rebuild).
+    pub fn clear_index_data(&self, index: &Index) -> Result<()> {
+        let data = self.index_subspace(index);
+        let (begin, end) = data.range_inclusive();
+        self.tx.clear_range(&begin, &end);
+        let ranges = self.index_range_subspace(index);
+        let (begin, end) = ranges.range_inclusive();
+        self.tx.clear_range(&begin, &end);
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- scans
+
+    /// Scan records by primary-key range, streaming with continuations.
+    pub fn scan_records(
+        &self,
+        range: &TupleRange,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<RecordScanCursor<'a>> {
+        RecordScanCursor::new(self, range, false, continuation, props)
+    }
+
+    /// Reverse-order record scan.
+    pub fn scan_records_reverse(
+        &self,
+        range: &TupleRange,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<RecordScanCursor<'a>> {
+        RecordScanCursor::new(self, range, true, continuation, props)
+    }
+
+    /// Scan a VALUE-shaped index (VALUE or VERSION) by entry-key range.
+    pub fn scan_index(
+        &self,
+        index_name: &str,
+        range: &TupleRange,
+        continuation: &Continuation,
+        reverse: bool,
+        props: &ExecuteProperties,
+    ) -> Result<IndexScanCursor<'a>> {
+        let index = self.require_readable(index_name)?;
+        IndexScanCursor::new(self, index, range, reverse, continuation, props)
+    }
+
+    /// Scan an index without the readability check (for maintenance tools).
+    pub fn scan_index_unchecked(
+        &self,
+        index_name: &str,
+        range: &TupleRange,
+        continuation: &Continuation,
+        reverse: bool,
+        props: &ExecuteProperties,
+    ) -> Result<IndexScanCursor<'a>> {
+        let index = self.metadata.index(index_name)?;
+        IndexScanCursor::new(self, index, range, reverse, continuation, props)
+    }
+
+    // --------------------------------------------------------- aggregates
+
+    /// Read an atomic aggregate index's value for a group (§7). COUNT/SUM
+    /// variants return integers; MIN/MAX_EVER return the stored tuple.
+    pub fn evaluate_aggregate(&self, index_name: &str, group: &Tuple) -> Result<AggregateValue> {
+        let index = self.require_readable(index_name)?;
+        crate::index::atomic::evaluate(self.tx, index, &self.index_subspace(index), group)
+    }
+
+    // ------------------------------------------------------ serialization
+
+    fn serialize_record(&self, record_type: &str, message: &DynamicMessage) -> Result<Vec<u8>> {
+        // The payload records its type so interleaved records of different
+        // types can be told apart on read (§4 single extent).
+        let wire = message.encode();
+        let tagged = Tuple::new().push(record_type).push(wire).pack();
+        self.serializer.serialize(&tagged)
+    }
+
+    fn deserialize_record(&self, payload: &[u8]) -> Result<(String, DynamicMessage)> {
+        let tagged = self.serializer.deserialize(payload)?;
+        let t = Tuple::unpack(&tagged).map_err(Error::Fdb)?;
+        let record_type = t
+            .get(0)
+            .and_then(TupleElement::as_str)
+            .ok_or_else(|| Error::Serialization("missing record type tag".into()))?
+            .to_string();
+        let wire = t
+            .get(1)
+            .and_then(TupleElement::as_bytes)
+            .ok_or_else(|| Error::Serialization("missing record payload".into()))?;
+        let desc = self
+            .metadata
+            .pool()
+            .message(&record_type)
+            .ok_or_else(|| Error::UnknownRecordType(record_type.clone()))?;
+        let message = DynamicMessage::decode(desc, self.metadata.pool(), wire)?;
+        Ok((record_type, message))
+    }
+}
+
+/// The result of [`RecordStore::evaluate_aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateValue {
+    /// COUNT/SUM-family result.
+    Long(i64),
+    /// MIN_EVER / MAX_EVER result: the extreme operand tuple.
+    Tuple(Tuple),
+    /// No records have contributed to this group.
+    Absent,
+}
+
+impl AggregateValue {
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            AggregateValue::Long(v) => Some(*v),
+            AggregateValue::Absent => Some(0),
+            AggregateValue::Tuple(_) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- cursors
+
+/// Streams whole records from the record extent, reassembling splits and
+/// producing a continuation at each record boundary.
+pub struct RecordScanCursor<'a> {
+    store: RecordStoreRef<'a>,
+    kv: KeyValueCursor<'a>,
+    records_subspace: Subspace,
+    /// Chunks accumulated for the record currently being assembled.
+    pending: Vec<(Vec<u8>, Vec<u8>)>,
+    pending_pk: Option<Tuple>,
+    last_emitted_pk: Option<Tuple>,
+    done: bool,
+}
+
+/// The pieces of `RecordStore` a cursor needs, owned so cursors are not tied
+/// to the store value's lifetime (only the transaction's).
+struct RecordStoreRef<'a> {
+    tx: &'a Transaction,
+    subspace: Subspace,
+    metadata: &'a RecordMetaData,
+    serializer: Arc<dyn RecordSerializer>,
+    registry: Arc<IndexRegistry>,
+    split_size: usize,
+}
+
+impl<'a> RecordStoreRef<'a> {
+    fn from(store: &RecordStore<'a>) -> Self {
+        RecordStoreRef {
+            tx: store.tx,
+            subspace: store.subspace.clone(),
+            metadata: store.metadata,
+            serializer: store.serializer.clone(),
+            registry: store.registry.clone(),
+            split_size: store.split_size,
+        }
+    }
+
+    fn as_store(&self) -> RecordStore<'a> {
+        RecordStore {
+            tx: self.tx,
+            subspace: self.subspace.clone(),
+            metadata: self.metadata,
+            serializer: self.serializer.clone(),
+            registry: self.registry.clone(),
+            split_size: self.split_size,
+        }
+    }
+}
+
+impl<'a> RecordScanCursor<'a> {
+    fn new(
+        store: &RecordStore<'a>,
+        range: &TupleRange,
+        reverse: bool,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<Self> {
+        let records_subspace = store.records_subspace();
+        let (mut begin, mut end) = range.to_byte_range(&records_subspace);
+        // Continuations are primary keys: resume strictly after (or before,
+        // in reverse) every key of that record.
+        let mut done = false;
+        match continuation {
+            Continuation::Start => {}
+            Continuation::End => done = true,
+            Continuation::At(pk_bytes) => {
+                let pk = Tuple::unpack(pk_bytes)
+                    .map_err(|e| Error::InvalidContinuation(format!("bad record scan continuation: {e}")))?;
+                let pk_prefix = records_subspace.pack(&pk);
+                if reverse {
+                    end = pk_prefix;
+                } else {
+                    let mut b = pk_prefix;
+                    b.push(0xFF);
+                    begin = b;
+                }
+            }
+        }
+        let kv = KeyValueCursor::new(
+            store.tx,
+            begin,
+            end,
+            reverse,
+            props.snapshot,
+            props.limiter(),
+            &Continuation::Start,
+        )?;
+        Ok(RecordScanCursor {
+            store: RecordStoreRef::from(store),
+            kv,
+            records_subspace,
+            pending: Vec::new(),
+            pending_pk: None,
+            last_emitted_pk: None,
+            done,
+        })
+    }
+
+    fn continuation(&self) -> Continuation {
+        match &self.last_emitted_pk {
+            Some(pk) => Continuation::At(pk.pack()),
+            None => Continuation::Start,
+        }
+    }
+
+    /// Primary key of a raw record key (strips the trailing split suffix).
+    fn pk_of(&self, key: &[u8]) -> Result<Tuple> {
+        let t = self.records_subspace.unpack(key).map_err(Error::Fdb)?;
+        Ok(t.prefix(t.len().saturating_sub(1)))
+    }
+
+    fn assemble_pending(&mut self) -> Result<Option<StoredRecord>> {
+        let Some(pk) = self.pending_pk.take() else {
+            return Ok(None);
+        };
+        let mut chunks = std::mem::take(&mut self.pending);
+        // Reverse scans deliver chunks in descending suffix order.
+        chunks.sort_by(|a, b| a.0.cmp(&b.0));
+        let store = self.store.as_store();
+        store.assemble_record(&pk, &chunks)
+    }
+}
+
+impl RecordCursor for RecordScanCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        if self.done {
+            return Ok(CursorResult::NoNext {
+                reason: NoNextReason::SourceExhausted,
+                continuation: Continuation::End,
+            });
+        }
+        loop {
+            match self.kv.next()? {
+                CursorResult::Next { value: kv, .. } => {
+                    let pk = self.pk_of(&kv.key)?;
+                    if self.pending_pk.as_ref() == Some(&pk) || self.pending_pk.is_none() {
+                        self.pending_pk = Some(pk);
+                        self.pending.push((kv.key, kv.value));
+                    } else {
+                        // New record began: emit the assembled previous one.
+                        let record = self.assemble_pending()?;
+                        self.pending_pk = Some(pk);
+                        self.pending.push((kv.key, kv.value));
+                        if let Some(record) = record {
+                            self.last_emitted_pk = Some(record.primary_key.clone());
+                            return Ok(CursorResult::Next {
+                                value: record,
+                                continuation: self.continuation(),
+                            });
+                        }
+                    }
+                }
+                CursorResult::NoNext { reason: NoNextReason::SourceExhausted, .. } => {
+                    self.done = true;
+                    if let Some(record) = self.assemble_pending()? {
+                        self.last_emitted_pk = Some(record.primary_key.clone());
+                        return Ok(CursorResult::Next {
+                            value: record,
+                            continuation: self.continuation(),
+                        });
+                    }
+                    return Ok(CursorResult::NoNext {
+                        reason: NoNextReason::SourceExhausted,
+                        continuation: Continuation::End,
+                    });
+                }
+                CursorResult::NoNext { reason, .. } => {
+                    // Out-of-band stop: do not emit a partially-read record;
+                    // resume from the last complete boundary.
+                    self.done = true;
+                    return Ok(CursorResult::NoNext { reason, continuation: self.continuation() });
+                }
+            }
+        }
+    }
+}
+
+/// Streams [`IndexEntry`] values from a VALUE-shaped index subspace.
+pub struct IndexScanCursor<'a> {
+    kv: KeyValueCursor<'a>,
+    subspace: Subspace,
+    key_columns: usize,
+    done: bool,
+    last_key: Option<Vec<u8>>,
+}
+
+impl<'a> IndexScanCursor<'a> {
+    fn new(
+        store: &RecordStore<'a>,
+        index: &Index,
+        range: &TupleRange,
+        reverse: bool,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<Self> {
+        let subspace = store.index_subspace(index);
+        let (mut begin, mut end) = range.to_byte_range(&subspace);
+        let mut done = false;
+        match continuation {
+            Continuation::Start => {}
+            Continuation::End => done = true,
+            Continuation::At(last) => {
+                if reverse {
+                    end = last.clone();
+                } else {
+                    begin = rl_fdb::key_after(last);
+                }
+            }
+        }
+        let kv = KeyValueCursor::new(
+            store.tx,
+            begin,
+            end,
+            reverse,
+            props.snapshot,
+            props.limiter(),
+            &Continuation::Start,
+        )?;
+        Ok(IndexScanCursor {
+            kv,
+            subspace,
+            key_columns: index.key_expression.key_column_count(),
+            done,
+            last_key: None,
+        })
+    }
+
+    fn continuation(&self) -> Continuation {
+        match &self.last_key {
+            Some(k) => Continuation::At(k.clone()),
+            None => Continuation::Start,
+        }
+    }
+}
+
+impl RecordCursor for IndexScanCursor<'_> {
+    type Item = IndexEntry;
+
+    fn next(&mut self) -> Result<CursorResult<IndexEntry>> {
+        if self.done {
+            return Ok(CursorResult::NoNext {
+                reason: NoNextReason::SourceExhausted,
+                continuation: Continuation::End,
+            });
+        }
+        match self.kv.next()? {
+            CursorResult::Next { value: kv, .. } => {
+                let t = self.subspace.unpack(&kv.key).map_err(Error::Fdb)?;
+                let key = t.prefix(self.key_columns);
+                let primary_key = t.suffix(self.key_columns);
+                let value = if kv.value.is_empty() {
+                    Tuple::new()
+                } else {
+                    Tuple::unpack(&kv.value).map_err(Error::Fdb)?
+                };
+                self.last_key = Some(kv.key);
+                Ok(CursorResult::Next {
+                    value: IndexEntry { key, value, primary_key },
+                    continuation: self.continuation(),
+                })
+            }
+            CursorResult::NoNext { reason, .. } => {
+                if reason == NoNextReason::SourceExhausted {
+                    self.done = true;
+                    Ok(CursorResult::NoNext { reason, continuation: Continuation::End })
+                } else {
+                    Ok(CursorResult::NoNext { reason, continuation: self.continuation() })
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! The database: commit pipeline, conflict detection, MVCC window
+//! management, logical clock, and read-version caching.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::atomic;
+use crate::error::{Error, Result};
+use crate::metrics::{Metrics, SharedMetrics};
+use crate::storage::VersionedStore;
+use crate::transaction::{Command, Transaction};
+
+/// FoundationDB's documented key size limit (10 kB).
+pub const KEY_SIZE_LIMIT: usize = 10_000;
+/// FoundationDB's documented value size limit (100 kB).
+pub const VALUE_SIZE_LIMIT: usize = 100_000;
+/// FoundationDB's documented transaction size limit (10 MB).
+pub const TRANSACTION_SIZE_LIMIT: usize = 10_000_000;
+/// The 5-second transaction time limit, in (logical) milliseconds.
+pub const TRANSACTION_TIME_LIMIT_MS: u64 = 5_000;
+/// FoundationDB advances ~1,000,000 versions per second of wall time.
+pub const VERSIONS_PER_MS: u64 = 1_000;
+
+/// Tunable limits; defaults match FoundationDB's production limits.
+#[derive(Debug, Clone)]
+pub struct DatabaseOptions {
+    pub transaction_size_limit: usize,
+    pub transaction_time_limit_ms: u64,
+    /// How many versions of history the resolvers keep for conflict
+    /// checking, and the storage keeps for MVCC reads (5 logical seconds).
+    pub mvcc_window_versions: u64,
+    /// Compact shadowed MVCC versions every N commits.
+    pub compaction_interval: u64,
+}
+
+impl Default for DatabaseOptions {
+    fn default() -> Self {
+        DatabaseOptions {
+            transaction_size_limit: TRANSACTION_SIZE_LIMIT,
+            transaction_time_limit_ms: TRANSACTION_TIME_LIMIT_MS,
+            mvcc_window_versions: 5_000 * VERSIONS_PER_MS,
+            compaction_interval: 256,
+        }
+    }
+}
+
+/// One entry in the conflict-detection window: the write conflict ranges of
+/// a committed transaction, recorded under its commit version.
+#[derive(Debug)]
+struct CommittedWrites {
+    version: u64,
+    ranges: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    store: VersionedStore,
+    window: VecDeque<CommittedWrites>,
+    last_commit_version: u64,
+    /// Read versions below this fail with `transaction_too_old`.
+    oldest_version: u64,
+    commits_since_compaction: u64,
+}
+
+/// Handle to a simulated FoundationDB cluster. Clone freely; all clones
+/// share state. Safe to use from multiple threads: reads are lock-brief,
+/// commits serialize on the inner lock exactly as FDB's resolver serializes
+/// validation.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<Mutex<Inner>>,
+    options: Arc<DatabaseOptions>,
+    clock_ms: Arc<AtomicU64>,
+    metrics: SharedMetrics,
+    grv_calls: Arc<AtomicU64>,
+}
+
+impl Database {
+    /// A fresh, empty database with production-default limits.
+    pub fn new() -> Self {
+        Database::with_options(DatabaseOptions::default())
+    }
+
+    pub fn with_options(options: DatabaseOptions) -> Self {
+        Database {
+            inner: Arc::new(Mutex::new(Inner {
+                store: VersionedStore::new(),
+                window: VecDeque::new(),
+                last_commit_version: 0,
+                oldest_version: 0,
+                commits_since_compaction: 0,
+            })),
+            options: Arc::new(options),
+            clock_ms: Arc::new(AtomicU64::new(0)),
+            metrics: Metrics::new_shared(),
+            grv_calls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn options(&self) -> &DatabaseOptions {
+        &self.options
+    }
+
+    pub fn metrics(&self) -> &SharedMetrics {
+        &self.metrics
+    }
+
+    /// Number of `getReadVersion` round-trips issued so far. The paper's
+    /// read-version caching (§4) exists to avoid these.
+    pub fn grv_call_count(&self) -> u64 {
+        self.grv_calls.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------- logical clock
+
+    /// Current logical time in milliseconds. Time passes only when
+    /// [`advance_clock`](Self::advance_clock) is called, keeping the
+    /// simulation deterministic.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms.load(Ordering::Relaxed)
+    }
+
+    /// Advance logical time; commit versions track the clock so that the
+    /// MVCC window expires old read versions as real FDB would.
+    pub fn advance_clock(&self, ms: u64) {
+        self.clock_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------- transactions
+
+    /// Perform a `getReadVersion` (GRV): the latest commit version.
+    pub fn get_read_version(&self) -> u64 {
+        self.grv_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().last_commit_version
+    }
+
+    /// Begin a transaction at the latest read version.
+    pub fn create_transaction(&self) -> Transaction {
+        let rv = self.get_read_version();
+        Transaction::new(self.clone(), rv, self.clock_ms())
+    }
+
+    /// Begin a transaction at a caller-supplied read version (used by the
+    /// Record Layer's read-version cache). Fails with `FutureVersion` if the
+    /// version has not been committed yet, or `TransactionTooOld` if it has
+    /// fallen out of the MVCC window.
+    pub fn create_transaction_at(&self, read_version: u64) -> Result<Transaction> {
+        let inner = self.inner.lock();
+        if read_version > inner.last_commit_version {
+            return Err(Error::FutureVersion);
+        }
+        if read_version < inner.oldest_version {
+            return Err(Error::TransactionTooOld);
+        }
+        drop(inner);
+        Ok(Transaction::new(self.clone(), read_version, self.clock_ms()))
+    }
+
+    /// Retry loop, like the bindings' `Database::run`: runs `f` in a fresh
+    /// transaction, commits, and retries on retryable errors (conflicts,
+    /// transaction-too-old), up to `max_retries`.
+    pub fn run<T>(&self, mut f: impl FnMut(&Transaction) -> Result<T>) -> Result<T> {
+        const MAX_RETRIES: usize = 64;
+        let mut last_err = Error::NotCommitted;
+        for _ in 0..MAX_RETRIES {
+            let tx = self.create_transaction();
+            match f(&tx).and_then(|out| tx.commit().map(|()| out)) {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_retryable() => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    // -------------------------------------------------------- storage access
+    // (crate-internal: used by Transaction for snapshot reads)
+
+    pub(crate) fn storage_get(&self, key: &[u8], read_version: u64) -> Result<Option<Vec<u8>>> {
+        let inner = self.inner.lock();
+        if read_version < inner.oldest_version {
+            return Err(Error::TransactionTooOld);
+        }
+        Ok(inner.store.get(key, read_version))
+    }
+
+    pub(crate) fn storage_range(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        read_version: u64,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        if read_version < inner.oldest_version {
+            return Err(Error::TransactionTooOld);
+        }
+        Ok(inner.store.range(begin, end, read_version, false))
+    }
+
+    // --------------------------------------------------------------- commit
+
+    /// Validate a transaction's read conflict ranges against the window of
+    /// recently committed writes, then apply its command log at a fresh
+    /// commit version. This is the resolver + proxy pipeline of FDB,
+    /// collapsed into one critical section.
+    pub(crate) fn commit_internal(
+        &self,
+        read_version: u64,
+        read_conflicts: &[(Vec<u8>, Vec<u8>)],
+        write_conflicts: &[(Vec<u8>, Vec<u8>)],
+        commands: &[Command],
+    ) -> Result<u64> {
+        let mut inner = self.inner.lock();
+
+        if read_version < inner.oldest_version {
+            self.metrics.record_commit(false, false);
+            return Err(Error::TransactionTooOld);
+        }
+
+        // Conflict detection: any committed write range newer than our read
+        // version that intersects any of our read ranges aborts us.
+        for committed in inner.window.iter().rev() {
+            if committed.version <= read_version {
+                break; // window is ordered by version
+            }
+            for (wa, wb) in &committed.ranges {
+                for (ra, rb) in read_conflicts {
+                    if ranges_intersect(ra, rb, wa, wb) {
+                        self.metrics.record_commit(false, true);
+                        return Err(Error::NotCommitted);
+                    }
+                }
+            }
+        }
+
+        // Assign the commit version: strictly increasing, and at least the
+        // clock-implied version so that versions track logical time.
+        let clock_version = self.clock_ms() * VERSIONS_PER_MS;
+        let version = (inner.last_commit_version + 1).max(clock_version);
+        let tr_version = {
+            let mut v = [0u8; 10];
+            v[0..8].copy_from_slice(&version.to_be_bytes());
+            v // batch order 0: every commit gets its own version here
+        };
+
+        // Apply the command log in program order.
+        let mut keys_written = 0u64;
+        let mut bytes_written = 0u64;
+        for cmd in commands {
+            match cmd {
+                Command::Set { key, value } => {
+                    keys_written += 1;
+                    bytes_written += (key.len() + value.len()) as u64;
+                    inner.store.write(key.clone(), Some(value.clone()), version);
+                }
+                Command::Clear { key } => {
+                    inner.store.write(key.clone(), None, version);
+                }
+                Command::ClearRange { begin, end } => {
+                    inner.store.clear_range(begin, end, version);
+                }
+                Command::Atomic { key, op, param } => {
+                    let current = inner.store.get(key, version);
+                    let new = atomic::apply(*op, current.as_deref(), param)?;
+                    keys_written += 1;
+                    bytes_written +=
+                        (key.len() + new.as_ref().map_or(0, Vec::len)) as u64;
+                    inner.store.write(key.clone(), new, version);
+                }
+                Command::VersionstampedKey { key_payload, offset, value } => {
+                    let mut key = key_payload.clone();
+                    atomic::fill_versionstamp(&mut key, *offset, &tr_version);
+                    keys_written += 1;
+                    bytes_written += (key.len() + value.len()) as u64;
+                    inner.store.write(key, Some(value.clone()), version);
+                }
+                Command::VersionstampedValue { key, value_payload, offset } => {
+                    let mut value = value_payload.clone();
+                    atomic::fill_versionstamp(&mut value, *offset, &tr_version);
+                    keys_written += 1;
+                    bytes_written += (key.len() + value.len()) as u64;
+                    inner.store.write(key.clone(), Some(value), version);
+                }
+            }
+        }
+
+        // Record our write conflict ranges for future validations.
+        if !write_conflicts.is_empty() {
+            inner.window.push_back(CommittedWrites {
+                version,
+                ranges: write_conflicts.to_vec(),
+            });
+        }
+        inner.last_commit_version = version;
+
+        // Expire the window and (periodically) compact MVCC history.
+        let horizon = version.saturating_sub(self.options.mvcc_window_versions);
+        inner.oldest_version = inner.oldest_version.max(horizon);
+        while inner
+            .window
+            .front()
+            .is_some_and(|c| c.version < horizon)
+        {
+            inner.window.pop_front();
+        }
+        inner.commits_since_compaction += 1;
+        if inner.commits_since_compaction >= self.options.compaction_interval {
+            inner.commits_since_compaction = 0;
+            let oldest = inner.oldest_version;
+            inner.store.compact(oldest);
+        }
+
+        self.metrics.add_keys_written(keys_written, bytes_written);
+        self.metrics.record_commit(true, false);
+        Ok(version)
+    }
+
+    /// Diagnostic: number of live keys at the latest version.
+    pub fn live_key_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.store.live_key_count(inner.last_commit_version)
+    }
+
+    /// Diagnostic: latest commit version without counting as a GRV call.
+    pub fn last_commit_version(&self) -> u64 {
+        self.inner.lock().last_commit_version
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Database")
+            .field("last_commit_version", &inner.last_commit_version)
+            .field("oldest_version", &inner.oldest_version)
+            .field("window_len", &inner.window.len())
+            .finish()
+    }
+}
+
+/// Half-open interval intersection.
+fn ranges_intersect(a1: &[u8], a2: &[u8], b1: &[u8], b2: &[u8]) -> bool {
+    a1 < b2 && b1 < a2
+}
+
+/// Client-side read-version cache (§4: "Read version caching optimizes
+/// getReadVersion further by completely avoiding communication with
+/// FoundationDB if a read version was recently fetched").
+#[derive(Debug, Default)]
+pub struct ReadVersionCache {
+    state: Mutex<Option<(u64, u64)>>, // (version, fetched_at_ms)
+}
+
+impl ReadVersionCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a transaction, reusing a cached read version when it is no
+    /// older than `max_staleness_ms` and at least `min_version` (the last
+    /// version previously observed by this client, so the client never goes
+    /// backwards in time).
+    pub fn create_transaction(
+        &self,
+        db: &Database,
+        max_staleness_ms: u64,
+        min_version: u64,
+    ) -> Result<Transaction> {
+        let now = db.clock_ms();
+        let cached = *self.state.lock();
+        if let Some((version, fetched_at)) = cached {
+            if now.saturating_sub(fetched_at) <= max_staleness_ms && version >= min_version {
+                return db.create_transaction_at(version);
+            }
+        }
+        let version = db.get_read_version();
+        *self.state.lock() = Some((version, now));
+        db.create_transaction_at(version)
+    }
+
+    /// Record a version observed via some other channel (e.g. a commit),
+    /// refreshing the cache for free.
+    pub fn observe(&self, db: &Database, version: u64) {
+        let now = db.clock_ms();
+        let mut st = self.state.lock();
+        if st.map_or(true, |(v, _)| version >= v) {
+            *st = Some((version, now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::MutationType;
+    use crate::range::RangeOptions;
+
+    #[test]
+    fn basic_set_get_across_transactions() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+        let tx = db.create_transaction();
+        assert_eq!(tx.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn snapshot_isolation_between_transactions() {
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        // Concurrent commit after t1's read version.
+        let t2 = db.create_transaction();
+        t2.set(b"k", b"v2");
+        t2.commit().unwrap();
+        // t1 still reads its snapshot (empty).
+        assert_eq!(t1.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn write_write_no_conflict_without_read() {
+        // Blind writes never conflict: only read-write conflicts abort.
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        t1.set(b"k", b"1");
+        t2.set(b"k", b"2");
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        let tx = db.create_transaction();
+        assert_eq!(tx.get(b"k").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn read_write_conflict_aborts() {
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        // t1 reads k, t2 writes k and commits first.
+        assert_eq!(t1.get(b"k").unwrap(), None);
+        t2.set(b"k", b"v");
+        t2.commit().unwrap();
+        t1.set(b"other", b"x");
+        assert_eq!(t1.commit(), Err(Error::NotCommitted));
+    }
+
+    #[test]
+    fn snapshot_read_does_not_conflict() {
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        assert_eq!(t1.get_snapshot(b"k").unwrap(), None);
+        t2.set(b"k", b"v");
+        t2.commit().unwrap();
+        t1.set(b"other", b"x");
+        t1.commit().unwrap(); // no conflict: the read was at snapshot level
+    }
+
+    #[test]
+    fn atomic_adds_do_not_conflict() {
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        t1.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes()).unwrap();
+        t2.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes()).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap(); // would abort if ADD created a read conflict
+        let tx = db.create_transaction();
+        let v = tx.get(b"ctr").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn read_modify_write_conflicts_where_atomic_would_not() {
+        // The contrast that motivates atomic-mutation indexes (§7).
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        let read = |t: &Transaction| {
+            t.get(b"ctr").unwrap().map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()))
+        };
+        let v1 = read(&t1);
+        let v2 = read(&t2);
+        t1.set(b"ctr", &(v1 + 1).to_le_bytes());
+        t2.set(b"ctr", &(v2 + 1).to_le_bytes());
+        t1.commit().unwrap();
+        assert_eq!(t2.commit(), Err(Error::NotCommitted));
+    }
+
+    #[test]
+    fn range_conflict_detected() {
+        let db = Database::new();
+        let t1 = db.create_transaction();
+        let t2 = db.create_transaction();
+        let _ = t1.get_range(b"a", b"z", RangeOptions::default()).unwrap();
+        t2.set(b"m", b"v");
+        t2.commit().unwrap();
+        t1.set(b"zz", b"x");
+        assert_eq!(t1.commit(), Err(Error::NotCommitted));
+    }
+
+    #[test]
+    fn commit_conflict_only_with_newer_writes() {
+        let db = Database::new();
+        // Commit a write, then start a transaction that reads it: no
+        // conflict because the write predates the read version.
+        let t = db.create_transaction();
+        t.set(b"k", b"v");
+        t.commit().unwrap();
+        let t1 = db.create_transaction();
+        assert_eq!(t1.get(b"k").unwrap(), Some(b"v".to_vec()));
+        t1.set(b"k2", b"v2");
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn versionstamped_key_gets_commit_version() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        // key = prefix + 10-byte placeholder, offset suffix = 7.
+        let mut key = b"prefix-".to_vec();
+        key.extend_from_slice(&[0xFF; 10]);
+        key.extend_from_slice(&7u32.to_le_bytes());
+        tx.mutate(MutationType::SetVersionstampedKey, &key, b"val").unwrap();
+        tx.commit().unwrap();
+        let version = tx.committed_version().unwrap();
+
+        let tx = db.create_transaction();
+        let kvs = tx.get_range(b"prefix-", b"prefix.", RangeOptions::default()).unwrap();
+        assert_eq!(kvs.len(), 1);
+        let stamped = &kvs[0].key[7..15];
+        assert_eq!(u64::from_be_bytes(stamped.try_into().unwrap()), version);
+        assert_eq!(kvs[0].value, b"val");
+    }
+
+    #[test]
+    fn versionstamped_value_gets_commit_version() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        let mut param = vec![0xFF; 10];
+        param.extend_from_slice(b"-suffix");
+        param.extend_from_slice(&0u32.to_le_bytes());
+        tx.mutate(MutationType::SetVersionstampedValue, b"k", &param).unwrap();
+        tx.commit().unwrap();
+        let version = tx.committed_version().unwrap();
+
+        let tx = db.create_transaction();
+        let v = tx.get(b"k").unwrap().unwrap();
+        assert_eq!(u64::from_be_bytes(v[0..8].try_into().unwrap()), version);
+        assert_eq!(&v[10..], b"-suffix");
+    }
+
+    #[test]
+    fn commit_versions_strictly_increase() {
+        let db = Database::new();
+        let mut last = 0;
+        for i in 0..10u32 {
+            let tx = db.create_transaction();
+            tx.set(format!("k{i}").as_bytes(), b"v");
+            tx.commit().unwrap();
+            let v = tx.committed_version().unwrap();
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn clock_drives_versions_and_expiry() {
+        let mut opts = DatabaseOptions::default();
+        opts.mvcc_window_versions = 5_000 * VERSIONS_PER_MS;
+        let db = Database::with_options(opts);
+
+        let t_old = db.create_transaction();
+        db.advance_clock(10_000); // 10 logical seconds pass
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+        // The old transaction's read version predates the window now.
+        assert_eq!(t_old.get(b"k"), Err(Error::TransactionTooOld));
+    }
+
+    #[test]
+    fn transaction_time_limit_enforced() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        db.advance_clock(6_000);
+        assert_eq!(tx.commit(), Err(Error::TransactionTooOld));
+    }
+
+    #[test]
+    fn transaction_size_limit_enforced() {
+        let mut opts = DatabaseOptions::default();
+        opts.transaction_size_limit = 1_000;
+        let db = Database::with_options(opts);
+        let tx = db.create_transaction();
+        for i in 0..20u32 {
+            tx.set(format!("key-{i}").as_bytes(), &[0u8; 64]);
+        }
+        assert!(matches!(tx.commit(), Err(Error::TransactionTooLarge { .. })));
+    }
+
+    #[test]
+    fn run_retries_conflicts() {
+        let db = Database::new();
+        let attempts = std::cell::Cell::new(0);
+        db.run(|tx| {
+            attempts.set(attempts.get() + 1);
+            let _ = tx.get(b"contended")?;
+            if attempts.get() == 1 {
+                // Simulate an interleaved writer on the first attempt.
+                let other = db.create_transaction();
+                other.set(b"contended", b"x");
+                other.commit().unwrap();
+            }
+            tx.set(b"contended", b"mine");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(attempts.get(), 2);
+    }
+
+    #[test]
+    fn read_version_cache_avoids_grv() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+
+        let cache = ReadVersionCache::new();
+        let before = db.grv_call_count();
+        let t1 = cache.create_transaction(&db, 1_000, 0).unwrap();
+        let t2 = cache.create_transaction(&db, 1_000, 0).unwrap();
+        assert_eq!(db.grv_call_count(), before + 1); // second reused cache
+        assert_eq!(t1.read_version(), t2.read_version());
+
+        // Stale cache refreshes after the staleness bound.
+        db.advance_clock(2_000);
+        let _t3 = cache.create_transaction(&db, 1_000, 0).unwrap();
+        assert_eq!(db.grv_call_count(), before + 2);
+    }
+
+    #[test]
+    fn read_version_cache_respects_min_version() {
+        let db = Database::new();
+        let cache = ReadVersionCache::new();
+        let _ = cache.create_transaction(&db, 10_000, 0).unwrap();
+        // Commit something; a client that observed that commit insists on
+        // reading at least that version.
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+        let min = tx.committed_version().unwrap();
+        let t = cache.create_transaction(&db, 10_000, min).unwrap();
+        assert!(t.read_version() >= min);
+        assert_eq!(t.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_commits_from_threads() {
+        let db = Database::new();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        db.run(|tx| {
+                            tx.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes())?;
+                            tx.set(format!("t{i}-{j}").as_bytes(), b"v");
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let tx = db.create_transaction();
+        let v = tx.get(b"ctr").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 400);
+    }
+}

@@ -1,0 +1,339 @@
+//! The directory layer: maps long-but-meaningful path names to short
+//! integer prefixes (§2 of the paper), using a sliding-window
+//! high-contention allocator so concurrent transactions can allocate unique
+//! small integers without conflicting on a single counter key.
+
+use crate::error::{Error, Result};
+use crate::subspace::Subspace;
+use crate::transaction::Transaction;
+use crate::tuple::{Tuple, TupleElement};
+use crate::RangeOptions;
+
+/// Reserved prefix for directory-layer metadata, mirroring FDB's `\xFE`.
+const DIRECTORY_PREFIX: u8 = 0xFE;
+
+/// The directory layer handle. All state is stored in the database; the
+/// handle itself holds only the metadata subspaces.
+#[derive(Debug, Clone)]
+pub struct DirectoryLayer {
+    /// Path-to-prefix mappings: (node_subspace, path...) -> allocated id.
+    node_subspace: Subspace,
+    /// Allocator state: counters and candidate claims.
+    allocator: HighContentionAllocator,
+}
+
+impl Default for DirectoryLayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DirectoryLayer {
+    pub fn new() -> Self {
+        let root = Subspace::from_bytes(vec![DIRECTORY_PREFIX]);
+        DirectoryLayer {
+            node_subspace: root.child("nodes"),
+            allocator: HighContentionAllocator::new(root.child("alloc")),
+        }
+    }
+
+    fn path_key(&self, path: &[&str]) -> Vec<u8> {
+        let mut t = Tuple::new();
+        for p in path {
+            t.add(*p);
+        }
+        self.node_subspace.pack(&t)
+    }
+
+    /// Open the directory at `path`, creating it (and allocating a fresh
+    /// short prefix) if absent. Returns the subspace rooted at the
+    /// directory's allocated prefix.
+    pub fn create_or_open(&self, tx: &Transaction, path: &[&str]) -> Result<Subspace> {
+        if path.is_empty() {
+            return Err(Error::Directory("cannot open the root directory".into()));
+        }
+        let key = self.path_key(path);
+        if let Some(existing) = tx.get(&key)? {
+            let t = Tuple::unpack(&existing)?;
+            let id = t
+                .get(0)
+                .and_then(TupleElement::as_int)
+                .ok_or_else(|| Error::Directory("corrupt directory entry".into()))?;
+            return Ok(Subspace::from_tuple(&Tuple::new().push(id)));
+        }
+        let id = self.allocator.allocate(tx)?;
+        tx.try_set(&key, &Tuple::new().push(id).pack())?;
+        Ok(Subspace::from_tuple(&Tuple::new().push(id)))
+    }
+
+    /// Open an existing directory; error if it does not exist.
+    pub fn open(&self, tx: &Transaction, path: &[&str]) -> Result<Subspace> {
+        let key = self.path_key(path);
+        match tx.get(&key)? {
+            Some(existing) => {
+                let t = Tuple::unpack(&existing)?;
+                let id = t
+                    .get(0)
+                    .and_then(TupleElement::as_int)
+                    .ok_or_else(|| Error::Directory("corrupt directory entry".into()))?;
+                Ok(Subspace::from_tuple(&Tuple::new().push(id)))
+            }
+            None => Err(Error::Directory(format!("directory {path:?} does not exist"))),
+        }
+    }
+
+    /// Whether a directory exists at `path`.
+    pub fn exists(&self, tx: &Transaction, path: &[&str]) -> Result<bool> {
+        Ok(tx.get(&self.path_key(path))?.is_some())
+    }
+
+    /// List the immediate children of `path` (empty slice = root).
+    pub fn list(&self, tx: &Transaction, path: &[&str]) -> Result<Vec<String>> {
+        let mut t = Tuple::new();
+        for p in path {
+            t.add(*p);
+        }
+        let sub = self.node_subspace.subspace(&t);
+        let (begin, end) = sub.range();
+        let kvs = tx.get_range(&begin, &end, RangeOptions::default())?;
+        let mut out = Vec::new();
+        for kv in kvs {
+            let rest = sub.unpack(&kv.key)?;
+            // Only immediate children: one extra path element.
+            if rest.len() == 1 {
+                if let Some(name) = rest.get(0).and_then(TupleElement::as_str) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Remove the directory entry at `path`. The caller is responsible for
+    /// clearing the directory's contents (by prefix) first.
+    pub fn remove(&self, tx: &Transaction, path: &[&str]) -> Result<()> {
+        let key = self.path_key(path);
+        if tx.get(&key)?.is_none() {
+            return Err(Error::Directory(format!("directory {path:?} does not exist")));
+        }
+        tx.clear(&key);
+        Ok(())
+    }
+}
+
+/// The sliding-window allocator: returns unique integers while keeping
+/// allocated values small. Counts allocations per window with an atomic
+/// ADD (never a conflict), claims candidates with a snapshot-read + write
+/// conflict so two claimants of the same candidate cannot both commit, and
+/// advances the window as it fills.
+#[derive(Debug, Clone)]
+pub struct HighContentionAllocator {
+    counters: Subspace,
+    recent: Subspace,
+    window_size: i64,
+}
+
+impl HighContentionAllocator {
+    pub fn new(subspace: Subspace) -> Self {
+        HighContentionAllocator {
+            counters: subspace.child("c"),
+            recent: subspace.child("r"),
+            window_size: 64,
+        }
+    }
+
+    /// Allocate a unique integer, unique even across concurrently
+    /// committing transactions.
+    pub fn allocate(&self, tx: &Transaction) -> Result<i64> {
+        // Find the current window start: the largest counter key.
+        let (cbegin, cend) = self.counters.range();
+        let latest = tx.get_range_snapshot(&cbegin, &cend, RangeOptions::new().limit(1).reverse(true))?;
+        let mut window_start: i64 = match latest.first() {
+            Some(kv) => self
+                .counters
+                .unpack(&kv.key)?
+                .get(0)
+                .and_then(TupleElement::as_int)
+                .unwrap_or(0),
+            None => 0,
+        };
+
+        loop {
+            // Count this allocation in the window (atomic; conflict-free).
+            let counter_key = self.counters.pack(&Tuple::new().push(window_start));
+            tx.mutate(crate::atomic::MutationType::Add, &counter_key, &1u64.to_le_bytes())?;
+            let count = tx
+                .get_snapshot(&counter_key)?
+                .map(|v| {
+                    let mut buf = [0u8; 8];
+                    buf[..v.len().min(8)].copy_from_slice(&v[..v.len().min(8)]);
+                    u64::from_le_bytes(buf)
+                })
+                .unwrap_or(0);
+
+            if count as i64 > self.window_size {
+                // Window exhausted: advance and retire old window state.
+                let next = window_start + self.window_size;
+                let (rbegin, _) = self.recent.range();
+                let retire_end = self.recent.pack(&Tuple::new().push(next));
+                tx.clear_range(&rbegin, &retire_end);
+                window_start = next;
+                continue;
+            }
+
+            // Claim a candidate within the window. The snapshot read sees no
+            // conflict, but the write conflict on the candidate key ensures
+            // two transactions claiming the same candidate cannot both
+            // commit (the "distinguished key" pattern from §10.1).
+            let candidate = window_start + (count as i64 - 1).max(0) % self.window_size;
+            let candidate_key = self.recent.pack(&Tuple::new().push(candidate));
+            if tx.get_snapshot(&candidate_key)?.is_none() {
+                tx.try_set(&candidate_key, &[])?;
+                tx.add_read_conflict_key(&candidate_key);
+                return Ok(candidate);
+            }
+            // Candidate taken (e.g. by an earlier allocation in this same
+            // transaction); linear-probe within the window.
+            let mut probe = candidate + 1;
+            loop {
+                if probe >= window_start + self.window_size {
+                    window_start += self.window_size;
+                    break;
+                }
+                let probe_key = self.recent.pack(&Tuple::new().push(probe));
+                if tx.get_snapshot(&probe_key)?.is_none() {
+                    tx.try_set(&probe_key, &[])?;
+                    tx.add_read_conflict_key(&probe_key);
+                    return Ok(probe);
+                }
+                probe += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    #[test]
+    fn create_then_open_returns_same_prefix() {
+        let db = Database::new();
+        let dl = DirectoryLayer::new();
+        let first = db
+            .run(|tx| dl.create_or_open(tx, &["app", "users"]))
+            .unwrap();
+        let second = db.run(|tx| dl.open(tx, &["app", "users"])).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn distinct_paths_get_distinct_prefixes() {
+        let db = Database::new();
+        let dl = DirectoryLayer::new();
+        let a = db.run(|tx| dl.create_or_open(tx, &["a"])).unwrap();
+        let b = db.run(|tx| dl.create_or_open(tx, &["b"])).unwrap();
+        assert_ne!(a, b);
+        assert!(!a.contains(b.prefix()) && !b.contains(a.prefix()));
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        let db = Database::new();
+        let dl = DirectoryLayer::new();
+        let err = db.run(|tx| dl.open(tx, &["nope"])).unwrap_err();
+        assert!(matches!(err, Error::Directory(_)));
+    }
+
+    #[test]
+    fn exists_and_remove() {
+        let db = Database::new();
+        let dl = DirectoryLayer::new();
+        db.run(|tx| dl.create_or_open(tx, &["gone"])).unwrap();
+        assert!(db.run(|tx| dl.exists(tx, &["gone"])).unwrap());
+        db.run(|tx| dl.remove(tx, &["gone"])).unwrap();
+        assert!(!db.run(|tx| dl.exists(tx, &["gone"])).unwrap());
+    }
+
+    #[test]
+    fn list_immediate_children() {
+        let db = Database::new();
+        let dl = DirectoryLayer::new();
+        db.run(|tx| {
+            dl.create_or_open(tx, &["app", "x"])?;
+            dl.create_or_open(tx, &["app", "y"])?;
+            dl.create_or_open(tx, &["app", "y", "deep"])?;
+            Ok(())
+        })
+        .unwrap();
+        let children = db.run(|tx| dl.list(tx, &["app"])).unwrap();
+        assert_eq!(children, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn allocator_values_unique_within_transaction() {
+        let db = Database::new();
+        let alloc = HighContentionAllocator::new(Subspace::from_bytes(b"\xfeA".to_vec()));
+        let ids = db
+            .run(|tx| {
+                let mut out = Vec::new();
+                for _ in 0..100 {
+                    out.push(alloc.allocate(tx)?);
+                }
+                Ok(out)
+            })
+            .unwrap();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "allocator returned duplicates: {ids:?}");
+    }
+
+    #[test]
+    fn allocator_values_unique_across_transactions() {
+        let db = Database::new();
+        let alloc = HighContentionAllocator::new(Subspace::from_bytes(b"\xfeA".to_vec()));
+        let mut all = Vec::new();
+        for _ in 0..50 {
+            let id = db.run(|tx| alloc.allocate(tx)).unwrap();
+            all.push(id);
+        }
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn allocator_values_stay_small() {
+        let db = Database::new();
+        let alloc = HighContentionAllocator::new(Subspace::from_bytes(b"\xfeA".to_vec()));
+        for _ in 0..20 {
+            let id = db.run(|tx| alloc.allocate(tx)).unwrap();
+            assert!(id < 1024, "allocated id {id} unexpectedly large");
+        }
+    }
+
+    #[test]
+    fn concurrent_allocations_do_not_collide() {
+        let db = Database::new();
+        let alloc = HighContentionAllocator::new(Subspace::from_bytes(b"\xfeA".to_vec()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let db = db.clone();
+                let alloc = alloc.clone();
+                std::thread::spawn(move || {
+                    (0..25)
+                        .map(|_| db.run(|tx| alloc.allocate(tx)).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "concurrent allocator produced duplicates");
+    }
+}

@@ -1,0 +1,164 @@
+//! Key-level instrumentation counters.
+//!
+//! Section 8.2 of the paper reports the median number of FoundationDB keys
+//! read and written while executing common CloudKit operations (e.g. a
+//! query reads ≈38.3 keys of which ≈6.2 are overhead). These counters let
+//! the `overhead_stats` experiment reproduce that table: every transaction
+//! tallies its key reads/writes, and the database aggregates totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters describing database traffic at the key level.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Individual keys returned by point and range reads.
+    pub keys_read: AtomicU64,
+    /// Bytes of keys+values returned by reads.
+    pub bytes_read: AtomicU64,
+    /// Keys written (sets + atomic mutations) by committed transactions.
+    pub keys_written: AtomicU64,
+    /// Bytes of keys+values written by committed transactions.
+    pub bytes_written: AtomicU64,
+    /// Range-clear operations committed.
+    pub range_clears: AtomicU64,
+    /// Point/range read operations issued.
+    pub read_ops: AtomicU64,
+    /// Commit attempts.
+    pub commits_attempted: AtomicU64,
+    /// Commits that succeeded.
+    pub commits_succeeded: AtomicU64,
+    /// Commits rejected with a conflict (error 1020).
+    pub conflicts: AtomicU64,
+}
+
+/// Shared handle to a metrics block.
+pub type SharedMetrics = Arc<Metrics>;
+
+impl Metrics {
+    pub fn new_shared() -> SharedMetrics {
+        Arc::new(Metrics::default())
+    }
+
+    pub fn add_keys_read(&self, n: u64, bytes: u64) {
+        self.keys_read.fetch_add(n, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn add_read_op(&self) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_keys_written(&self, n: u64, bytes: u64) {
+        self.keys_written.fetch_add(n, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn add_range_clear(&self) {
+        self.range_clears.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_commit(&self, succeeded: bool, conflicted: bool) {
+        self.commits_attempted.fetch_add(1, Ordering::Relaxed);
+        if succeeded {
+            self.commits_succeeded.fetch_add(1, Ordering::Relaxed);
+        }
+        if conflicted {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            keys_read: self.keys_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            keys_written: self.keys_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            range_clears: self.range_clears.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            commits_attempted: self.commits_attempted.load(Ordering::Relaxed),
+            commits_succeeded: self.commits_succeeded.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.keys_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.keys_written.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.range_clears.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.commits_attempted.store(0, Ordering::Relaxed);
+        self.commits_succeeded.store(0, Ordering::Relaxed);
+        self.conflicts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub keys_read: u64,
+    pub bytes_read: u64,
+    pub keys_written: u64,
+    pub bytes_written: u64,
+    pub range_clears: u64,
+    pub read_ops: u64,
+    pub commits_attempted: u64,
+    pub commits_succeeded: u64,
+    pub conflicts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference between two snapshots (self - earlier).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            keys_read: self.keys_read - earlier.keys_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            keys_written: self.keys_written - earlier.keys_written,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            range_clears: self.range_clears - earlier.range_clears,
+            read_ops: self.read_ops - earlier.read_ops,
+            commits_attempted: self.commits_attempted - earlier.commits_attempted,
+            commits_succeeded: self.commits_succeeded - earlier.commits_succeeded,
+            conflicts: self.conflicts - earlier.conflicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::new_shared();
+        m.add_keys_read(3, 100);
+        m.add_keys_written(2, 50);
+        m.record_commit(true, false);
+        m.record_commit(false, true);
+        let s = m.snapshot();
+        assert_eq!(s.keys_read, 3);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(s.keys_written, 2);
+        assert_eq!(s.commits_attempted, 2);
+        assert_eq!(s.commits_succeeded, 1);
+        assert_eq!(s.conflicts, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let m = Metrics::new_shared();
+        m.add_keys_read(5, 10);
+        let a = m.snapshot();
+        m.add_keys_read(7, 20);
+        let b = m.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.keys_read, 7);
+        assert_eq!(d.bytes_read, 20);
+    }
+}

@@ -1,0 +1,76 @@
+//! Range-read options.
+
+/// Streaming modes, mirroring the FDB client. In this in-process simulator
+/// they influence only the default batch size reported per request, but the
+/// Record Layer's cursors set them, so the API surface is kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamingMode {
+    /// The client intends to iterate the whole range: large batches.
+    WantAll,
+    /// Batches sized for incremental iteration.
+    #[default]
+    Iterator,
+    /// Small batches, lowest latency to first result.
+    Small,
+    /// Medium batches.
+    Medium,
+    /// Large batches.
+    Large,
+    /// Transfer everything in one batch.
+    Serial,
+    /// Exactly `limit` rows are wanted.
+    Exact,
+}
+
+/// Options for a range read.
+#[derive(Debug, Clone, Default)]
+pub struct RangeOptions {
+    /// Maximum number of key-value pairs to return (0 = unlimited).
+    pub limit: usize,
+    /// Return results from the end of the range, in descending key order.
+    pub reverse: bool,
+    /// Streaming mode (affects batching hints only in the simulator).
+    pub mode: StreamingMode,
+}
+
+impl RangeOptions {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    pub fn reverse(mut self, reverse: bool) -> Self {
+        self.reverse = reverse;
+        self
+    }
+
+    pub fn mode(mut self, mode: StreamingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let o = RangeOptions::new().limit(7).reverse(true).mode(StreamingMode::WantAll);
+        assert_eq!(o.limit, 7);
+        assert!(o.reverse);
+        assert_eq!(o.mode, StreamingMode::WantAll);
+    }
+
+    #[test]
+    fn defaults() {
+        let o = RangeOptions::default();
+        assert_eq!(o.limit, 0);
+        assert!(!o.reverse);
+        assert_eq!(o.mode, StreamingMode::Iterator);
+    }
+}

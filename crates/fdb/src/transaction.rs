@@ -1,0 +1,659 @@
+//! Transactions: MVCC snapshot reads, buffered writes with
+//! read-your-writes, conflict ranges, atomic mutations, and size/time
+//! accounting.
+//!
+//! A transaction obtains a read version at creation (the latest commit
+//! version, as a `getReadVersion` call would) and observes an instantaneous
+//! snapshot of the database at that version. Writes are buffered locally —
+//! exactly as the FDB client buffers them — and shipped at commit together
+//! with the read/write conflict ranges. Reads within the transaction see
+//! its own writes (read-your-writes).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::atomic::{self, MutationType};
+use crate::database::{Database, KEY_SIZE_LIMIT, VALUE_SIZE_LIMIT};
+use crate::error::{Error, Result};
+use crate::kv::{KeySelector, KeyValue};
+use crate::range::RangeOptions;
+
+/// One buffered write command, in program order.
+#[derive(Debug, Clone)]
+pub(crate) enum Command {
+    Set { key: Vec<u8>, value: Vec<u8> },
+    Clear { key: Vec<u8> },
+    ClearRange { begin: Vec<u8>, end: Vec<u8> },
+    Atomic { key: Vec<u8>, op: MutationType, param: Vec<u8> },
+    /// SET_VERSIONSTAMPED_KEY: `key_payload[offset..offset+10]` is replaced
+    /// by the transaction version at commit.
+    VersionstampedKey { key_payload: Vec<u8>, offset: usize, value: Vec<u8> },
+    /// SET_VERSIONSTAMPED_VALUE: placeholder inside the value.
+    VersionstampedValue { key: Vec<u8>, value_payload: Vec<u8>, offset: usize },
+}
+
+/// A per-key operation for read-your-writes resolution.
+#[derive(Debug, Clone)]
+enum KeyOp {
+    Set(Vec<u8>),
+    Clear,
+    Atomic(MutationType, Vec<u8>),
+}
+
+#[derive(Debug, Default)]
+struct TxState {
+    /// Flat command log, replayed at commit in program order.
+    commands: Vec<Command>,
+    /// Per-key op log (seq, op) for read-your-writes.
+    writes_by_key: BTreeMap<Vec<u8>, Vec<(u64, KeyOp)>>,
+    /// Cleared ranges with their sequence numbers.
+    cleared: Vec<(Vec<u8>, Vec<u8>, u64)>,
+    seq: u64,
+    read_conflicts: Vec<(Vec<u8>, Vec<u8>)>,
+    write_conflicts: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Approximate transaction size (keys + values + conflict-range keys).
+    size: usize,
+    committed: bool,
+    commit_version: Option<u64>,
+}
+
+/// A FoundationDB transaction handle.
+///
+/// Cheap to create; all methods take `&self` (internal locking), matching
+/// the way the real client is used from async code.
+pub struct Transaction {
+    db: Database,
+    read_version: u64,
+    start_ms: u64,
+    state: Mutex<TxState>,
+    /// Client-side counter for versionstamp user versions (the Record
+    /// Layer assigns one per record written in a transaction, §7).
+    user_version: std::sync::atomic::AtomicU16,
+}
+
+/// Result of resolving read-your-writes for one key.
+fn effective_value(
+    underlying: Option<&[u8]>,
+    ops: &[(u64, KeyOp)],
+    clear_seqs: &[u64],
+) -> Result<Option<Vec<u8>>> {
+    // Merge per-key ops and covering range-clears in sequence order.
+    let mut merged: Vec<(u64, Option<&KeyOp>)> = ops.iter().map(|(s, op)| (*s, Some(op))).collect();
+    merged.extend(clear_seqs.iter().map(|s| (*s, None)));
+    merged.sort_by_key(|(s, _)| *s);
+
+    let mut cur: Option<Vec<u8>> = underlying.map(<[u8]>::to_vec);
+    for (_, op) in merged {
+        match op {
+            None => cur = None, // range clear
+            Some(KeyOp::Set(v)) => cur = Some(v.clone()),
+            Some(KeyOp::Clear) => cur = None,
+            Some(KeyOp::Atomic(mt, param)) => {
+                cur = atomic::apply(*mt, cur.as_deref(), param)?;
+            }
+        }
+    }
+    Ok(cur)
+}
+
+impl Transaction {
+    pub(crate) fn new(db: Database, read_version: u64, start_ms: u64) -> Self {
+        Transaction {
+            db,
+            read_version,
+            start_ms,
+            state: Mutex::new(TxState::default()),
+            user_version: std::sync::atomic::AtomicU16::new(0),
+        }
+    }
+
+    /// Allocate the next 2-byte user version for versionstamps minted in
+    /// this transaction, keeping every stamped key/value unique.
+    pub fn next_user_version(&self) -> u16 {
+        self.user_version.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The MVCC read version this transaction reads at.
+    pub fn read_version(&self) -> u64 {
+        self.read_version
+    }
+
+    /// The commit version, available after a successful commit.
+    pub fn committed_version(&self) -> Option<u64> {
+        self.state.lock().unwrap().commit_version
+    }
+
+    /// The 10-byte transaction versionstamp, available after commit.
+    pub fn versionstamp(&self) -> Option<[u8; 10]> {
+        self.committed_version().map(|v| {
+            let mut out = [0u8; 10];
+            out[0..8].copy_from_slice(&v.to_be_bytes());
+            out
+        })
+    }
+
+    fn check_open(&self, st: &TxState) -> Result<()> {
+        if st.committed {
+            return Err(Error::UsedDuringCommit);
+        }
+        if self.db.clock_ms().saturating_sub(self.start_ms) > self.db.options().transaction_time_limit_ms {
+            return Err(Error::TransactionTooOld);
+        }
+        Ok(())
+    }
+
+    fn validate_key(&self, key: &[u8]) -> Result<()> {
+        if key.len() > KEY_SIZE_LIMIT {
+            return Err(Error::KeyTooLarge { size: key.len(), limit: KEY_SIZE_LIMIT });
+        }
+        Ok(())
+    }
+
+    fn validate_value(&self, value: &[u8]) -> Result<()> {
+        if value.len() > VALUE_SIZE_LIMIT {
+            return Err(Error::ValueTooLarge { size: value.len(), limit: VALUE_SIZE_LIMIT });
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- reads
+
+    /// Read a key, adding it to the read conflict set.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_inner(key, false)
+    }
+
+    /// Read a key at snapshot isolation: no read conflict is added, so a
+    /// concurrent overwrite of this key will not abort this transaction.
+    pub fn get_snapshot(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_inner(key, true)
+    }
+
+    fn get_inner(&self, key: &[u8], snapshot: bool) -> Result<Option<Vec<u8>>> {
+        self.validate_key(key)?;
+        let mut st = self.state.lock().unwrap();
+        self.check_open(&st)?;
+        if !snapshot {
+            let end = crate::key_after(key);
+            st.read_conflicts.push((key.to_vec(), end));
+            st.size += key.len() + 12;
+        }
+        let underlying = self.db.storage_get(key, self.read_version)?;
+        self.db.metrics().add_read_op();
+        let clear_seqs: Vec<u64> = st
+            .cleared
+            .iter()
+            .filter(|(a, b, _)| a.as_slice() <= key && key < b.as_slice())
+            .map(|(_, _, s)| *s)
+            .collect();
+        let ops = st.writes_by_key.get(key).map(Vec::as_slice).unwrap_or(&[]);
+        let v = effective_value(underlying.as_deref(), ops, &clear_seqs)?;
+        if let Some(ref val) = v {
+            self.db.metrics().add_keys_read(1, (key.len() + val.len()) as u64);
+        }
+        Ok(v)
+    }
+
+    /// Range read `[begin, end)` with read-your-writes, adding the scanned
+    /// range to the read conflict set.
+    pub fn get_range(&self, begin: &[u8], end: &[u8], options: RangeOptions) -> Result<Vec<KeyValue>> {
+        self.get_range_inner(begin, end, options, false)
+    }
+
+    /// Range read at snapshot isolation (no read conflict).
+    pub fn get_range_snapshot(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        options: RangeOptions,
+    ) -> Result<Vec<KeyValue>> {
+        self.get_range_inner(begin, end, options, true)
+    }
+
+    fn get_range_inner(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        options: RangeOptions,
+        snapshot: bool,
+    ) -> Result<Vec<KeyValue>> {
+        let mut st = self.state.lock().unwrap();
+        self.check_open(&st)?;
+        if begin >= end {
+            return Ok(Vec::new());
+        }
+
+        let underlying = self.db.storage_range(begin, end, self.read_version)?;
+        self.db.metrics().add_read_op();
+
+        // Merge the snapshot with buffered writes: candidate keys are the
+        // union of snapshot keys and written keys inside the range.
+        let mut candidates: BTreeMap<Vec<u8>, Option<Vec<u8>>> =
+            underlying.into_iter().map(|(k, v)| (k, Some(v))).collect();
+        let written_keys: Vec<Vec<u8>> = st
+            .writes_by_key
+            .range::<[u8], _>((
+                std::ops::Bound::Included(begin),
+                std::ops::Bound::Excluded(end),
+            ))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in written_keys {
+            candidates.entry(k).or_insert(None);
+        }
+
+        let mut merged: Vec<KeyValue> = Vec::new();
+        for (k, underlying_val) in candidates {
+            let clear_seqs: Vec<u64> = st
+                .cleared
+                .iter()
+                .filter(|(a, b, _)| a.as_slice() <= k.as_slice() && k.as_slice() < b.as_slice())
+                .map(|(_, _, s)| *s)
+                .collect();
+            let ops = st.writes_by_key.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+            if let Some(v) = effective_value(underlying_val.as_deref(), ops, &clear_seqs)? {
+                merged.push(KeyValue { key: k, value: v });
+            }
+        }
+        if options.reverse {
+            merged.reverse();
+        }
+        if options.limit > 0 && merged.len() > options.limit {
+            merged.truncate(options.limit);
+        }
+
+        // Conflict range: the portion of [begin, end) actually observed.
+        if !snapshot {
+            let (ca, cb) = if options.limit > 0 && merged.len() == options.limit {
+                if options.reverse {
+                    (merged.last().unwrap().key.clone(), end.to_vec())
+                } else {
+                    (begin.to_vec(), crate::key_after(&merged.last().unwrap().key))
+                }
+            } else {
+                (begin.to_vec(), end.to_vec())
+            };
+            st.size += ca.len() + cb.len() + 12;
+            st.read_conflicts.push((ca, cb));
+        }
+
+        let bytes: u64 = merged.iter().map(|kv| (kv.key.len() + kv.value.len()) as u64).sum();
+        self.db.metrics().add_keys_read(merged.len() as u64, bytes);
+        Ok(merged)
+    }
+
+    /// Resolve a key selector against the merged (snapshot + buffered
+    /// writes) view of the database.
+    pub fn get_key(&self, selector: &KeySelector) -> Result<Option<Vec<u8>>> {
+        self.get_key_inner(selector, false)
+    }
+
+    /// Key-selector resolution at snapshot isolation.
+    pub fn get_key_snapshot(&self, selector: &KeySelector) -> Result<Option<Vec<u8>>> {
+        self.get_key_inner(selector, true)
+    }
+
+    fn get_key_inner(&self, selector: &KeySelector, snapshot: bool) -> Result<Option<Vec<u8>>> {
+        // Anchor: last key < sel.key (or <= with or_equal).
+        let mut cur = self.merged_prev_key(&selector.key, selector.or_equal)?;
+        let mut remaining = selector.offset;
+        while remaining > 0 {
+            let from = cur.clone().map_or_else(Vec::new, |k| crate::key_after(&k));
+            match self.merged_next_key(&from)? {
+                Some(k) => cur = Some(k),
+                None => {
+                    cur = None;
+                    break;
+                }
+            }
+            remaining -= 1;
+        }
+        while remaining < 0 {
+            match &cur {
+                Some(k) => {
+                    let kk = k.clone();
+                    cur = self.merged_prev_key(&kk, false)?;
+                }
+                None => break,
+            }
+            remaining += 1;
+        }
+        if !snapshot {
+            // Conservative conflict range around the resolved position.
+            let mut st = self.state.lock().unwrap();
+            self.check_open(&st)?;
+            if let Some(ref k) = cur {
+                st.read_conflicts.push((k.clone(), crate::key_after(k)));
+            }
+        }
+        Ok(cur)
+    }
+
+    /// First merged-view key `>= from`, or `None`.
+    fn merged_next_key(&self, from: &[u8]) -> Result<Option<Vec<u8>>> {
+        // Probe with widening snapshot ranges merged against writes.
+        let end = vec![0xFFu8; 16]; // beyond any normal application key
+        let kvs = self.get_range_snapshot(from, &end, RangeOptions::new().limit(1))?;
+        Ok(kvs.into_iter().next().map(|kv| kv.key))
+    }
+
+    /// Last merged-view key `< key` (or `<= key` with `inclusive`).
+    fn merged_prev_key(&self, key: &[u8], inclusive: bool) -> Result<Option<Vec<u8>>> {
+        let end = if inclusive { crate::key_after(key) } else { key.to_vec() };
+        let kvs = self.get_range_snapshot(&[], &end, RangeOptions::new().limit(1).reverse(true))?;
+        Ok(kvs.into_iter().next().map(|kv| kv.key))
+    }
+
+    // --------------------------------------------------------------- writes
+
+    /// Buffer a set, adding a write conflict on the key.
+    pub fn set(&self, key: &[u8], value: &[u8]) {
+        let _ = self.try_set(key, value);
+    }
+
+    /// Fallible variant of [`set`](Self::set) surfacing size-limit errors.
+    pub fn try_set(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.validate_key(key)?;
+        self.validate_value(value)?;
+        let mut st = self.state.lock().unwrap();
+        self.check_open(&st)?;
+        st.seq += 1;
+        let seq = st.seq;
+        st.commands.push(Command::Set { key: key.to_vec(), value: value.to_vec() });
+        st.writes_by_key.entry(key.to_vec()).or_default().push((seq, KeyOp::Set(value.to_vec())));
+        st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+        st.size += key.len() + value.len() + 28;
+        Ok(())
+    }
+
+    /// Buffer a single-key clear.
+    pub fn clear(&self, key: &[u8]) {
+        let mut st = self.state.lock().unwrap();
+        if self.check_open(&st).is_err() {
+            return;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.commands.push(Command::Clear { key: key.to_vec() });
+        st.writes_by_key.entry(key.to_vec()).or_default().push((seq, KeyOp::Clear));
+        st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+        st.size += key.len() + 28;
+    }
+
+    /// Buffer a range clear of `[begin, end)`.
+    pub fn clear_range(&self, begin: &[u8], end: &[u8]) {
+        let mut st = self.state.lock().unwrap();
+        if self.check_open(&st).is_err() || begin >= end {
+            return;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.commands.push(Command::ClearRange { begin: begin.to_vec(), end: end.to_vec() });
+        st.cleared.push((begin.to_vec(), end.to_vec(), seq));
+        st.write_conflicts.push((begin.to_vec(), end.to_vec()));
+        st.size += begin.len() + end.len() + 28;
+        self.db.metrics().add_range_clear();
+    }
+
+    /// Buffer an atomic mutation. Atomic mutations add a *write* conflict
+    /// but no *read* conflict, so concurrent mutations to the same key never
+    /// conflict with each other (§2).
+    pub fn mutate(&self, op: MutationType, key: &[u8], param: &[u8]) -> Result<()> {
+        self.validate_key(key)?;
+        let mut st = self.state.lock().unwrap();
+        self.check_open(&st)?;
+        st.seq += 1;
+        let seq = st.seq;
+        match op {
+            MutationType::SetVersionstampedKey => {
+                let (payload, offset) = atomic::split_versionstamp_operand(key)?;
+                st.commands.push(Command::VersionstampedKey {
+                    key_payload: payload.clone(),
+                    offset,
+                    value: param.to_vec(),
+                });
+                // The final key is unknown until commit; conservatively add
+                // a write conflict over the placeholder form.
+                st.write_conflicts.push((payload.clone(), crate::key_after(&payload)));
+                st.size += payload.len() + param.len() + 28;
+            }
+            MutationType::SetVersionstampedValue => {
+                let (payload, offset) = atomic::split_versionstamp_operand(param)?;
+                st.commands.push(Command::VersionstampedValue {
+                    key: key.to_vec(),
+                    value_payload: payload.clone(),
+                    offset,
+                });
+                // Read-your-writes sees the placeholder form.
+                st.writes_by_key
+                    .entry(key.to_vec())
+                    .or_default()
+                    .push((seq, KeyOp::Set(payload.clone())));
+                st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+                st.size += key.len() + payload.len() + 28;
+            }
+            _ => {
+                st.commands.push(Command::Atomic { key: key.to_vec(), op, param: param.to_vec() });
+                st.writes_by_key
+                    .entry(key.to_vec())
+                    .or_default()
+                    .push((seq, KeyOp::Atomic(op, param.to_vec())));
+                st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+                st.size += key.len() + param.len() + 28;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------ conflict ranges
+
+    /// Explicitly add a read conflict range (used with snapshot reads to
+    /// conflict only on distinguished keys, §10.1).
+    pub fn add_read_conflict_range(&self, begin: &[u8], end: &[u8]) {
+        let mut st = self.state.lock().unwrap();
+        st.size += begin.len() + end.len() + 12;
+        st.read_conflicts.push((begin.to_vec(), end.to_vec()));
+    }
+
+    /// Add a read conflict on a single key.
+    pub fn add_read_conflict_key(&self, key: &[u8]) {
+        self.add_read_conflict_range(key, &crate::key_after(key));
+    }
+
+    /// Explicitly add a write conflict range.
+    pub fn add_write_conflict_range(&self, begin: &[u8], end: &[u8]) {
+        let mut st = self.state.lock().unwrap();
+        st.size += begin.len() + end.len() + 12;
+        st.write_conflicts.push((begin.to_vec(), end.to_vec()));
+    }
+
+    /// Current approximate transaction size in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.state.lock().unwrap().size
+    }
+
+    /// Whether any writes are buffered.
+    pub fn is_read_only(&self) -> bool {
+        self.state.lock().unwrap().commands.is_empty()
+    }
+
+    // --------------------------------------------------------------- commit
+
+    /// Validate conflicts and apply buffered writes. On success the
+    /// transaction's versionstamp and committed version become available.
+    pub fn commit(&self) -> Result<()> {
+        let mut st = self.state.lock().unwrap();
+        if st.committed {
+            return Err(Error::UsedDuringCommit);
+        }
+        if self.db.clock_ms().saturating_sub(self.start_ms) > self.db.options().transaction_time_limit_ms {
+            self.db.metrics().record_commit(false, false);
+            return Err(Error::TransactionTooOld);
+        }
+        let limit = self.db.options().transaction_size_limit;
+        if st.size > limit {
+            self.db.metrics().record_commit(false, false);
+            return Err(Error::TransactionTooLarge { size: st.size, limit });
+        }
+        // Read-only transactions commit trivially without validation: they
+        // already saw a consistent snapshot.
+        if st.commands.is_empty() && st.write_conflicts.is_empty() {
+            st.committed = true;
+            self.db.metrics().record_commit(true, false);
+            return Ok(());
+        }
+        let version = self.db.commit_internal(
+            self.read_version,
+            &st.read_conflicts,
+            &st.write_conflicts,
+            &st.commands,
+        )?;
+        st.committed = true;
+        st.commit_version = Some(version);
+        Ok(())
+    }
+
+    /// Discard all buffered writes (the transaction can't be reused; create
+    /// a new one from the database).
+    pub fn cancel(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.commands.clear();
+        st.writes_by_key.clear();
+        st.cleared.clear();
+        st.committed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    #[test]
+    fn read_your_writes_point() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        assert_eq!(tx.get(b"k").unwrap(), None);
+        tx.set(b"k", b"v");
+        assert_eq!(tx.get(b"k").unwrap(), Some(b"v".to_vec()));
+        tx.clear(b"k");
+        assert_eq!(tx.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn read_your_writes_atomic_chain() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.mutate(MutationType::Add, b"ctr", &5u64.to_le_bytes()).unwrap();
+        tx.mutate(MutationType::Add, b"ctr", &3u64.to_le_bytes()).unwrap();
+        let v = tx.get(b"ctr").unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 8);
+    }
+
+    #[test]
+    fn read_your_writes_clear_range_then_set() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"a1", b"x");
+        tx.set(b"a2", b"y");
+        tx.commit().unwrap();
+
+        let tx = db.create_transaction();
+        tx.set(b"a3", b"z");
+        tx.clear_range(b"a", b"b");
+        tx.set(b"a2", b"new");
+        let r = tx.get_range(b"a", b"b", RangeOptions::default()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key, b"a2");
+        assert_eq!(r[0].value, b"new");
+    }
+
+    #[test]
+    fn range_merge_includes_buffered_and_respects_limit_reverse() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"b", b"1");
+        tx.set(b"d", b"2");
+        tx.commit().unwrap();
+
+        let tx = db.create_transaction();
+        tx.set(b"c", b"buf");
+        let r = tx.get_range(b"a", b"z", RangeOptions::default()).unwrap();
+        let keys: Vec<_> = r.iter().map(|kv| kv.key.clone()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+
+        let r = tx.get_range(b"a", b"z", RangeOptions::new().reverse(true).limit(2)).unwrap();
+        let keys: Vec<_> = r.iter().map(|kv| kv.key.clone()).collect();
+        assert_eq!(keys, vec![b"d".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn key_selectors_resolve_on_merged_view() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"b", b"1");
+        tx.set(b"f", b"2");
+        tx.commit().unwrap();
+
+        let tx = db.create_transaction();
+        tx.set(b"d", b"buf");
+        assert_eq!(
+            tx.get_key(&KeySelector::first_greater_or_equal(b"c".to_vec())).unwrap(),
+            Some(b"d".to_vec())
+        );
+        assert_eq!(
+            tx.get_key(&KeySelector::first_greater_than(b"d".to_vec())).unwrap(),
+            Some(b"f".to_vec())
+        );
+        assert_eq!(
+            tx.get_key(&KeySelector::last_less_than(b"d".to_vec())).unwrap(),
+            Some(b"b".to_vec())
+        );
+        assert_eq!(
+            tx.get_key(&KeySelector::last_less_or_equal(b"d".to_vec())).unwrap(),
+            Some(b"d".to_vec())
+        );
+    }
+
+    #[test]
+    fn key_and_value_size_limits() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        let big_key = vec![0u8; KEY_SIZE_LIMIT + 1];
+        assert!(matches!(tx.try_set(&big_key, b"v"), Err(Error::KeyTooLarge { .. })));
+        let big_val = vec![0u8; VALUE_SIZE_LIMIT + 1];
+        assert!(matches!(tx.try_set(b"k", &big_val), Err(Error::ValueTooLarge { .. })));
+    }
+
+    #[test]
+    fn cancel_discards_writes() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.cancel();
+        let tx2 = db.create_transaction();
+        assert_eq!(tx2.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn committed_transaction_rejects_further_use() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+        assert!(matches!(tx.get(b"k"), Err(Error::UsedDuringCommit)));
+        assert!(matches!(tx.commit(), Err(Error::UsedDuringCommit)));
+    }
+
+    #[test]
+    fn versionstamp_available_after_commit() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        assert_eq!(tx.versionstamp(), None);
+        tx.commit().unwrap();
+        let vs = tx.versionstamp().unwrap();
+        let committed = tx.committed_version().unwrap();
+        assert_eq!(u64::from_be_bytes(vs[0..8].try_into().unwrap()), committed);
+    }
+}

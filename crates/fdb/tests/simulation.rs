@@ -1,0 +1,194 @@
+//! Simulator-level integration tests: MVCC window expiry, compaction,
+//! metrics accounting, selector edge cases, and interleaved-transaction
+//! serializability checks.
+
+use rl_fdb::atomic::MutationType;
+use rl_fdb::database::{DatabaseOptions, VERSIONS_PER_MS};
+use rl_fdb::{Database, Error, KeySelector, RangeOptions};
+
+#[test]
+fn mvcc_history_compacts_but_recent_readers_still_work() {
+    let mut opts = DatabaseOptions::default();
+    opts.compaction_interval = 8;
+    opts.mvcc_window_versions = 1_000 * VERSIONS_PER_MS;
+    let db = Database::with_options(opts);
+
+    for round in 0..100u32 {
+        let tx = db.create_transaction();
+        tx.set(b"hot", format!("v{round}").as_bytes());
+        tx.commit().unwrap();
+        db.advance_clock(50);
+    }
+    // Latest value visible; long-expired read versions rejected.
+    let tx = db.create_transaction();
+    assert_eq!(tx.get(b"hot").unwrap(), Some(b"v99".to_vec()));
+    assert!(matches!(db.create_transaction_at(1), Err(Error::TransactionTooOld)));
+    // Future versions rejected too.
+    assert!(matches!(
+        db.create_transaction_at(u64::MAX),
+        Err(Error::FutureVersion)
+    ));
+}
+
+#[test]
+fn metrics_account_reads_writes_and_conflicts() {
+    let db = Database::new();
+    let m = db.metrics();
+    let base = m.snapshot();
+
+    let tx = db.create_transaction();
+    tx.set(b"a", b"1");
+    tx.set(b"b", b"2");
+    tx.commit().unwrap();
+    let after_write = m.snapshot().delta(&base);
+    assert_eq!(after_write.keys_written, 2);
+    assert_eq!(after_write.commits_succeeded, 1);
+
+    let tx = db.create_transaction();
+    let _ = tx.get_range(b"a", b"z", RangeOptions::default()).unwrap();
+    let after_read = m.snapshot().delta(&base);
+    assert_eq!(after_read.keys_read, 2);
+
+    // Manufacture a conflict.
+    let t1 = db.create_transaction();
+    let _ = t1.get(b"a").unwrap();
+    let t2 = db.create_transaction();
+    t2.set(b"a", b"x");
+    t2.commit().unwrap();
+    t1.set(b"c", b"y");
+    assert!(t1.commit().is_err());
+    let after_conflict = m.snapshot().delta(&base);
+    assert_eq!(after_conflict.conflicts, 1);
+}
+
+#[test]
+fn key_selector_edges() {
+    let db = Database::new();
+    let tx = db.create_transaction();
+    for k in [b"b", b"d", b"f"] {
+        tx.set(k, b"v");
+    }
+    tx.commit().unwrap();
+
+    let tx = db.create_transaction();
+    // Before the first key.
+    assert_eq!(tx.get_key(&KeySelector::last_less_than(b"a".to_vec())).unwrap(), None);
+    assert_eq!(
+        tx.get_key(&KeySelector::first_greater_or_equal(b"a".to_vec())).unwrap(),
+        Some(b"b".to_vec())
+    );
+    // After the last key.
+    assert_eq!(tx.get_key(&KeySelector::first_greater_than(b"f".to_vec())).unwrap(), None);
+    assert_eq!(
+        tx.get_key(&KeySelector::last_less_or_equal(b"z".to_vec())).unwrap(),
+        Some(b"f".to_vec())
+    );
+    // Multi-step offsets.
+    assert_eq!(
+        tx.get_key(&KeySelector::first_greater_or_equal(b"a".to_vec()).add(2)).unwrap(),
+        Some(b"f".to_vec())
+    );
+}
+
+#[test]
+fn serializability_of_interleaved_swaps() {
+    // Classic write-skew-free check: two transactions each read both keys
+    // and swap them; under strict serializability only one may commit.
+    let db = Database::new();
+    let tx = db.create_transaction();
+    tx.set(b"x", b"1");
+    tx.set(b"y", b"2");
+    tx.commit().unwrap();
+
+    let t1 = db.create_transaction();
+    let t2 = db.create_transaction();
+    let x1 = t1.get(b"x").unwrap().unwrap();
+    let y1 = t1.get(b"y").unwrap().unwrap();
+    let x2 = t2.get(b"x").unwrap().unwrap();
+    let y2 = t2.get(b"y").unwrap().unwrap();
+    t1.set(b"x", &y1);
+    t1.set(b"y", &x1);
+    t2.set(b"x", &y2);
+    t2.set(b"y", &x2);
+    assert!(t1.commit().is_ok());
+    assert!(t2.commit().is_err(), "second swap must conflict");
+
+    let tx = db.create_transaction();
+    assert_eq!(tx.get(b"x").unwrap(), Some(b"2".to_vec()));
+    assert_eq!(tx.get(b"y").unwrap(), Some(b"1".to_vec()));
+}
+
+#[test]
+fn atomic_ops_interleave_with_sets_in_program_order() {
+    let db = Database::new();
+    let tx = db.create_transaction();
+    tx.mutate(MutationType::Add, b"k", &5u64.to_le_bytes()).unwrap();
+    tx.set(b"k", &100u64.to_le_bytes());
+    tx.mutate(MutationType::Add, b"k", &1u64.to_le_bytes()).unwrap();
+    tx.commit().unwrap();
+    let tx = db.create_transaction();
+    let v = tx.get(b"k").unwrap().unwrap();
+    assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 101);
+}
+
+#[test]
+fn clear_range_vs_concurrent_write_conflicts() {
+    let db = Database::new();
+    let tx = db.create_transaction();
+    tx.set(b"p1", b"v");
+    tx.set(b"p2", b"v");
+    tx.commit().unwrap();
+
+    // Reader scans the range; a clear-range commits behind it.
+    let t1 = db.create_transaction();
+    let _ = t1.get_range(b"p", b"q", RangeOptions::default()).unwrap();
+    let t2 = db.create_transaction();
+    t2.clear_range(b"p", b"q");
+    t2.commit().unwrap();
+    t1.set(b"other", b"x");
+    assert!(matches!(t1.commit(), Err(Error::NotCommitted)));
+}
+
+#[test]
+fn snapshot_range_plus_manual_conflict_key() {
+    // The §10.1 pattern: snapshot-read a range, conflict only on the
+    // distinguished key you depend on.
+    let db = Database::new();
+    let tx = db.create_transaction();
+    tx.set(b"s1", b"v");
+    tx.set(b"s2", b"v");
+    tx.commit().unwrap();
+
+    let t1 = db.create_transaction();
+    let _ = t1.get_range_snapshot(b"s", b"t", RangeOptions::default()).unwrap();
+    t1.add_read_conflict_key(b"s1");
+    // Concurrent write to the *other* key: no conflict.
+    let t2 = db.create_transaction();
+    t2.set(b"s2", b"changed");
+    t2.commit().unwrap();
+    t1.set(b"out", b"1");
+    t1.commit().unwrap();
+
+    // But a write to the distinguished key does conflict.
+    let t3 = db.create_transaction();
+    let _ = t3.get_range_snapshot(b"s", b"t", RangeOptions::default()).unwrap();
+    t3.add_read_conflict_key(b"s1");
+    let t4 = db.create_transaction();
+    t4.set(b"s1", b"changed");
+    t4.commit().unwrap();
+    t3.set(b"out2", b"1");
+    assert!(matches!(t3.commit(), Err(Error::NotCommitted)));
+}
+
+#[test]
+fn read_only_transactions_always_commit() {
+    let db = Database::new();
+    let t1 = db.create_transaction();
+    let _ = t1.get(b"anything").unwrap();
+    // A conflicting write lands...
+    let t2 = db.create_transaction();
+    t2.set(b"anything", b"v");
+    t2.commit().unwrap();
+    // ...but a read-only transaction already saw a consistent snapshot.
+    t1.commit().unwrap();
+}

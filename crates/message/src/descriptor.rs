@@ -1,0 +1,356 @@
+//! Message and field descriptors: the compiled form of a `.proto` schema.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::{Error, Result};
+
+/// Scalar and composite field types, matching protobuf's type system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldType {
+    Double,
+    Float,
+    Int32,
+    Int64,
+    UInt32,
+    UInt64,
+    SInt32,
+    SInt64,
+    Fixed32,
+    Fixed64,
+    SFixed32,
+    SFixed64,
+    Bool,
+    String,
+    Bytes,
+    /// Fully-qualified name of a message type in the same pool.
+    Message(String),
+    /// Fully-qualified name of an enum type in the same pool.
+    Enum(String),
+}
+
+impl FieldType {
+    /// The protobuf wire type used to encode this field type.
+    pub fn wire_type(&self) -> u8 {
+        match self {
+            FieldType::Int32
+            | FieldType::Int64
+            | FieldType::UInt32
+            | FieldType::UInt64
+            | FieldType::SInt32
+            | FieldType::SInt64
+            | FieldType::Bool
+            | FieldType::Enum(_) => 0, // varint
+            FieldType::Fixed64 | FieldType::SFixed64 | FieldType::Double => 1, // 64-bit
+            FieldType::String | FieldType::Bytes | FieldType::Message(_) => 2, // length-delimited
+            FieldType::Fixed32 | FieldType::SFixed32 | FieldType::Float => 5, // 32-bit
+        }
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn name(&self) -> String {
+        match self {
+            FieldType::Message(m) => format!("message {m}"),
+            FieldType::Enum(e) => format!("enum {e}"),
+            other => format!("{other:?}").to_lowercase(),
+        }
+    }
+
+    /// Whether two types are wire-compatible for schema evolution: protobuf
+    /// permits changing between types that share both wire format and value
+    /// interpretation (e.g. int32 <-> int64); we conservatively allow the
+    /// sets that the Record Layer's metadata evolution rules allow.
+    pub fn evolution_compatible(&self, newer: &FieldType) -> bool {
+        if self == newer {
+            return true;
+        }
+        use FieldType::*;
+        matches!(
+            (self, newer),
+            (Int32, Int64)
+                | (UInt32, UInt64)
+                | (SInt32, SInt64)
+                | (Bool, Int32)
+                | (Bool, Int64)
+                | (Bytes, String)
+                | (String, Bytes)
+        )
+    }
+}
+
+/// Field cardinality. Proto3-style: everything is optional or repeated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldLabel {
+    Optional,
+    Repeated,
+}
+
+/// One field of a message type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDescriptor {
+    pub name: String,
+    pub number: u32,
+    pub field_type: FieldType,
+    pub label: FieldLabel,
+}
+
+impl FieldDescriptor {
+    pub fn new(name: impl Into<String>, number: u32, field_type: FieldType, label: FieldLabel) -> Self {
+        FieldDescriptor { name: name.into(), number, field_type, label }
+    }
+
+    pub fn optional(name: impl Into<String>, number: u32, field_type: FieldType) -> Self {
+        FieldDescriptor::new(name, number, field_type, FieldLabel::Optional)
+    }
+
+    pub fn repeated(name: impl Into<String>, number: u32, field_type: FieldType) -> Self {
+        FieldDescriptor::new(name, number, field_type, FieldLabel::Repeated)
+    }
+
+    pub fn is_repeated(&self) -> bool {
+        self.label == FieldLabel::Repeated
+    }
+}
+
+/// A message type: named, numbered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageDescriptor {
+    pub name: String,
+    /// Fields ordered by field number.
+    fields: Vec<FieldDescriptor>,
+    by_name: BTreeMap<String, usize>,
+    by_number: BTreeMap<u32, usize>,
+}
+
+impl MessageDescriptor {
+    pub fn new(name: impl Into<String>, mut fields: Vec<FieldDescriptor>) -> Result<Self> {
+        let name = name.into();
+        fields.sort_by_key(|f| f.number);
+        let mut by_name = BTreeMap::new();
+        let mut by_number = BTreeMap::new();
+        for (i, f) in fields.iter().enumerate() {
+            if f.number == 0 || f.number >= 1 << 29 {
+                return Err(Error::InvalidDescriptor(format!(
+                    "field {} in {} has invalid number {}",
+                    f.name, name, f.number
+                )));
+            }
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(Error::InvalidDescriptor(format!(
+                    "duplicate field name {} in {}",
+                    f.name, name
+                )));
+            }
+            if by_number.insert(f.number, i).is_some() {
+                return Err(Error::InvalidDescriptor(format!(
+                    "duplicate field number {} in {}",
+                    f.number, name
+                )));
+            }
+        }
+        Ok(MessageDescriptor { name, fields, by_name, by_number })
+    }
+
+    pub fn fields(&self) -> &[FieldDescriptor] {
+        &self.fields
+    }
+
+    pub fn field_by_name(&self, name: &str) -> Option<&FieldDescriptor> {
+        self.by_name.get(name).map(|&i| &self.fields[i])
+    }
+
+    pub fn field_by_number(&self, number: u32) -> Option<&FieldDescriptor> {
+        self.by_number.get(&number).map(|&i| &self.fields[i])
+    }
+}
+
+/// An enum type: named values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDescriptor {
+    pub name: String,
+    pub values: BTreeMap<i32, String>,
+}
+
+impl EnumDescriptor {
+    pub fn new(name: impl Into<String>, values: Vec<(i32, &str)>) -> Self {
+        EnumDescriptor {
+            name: name.into(),
+            values: values.into_iter().map(|(n, s)| (n, s.to_string())).collect(),
+        }
+    }
+}
+
+/// A pool of message and enum types that may reference each other — the
+/// analogue of a compiled `.proto` file set. The Record Layer's metadata
+/// holds one pool per schema version.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DescriptorPool {
+    messages: BTreeMap<String, Arc<MessageDescriptor>>,
+    enums: BTreeMap<String, Arc<EnumDescriptor>>,
+}
+
+impl DescriptorPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a message type. Message-typed fields may reference types added
+    /// later; call [`validate`](Self::validate) once the pool is complete.
+    pub fn add_message(&mut self, desc: MessageDescriptor) -> Result<()> {
+        if self.messages.contains_key(&desc.name) {
+            return Err(Error::InvalidDescriptor(format!(
+                "duplicate message type {}",
+                desc.name
+            )));
+        }
+        self.messages.insert(desc.name.clone(), Arc::new(desc));
+        Ok(())
+    }
+
+    pub fn add_enum(&mut self, desc: EnumDescriptor) -> Result<()> {
+        if self.enums.contains_key(&desc.name) {
+            return Err(Error::InvalidDescriptor(format!("duplicate enum type {}", desc.name)));
+        }
+        self.enums.insert(desc.name.clone(), Arc::new(desc));
+        Ok(())
+    }
+
+    pub fn message(&self, name: &str) -> Option<Arc<MessageDescriptor>> {
+        self.messages.get(name).cloned()
+    }
+
+    pub fn enum_type(&self, name: &str) -> Option<Arc<EnumDescriptor>> {
+        self.enums.get(name).cloned()
+    }
+
+    pub fn message_names(&self) -> impl Iterator<Item = &str> {
+        self.messages.keys().map(String::as_str)
+    }
+
+    /// Check referential integrity: every `Message`/`Enum` field type must
+    /// resolve within the pool.
+    pub fn validate(&self) -> Result<()> {
+        for desc in self.messages.values() {
+            for field in desc.fields() {
+                match &field.field_type {
+                    FieldType::Message(m) if !self.messages.contains_key(m) => {
+                        return Err(Error::InvalidDescriptor(format!(
+                            "field {}.{} references unknown message type {m}",
+                            desc.name, field.name
+                        )));
+                    }
+                    FieldType::Enum(e) if !self.enums.contains_key(e) => {
+                        return Err(Error::InvalidDescriptor(format!(
+                            "field {}.{} references unknown enum type {e}",
+                            desc.name, field.name
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_message() -> MessageDescriptor {
+        MessageDescriptor::new(
+            "Example",
+            vec![
+                FieldDescriptor::optional("id", 1, FieldType::Int64),
+                FieldDescriptor::repeated("elem", 2, FieldType::String),
+                FieldDescriptor::optional("parent", 3, FieldType::Message("Nested".into())),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_number() {
+        let m = sample_message();
+        assert_eq!(m.field_by_name("id").unwrap().number, 1);
+        assert_eq!(m.field_by_number(2).unwrap().name, "elem");
+        assert!(m.field_by_name("nope").is_none());
+        assert!(m.field_by_number(9).is_none());
+    }
+
+    #[test]
+    fn duplicate_field_number_rejected() {
+        let err = MessageDescriptor::new(
+            "Bad",
+            vec![
+                FieldDescriptor::optional("a", 1, FieldType::Int32),
+                FieldDescriptor::optional("b", 1, FieldType::Int32),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidDescriptor(_)));
+    }
+
+    #[test]
+    fn duplicate_field_name_rejected() {
+        assert!(MessageDescriptor::new(
+            "Bad",
+            vec![
+                FieldDescriptor::optional("a", 1, FieldType::Int32),
+                FieldDescriptor::optional("a", 2, FieldType::Int32),
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn field_number_zero_rejected() {
+        assert!(MessageDescriptor::new(
+            "Bad",
+            vec![FieldDescriptor::optional("a", 0, FieldType::Int32)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pool_validates_references() {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(sample_message()).unwrap();
+        // "Nested" missing.
+        assert!(pool.validate().is_err());
+        pool.add_message(
+            MessageDescriptor::new(
+                "Nested",
+                vec![FieldDescriptor::optional("a", 1, FieldType::Int64)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        pool.validate().unwrap();
+    }
+
+    #[test]
+    fn pool_rejects_duplicate_types() {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(sample_message()).unwrap();
+        assert!(pool.add_message(sample_message()).is_err());
+    }
+
+    #[test]
+    fn wire_types() {
+        assert_eq!(FieldType::Int64.wire_type(), 0);
+        assert_eq!(FieldType::Double.wire_type(), 1);
+        assert_eq!(FieldType::String.wire_type(), 2);
+        assert_eq!(FieldType::Float.wire_type(), 5);
+        assert_eq!(FieldType::Message("X".into()).wire_type(), 2);
+    }
+
+    #[test]
+    fn evolution_compatibility_pairs() {
+        assert!(FieldType::Int32.evolution_compatible(&FieldType::Int64));
+        assert!(FieldType::Bytes.evolution_compatible(&FieldType::String));
+        assert!(!FieldType::Int64.evolution_compatible(&FieldType::Int32));
+        assert!(!FieldType::Int32.evolution_compatible(&FieldType::String));
+        assert!(FieldType::Bool.evolution_compatible(&FieldType::Bool));
+    }
+}

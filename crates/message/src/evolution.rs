@@ -1,0 +1,179 @@
+//! Schema-evolution validation (§5 of the paper).
+//!
+//! The Record Layer's metadata evolves in a single-stream, non-branching,
+//! monotonically increasing fashion. When new metadata is installed, it
+//! must be a *valid evolution* of the old metadata: record types are never
+//! removed, field numbers are never reused with a different type, fields
+//! may be deprecated but their numbers stay reserved, and cardinality
+//! (optional vs repeated) never changes in a way that corrupts old data.
+
+use crate::descriptor::DescriptorPool;
+
+/// A violation of the schema-evolution rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvolutionError {
+    /// A record type present in the old schema is missing from the new one.
+    RemovedMessageType(String),
+    /// A field number changed its type incompatibly.
+    IncompatibleFieldType { message: String, number: u32, old: String, new: String },
+    /// A field changed between optional and repeated.
+    ChangedCardinality { message: String, number: u32 },
+    /// A field was removed; numbers must be deprecated, not removed, so
+    /// they are never accidentally reused (§5 "field numbers are never
+    /// reused and should be deprecated rather than removed").
+    RemovedField { message: String, number: u32 },
+    /// A field kept its number but changed its name — allowed by protobuf
+    /// but forbidden here because Record Layer key expressions address
+    /// fields by name.
+    RenamedField { message: String, number: u32, old: String, new: String },
+}
+
+impl std::fmt::Display for EvolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvolutionError::RemovedMessageType(m) => write!(f, "record type {m} was removed"),
+            EvolutionError::IncompatibleFieldType { message, number, old, new } => write!(
+                f,
+                "field {number} of {message} changed type incompatibly ({old} -> {new})"
+            ),
+            EvolutionError::ChangedCardinality { message, number } => {
+                write!(f, "field {number} of {message} changed between optional and repeated")
+            }
+            EvolutionError::RemovedField { message, number } => {
+                write!(f, "field {number} of {message} was removed (deprecate instead)")
+            }
+            EvolutionError::RenamedField { message, number, old, new } => {
+                write!(f, "field {number} of {message} renamed {old} -> {new}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvolutionError {}
+
+/// Validate that `new` is a legal evolution of `old`. Returns all
+/// violations found (empty = valid).
+pub fn validate_evolution(old: &DescriptorPool, new: &DescriptorPool) -> Vec<EvolutionError> {
+    let mut errors = Vec::new();
+    for type_name in old.message_names() {
+        let old_msg = old.message(type_name).unwrap();
+        let Some(new_msg) = new.message(type_name) else {
+            errors.push(EvolutionError::RemovedMessageType(type_name.to_string()));
+            continue;
+        };
+        for old_field in old_msg.fields() {
+            let Some(new_field) = new_msg.field_by_number(old_field.number) else {
+                errors.push(EvolutionError::RemovedField {
+                    message: type_name.to_string(),
+                    number: old_field.number,
+                });
+                continue;
+            };
+            if new_field.name != old_field.name {
+                errors.push(EvolutionError::RenamedField {
+                    message: type_name.to_string(),
+                    number: old_field.number,
+                    old: old_field.name.clone(),
+                    new: new_field.name.clone(),
+                });
+            }
+            if !old_field.field_type.evolution_compatible(&new_field.field_type) {
+                errors.push(EvolutionError::IncompatibleFieldType {
+                    message: type_name.to_string(),
+                    number: old_field.number,
+                    old: old_field.field_type.name(),
+                    new: new_field.field_type.name(),
+                });
+            }
+            if old_field.label != new_field.label {
+                errors.push(EvolutionError::ChangedCardinality {
+                    message: type_name.to_string(),
+                    number: old_field.number,
+                });
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{FieldDescriptor, FieldType, MessageDescriptor};
+
+    fn pool_with(fields: Vec<FieldDescriptor>) -> DescriptorPool {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(MessageDescriptor::new("T", fields).unwrap()).unwrap();
+        pool
+    }
+
+    #[test]
+    fn adding_fields_and_types_is_valid() {
+        let old = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
+        let mut new = pool_with(vec![
+            FieldDescriptor::optional("a", 1, FieldType::Int64),
+            FieldDescriptor::optional("b", 2, FieldType::String),
+        ]);
+        new.add_message(
+            MessageDescriptor::new("U", vec![FieldDescriptor::optional("x", 1, FieldType::Bool)])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(validate_evolution(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn removing_a_type_is_invalid() {
+        let old = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
+        let new = DescriptorPool::new();
+        let errs = validate_evolution(&old, &new);
+        assert_eq!(errs, vec![EvolutionError::RemovedMessageType("T".into())]);
+    }
+
+    #[test]
+    fn removing_a_field_is_invalid() {
+        let old = pool_with(vec![
+            FieldDescriptor::optional("a", 1, FieldType::Int64),
+            FieldDescriptor::optional("b", 2, FieldType::String),
+        ]);
+        let new = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
+        let errs = validate_evolution(&old, &new);
+        assert!(matches!(errs[0], EvolutionError::RemovedField { number: 2, .. }));
+    }
+
+    #[test]
+    fn widening_int_is_valid_narrowing_is_not() {
+        let old32 = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int32)]);
+        let new64 = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
+        assert!(validate_evolution(&old32, &new64).is_empty());
+        let errs = validate_evolution(&new64, &old32);
+        assert!(matches!(errs[0], EvolutionError::IncompatibleFieldType { .. }));
+    }
+
+    #[test]
+    fn changing_cardinality_is_invalid() {
+        let old = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
+        let new = pool_with(vec![FieldDescriptor::repeated("a", 1, FieldType::Int64)]);
+        let errs = validate_evolution(&old, &new);
+        assert!(matches!(errs[0], EvolutionError::ChangedCardinality { number: 1, .. }));
+    }
+
+    #[test]
+    fn renaming_a_field_is_invalid() {
+        let old = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
+        let new = pool_with(vec![FieldDescriptor::optional("renamed", 1, FieldType::Int64)]);
+        let errs = validate_evolution(&old, &new);
+        assert!(matches!(errs[0], EvolutionError::RenamedField { .. }));
+    }
+
+    #[test]
+    fn multiple_errors_all_reported() {
+        let old = pool_with(vec![
+            FieldDescriptor::optional("a", 1, FieldType::Int64),
+            FieldDescriptor::optional("b", 2, FieldType::String),
+        ]);
+        let new = pool_with(vec![FieldDescriptor::repeated("a", 1, FieldType::Bool)]);
+        let errs = validate_evolution(&old, &new);
+        assert_eq!(errs.len(), 3); // type change + cardinality change + removed field
+    }
+}

@@ -1,0 +1,597 @@
+//! Dynamic messages: typed field storage validated against a descriptor,
+//! with full protobuf wire-format serialization and unknown-field
+//! preservation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::descriptor::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor};
+use crate::value::Value;
+use crate::wire::{
+    get_tag, get_varint, put_len_delimited, put_tag, put_varint, skip_field, zigzag_decode,
+    zigzag_encode, WIRE_32BIT, WIRE_64BIT, WIRE_LEN, WIRE_VARINT,
+};
+use crate::{Error, Result};
+
+/// An unknown field captured during decoding and re-emitted on encoding,
+/// giving the schema-evolution behaviour described in §5: old readers
+/// carry new writers' fields through unharmed.
+#[derive(Debug, Clone, PartialEq)]
+struct UnknownField {
+    number: u32,
+    wire_type: u8,
+    /// Raw bytes of the field payload (without the tag).
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum FieldValue {
+    Single(Value),
+    Repeated(Vec<Value>),
+}
+
+/// A message instance described by a [`MessageDescriptor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicMessage {
+    descriptor: Arc<MessageDescriptor>,
+    fields: BTreeMap<u32, FieldValue>,
+    unknown: Vec<UnknownField>,
+}
+
+impl DynamicMessage {
+    pub fn new(descriptor: Arc<MessageDescriptor>) -> Self {
+        DynamicMessage { descriptor, fields: BTreeMap::new(), unknown: Vec::new() }
+    }
+
+    pub fn descriptor(&self) -> &Arc<MessageDescriptor> {
+        &self.descriptor
+    }
+
+    /// The message type name (the Record Layer's record type name).
+    pub fn type_name(&self) -> &str {
+        &self.descriptor.name
+    }
+
+    fn field(&self, name: &str) -> Result<&FieldDescriptor> {
+        self.descriptor
+            .field_by_name(name)
+            .ok_or_else(|| Error::UnknownField(format!("{}.{}", self.descriptor.name, name)))
+    }
+
+    /// Set a singular field. Replaces any existing value.
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) -> Result<()> {
+        let value = value.into();
+        let field = self.field(name)?;
+        if !value.matches_type(&field.field_type) {
+            return Err(Error::TypeMismatch {
+                field: format!("{}.{}", self.descriptor.name, name),
+                expected: field.field_type.name(),
+                actual: value.type_name().to_string(),
+            });
+        }
+        let number = field.number;
+        if field.is_repeated() {
+            return Err(Error::TypeMismatch {
+                field: format!("{}.{}", self.descriptor.name, name),
+                expected: "repeated (use push)".into(),
+                actual: "single".into(),
+            });
+        }
+        self.fields.insert(number, FieldValue::Single(value));
+        Ok(())
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, name: &str, value: impl Into<Value>) -> Result<Self> {
+        self.set(name, value)?;
+        Ok(self)
+    }
+
+    /// Append to a repeated field.
+    pub fn push(&mut self, name: &str, value: impl Into<Value>) -> Result<()> {
+        let value = value.into();
+        let field = self.field(name)?;
+        if !field.is_repeated() {
+            return Err(Error::TypeMismatch {
+                field: format!("{}.{}", self.descriptor.name, name),
+                expected: "single (use set)".into(),
+                actual: "repeated".into(),
+            });
+        }
+        if !value.matches_type(&field.field_type) {
+            return Err(Error::TypeMismatch {
+                field: format!("{}.{}", self.descriptor.name, name),
+                expected: field.field_type.name(),
+                actual: value.type_name().to_string(),
+            });
+        }
+        let number = field.number;
+        match self.fields.entry(number).or_insert_with(|| FieldValue::Repeated(Vec::new())) {
+            FieldValue::Repeated(v) => v.push(value),
+            FieldValue::Single(_) => unreachable!("label checked above"),
+        }
+        Ok(())
+    }
+
+    /// Get a singular field's value, if set.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        let field = self.descriptor.field_by_name(name)?;
+        match self.fields.get(&field.number) {
+            Some(FieldValue::Single(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Get a singular field's value, falling back to the protobuf default
+    /// when unset (what a proto3 reader observes).
+    pub fn get_or_default(&self, name: &str) -> Option<Value> {
+        let field = self.descriptor.field_by_name(name)?;
+        match self.fields.get(&field.number) {
+            Some(FieldValue::Single(v)) => Some(v.clone()),
+            _ => Value::default_for(&field.field_type),
+        }
+    }
+
+    /// Get all values of a repeated field (empty slice when unset).
+    pub fn get_repeated(&self, name: &str) -> &[Value] {
+        match self
+            .descriptor
+            .field_by_name(name)
+            .and_then(|f| self.fields.get(&f.number))
+        {
+            Some(FieldValue::Repeated(v)) => v,
+            _ => &[],
+        }
+    }
+
+    /// Whether the field has an explicit value.
+    pub fn has(&self, name: &str) -> bool {
+        self.descriptor
+            .field_by_name(name)
+            .is_some_and(|f| self.fields.contains_key(&f.number))
+    }
+
+    /// Remove a field's value.
+    pub fn clear_field(&mut self, name: &str) -> Result<()> {
+        let number = self.field(name)?.number;
+        self.fields.remove(&number);
+        Ok(())
+    }
+
+    /// Number of unknown (schema-evolved) fields carried by this message.
+    pub fn unknown_field_count(&self) -> usize {
+        self.unknown.len()
+    }
+
+    // ------------------------------------------------------------ encoding
+
+    /// Serialize to protobuf wire bytes. Unknown fields captured during
+    /// decoding are re-emitted, preserving data written by newer schemas.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (number, fv) in &self.fields {
+            let field = self
+                .descriptor
+                .field_by_number(*number)
+                .expect("field numbers validated on insert");
+            match fv {
+                FieldValue::Single(v) => encode_value(&mut out, field, v),
+                FieldValue::Repeated(vs) => {
+                    for v in vs {
+                        encode_value(&mut out, field, v);
+                    }
+                }
+            }
+        }
+        for u in &self.unknown {
+            put_tag(&mut out, u.number, u.wire_type);
+            out.extend_from_slice(&u.data);
+        }
+        out
+    }
+
+    /// Decode wire bytes against `descriptor`, resolving nested message
+    /// types through `pool`. Fields on the wire that the descriptor does
+    /// not know are preserved as unknown fields.
+    pub fn decode(
+        descriptor: Arc<MessageDescriptor>,
+        pool: &DescriptorPool,
+        mut data: &[u8],
+    ) -> Result<Self> {
+        let mut msg = DynamicMessage::new(descriptor.clone());
+        while !data.is_empty() {
+            let (number, wire_type, n) = get_tag(data)?;
+            data = &data[n..];
+            match descriptor.field_by_number(number) {
+                Some(field) if field.field_type.wire_type() == wire_type => {
+                    let (value, consumed) = decode_value(field, pool, data)?;
+                    data = &data[consumed..];
+                    if field.is_repeated() {
+                        let number = field.number;
+                        match msg
+                            .fields
+                            .entry(number)
+                            .or_insert_with(|| FieldValue::Repeated(Vec::new()))
+                        {
+                            FieldValue::Repeated(v) => v.push(value),
+                            FieldValue::Single(_) => unreachable!(),
+                        }
+                    } else {
+                        msg.fields.insert(field.number, FieldValue::Single(value));
+                    }
+                }
+                _ => {
+                    // Unknown field (or wire-type mismatch from an evolved
+                    // schema): preserve the raw bytes.
+                    let consumed = skip_field(data, wire_type)?;
+                    msg.unknown.push(UnknownField {
+                        number,
+                        wire_type,
+                        data: data[..consumed].to_vec(),
+                    });
+                    data = &data[consumed..];
+                }
+            }
+        }
+        Ok(msg)
+    }
+}
+
+fn encode_value(out: &mut Vec<u8>, field: &FieldDescriptor, value: &Value) {
+    let wt = field.field_type.wire_type();
+    put_tag(out, field.number, wt);
+    match (&field.field_type, value) {
+        (FieldType::Int32, Value::I32(v)) => put_varint(out, *v as i64 as u64),
+        (FieldType::Int64, Value::I64(v)) => put_varint(out, *v as u64),
+        (FieldType::SInt32, Value::I32(v)) => put_varint(out, zigzag_encode(i64::from(*v))),
+        (FieldType::SInt64, Value::I64(v)) => put_varint(out, zigzag_encode(*v)),
+        (FieldType::UInt32, Value::U32(v)) => put_varint(out, u64::from(*v)),
+        (FieldType::UInt64, Value::U64(v)) => put_varint(out, *v),
+        (FieldType::Bool, Value::Bool(v)) => put_varint(out, u64::from(*v)),
+        (FieldType::Enum(_), Value::Enum(v)) => put_varint(out, *v as i64 as u64),
+        (FieldType::Fixed32, Value::U32(v)) => out.extend_from_slice(&v.to_le_bytes()),
+        (FieldType::SFixed32, Value::I32(v)) => out.extend_from_slice(&v.to_le_bytes()),
+        (FieldType::Float, Value::F32(v)) => out.extend_from_slice(&v.to_le_bytes()),
+        (FieldType::Fixed64, Value::U64(v)) => out.extend_from_slice(&v.to_le_bytes()),
+        (FieldType::SFixed64, Value::I64(v)) => out.extend_from_slice(&v.to_le_bytes()),
+        (FieldType::Double, Value::F64(v)) => out.extend_from_slice(&v.to_le_bytes()),
+        (FieldType::String, Value::String(v)) => put_len_delimited(out, v.as_bytes()),
+        (FieldType::Bytes, Value::Bytes(v)) => put_len_delimited(out, v),
+        (FieldType::Message(_), Value::Message(m)) => put_len_delimited(out, &m.encode()),
+        (ft, v) => unreachable!("type-checked insert allowed {v:?} into {ft:?}"),
+    }
+}
+
+fn decode_value(
+    field: &FieldDescriptor,
+    pool: &DescriptorPool,
+    data: &[u8],
+) -> Result<(Value, usize)> {
+    match field.field_type.wire_type() {
+        WIRE_VARINT => {
+            let (raw, n) = get_varint(data)?;
+            let value = match &field.field_type {
+                FieldType::Int32 => Value::I32(raw as i64 as i32),
+                FieldType::Int64 => Value::I64(raw as i64),
+                FieldType::SInt32 => Value::I32(zigzag_decode(raw) as i32),
+                FieldType::SInt64 => Value::I64(zigzag_decode(raw)),
+                FieldType::UInt32 => Value::U32(raw as u32),
+                FieldType::UInt64 => Value::U64(raw),
+                FieldType::Bool => Value::Bool(raw != 0),
+                FieldType::Enum(_) => Value::Enum(raw as i64 as i32),
+                _ => unreachable!(),
+            };
+            Ok((value, n))
+        }
+        WIRE_64BIT => {
+            let raw = data
+                .get(..8)
+                .ok_or_else(|| Error::Decode("truncated 64-bit field".into()))?;
+            let value = match &field.field_type {
+                FieldType::Fixed64 => Value::U64(u64::from_le_bytes(raw.try_into().unwrap())),
+                FieldType::SFixed64 => Value::I64(i64::from_le_bytes(raw.try_into().unwrap())),
+                FieldType::Double => Value::F64(f64::from_le_bytes(raw.try_into().unwrap())),
+                _ => unreachable!(),
+            };
+            Ok((value, 8))
+        }
+        WIRE_32BIT => {
+            let raw = data
+                .get(..4)
+                .ok_or_else(|| Error::Decode("truncated 32-bit field".into()))?;
+            let value = match &field.field_type {
+                FieldType::Fixed32 => Value::U32(u32::from_le_bytes(raw.try_into().unwrap())),
+                FieldType::SFixed32 => Value::I32(i32::from_le_bytes(raw.try_into().unwrap())),
+                FieldType::Float => Value::F32(f32::from_le_bytes(raw.try_into().unwrap())),
+                _ => unreachable!(),
+            };
+            Ok((value, 4))
+        }
+        WIRE_LEN => {
+            let (len, n) = get_varint(data)?;
+            let payload = data
+                .get(n..n + len as usize)
+                .ok_or_else(|| Error::Decode("truncated length-delimited field".into()))?;
+            let value = match &field.field_type {
+                FieldType::String => Value::String(
+                    String::from_utf8(payload.to_vec())
+                        .map_err(|e| Error::Decode(format!("invalid utf-8: {e}")))?,
+                ),
+                FieldType::Bytes => Value::Bytes(payload.to_vec()),
+                FieldType::Message(type_name) => {
+                    let nested_desc = pool.message(type_name).ok_or_else(|| {
+                        Error::Decode(format!("unknown nested type {type_name}"))
+                    })?;
+                    Value::Message(DynamicMessage::decode(nested_desc, pool, payload)?)
+                }
+                _ => unreachable!(),
+            };
+            Ok((value, n + len as usize))
+        }
+        other => Err(Error::Decode(format!("unsupported wire type {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{FieldLabel, MessageDescriptor};
+
+    /// The paper's Figure 4 example message.
+    fn example_pool() -> DescriptorPool {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(
+            MessageDescriptor::new(
+                "Example.Nested",
+                vec![
+                    FieldDescriptor::optional("a", 1, FieldType::Int64),
+                    FieldDescriptor::optional("b", 2, FieldType::String),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        pool.add_message(
+            MessageDescriptor::new(
+                "Example",
+                vec![
+                    FieldDescriptor::optional("id", 1, FieldType::Int64),
+                    FieldDescriptor::repeated("elem", 2, FieldType::String),
+                    FieldDescriptor::optional(
+                        "parent",
+                        3,
+                        FieldType::Message("Example.Nested".into()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        pool.validate().unwrap();
+        pool
+    }
+
+    fn example_message(pool: &DescriptorPool) -> DynamicMessage {
+        let mut nested = DynamicMessage::new(pool.message("Example.Nested").unwrap());
+        nested.set("a", 1415i64).unwrap();
+        nested.set("b", "child").unwrap();
+        let mut msg = DynamicMessage::new(pool.message("Example").unwrap());
+        msg.set("id", 1066i64).unwrap();
+        msg.push("elem", "first").unwrap();
+        msg.push("elem", "second").unwrap();
+        msg.push("elem", "third").unwrap();
+        msg.set("parent", nested).unwrap();
+        msg
+    }
+
+    #[test]
+    fn paper_figure4_roundtrip() {
+        let pool = example_pool();
+        let msg = example_message(&pool);
+        let bytes = msg.encode();
+        let back = DynamicMessage::decode(pool.message("Example").unwrap(), &pool, &bytes).unwrap();
+        assert_eq!(back.get("id").unwrap().as_i64(), Some(1066));
+        let elems: Vec<_> = back
+            .get_repeated("elem")
+            .iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(elems, vec!["first", "second", "third"]);
+        let parent = back.get("parent").unwrap().as_message().unwrap();
+        assert_eq!(parent.get("a").unwrap().as_i64(), Some(1415));
+        assert_eq!(parent.get("b").unwrap().as_str(), Some("child"));
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let pool = example_pool();
+        let mut msg = DynamicMessage::new(pool.message("Example").unwrap());
+        assert!(matches!(msg.set("id", "nope"), Err(Error::TypeMismatch { .. })));
+        assert!(matches!(msg.set("missing", 1i64), Err(Error::UnknownField(_))));
+        // set on repeated / push on singular rejected.
+        assert!(msg.set("elem", "x").is_err());
+        assert!(msg.push("id", 1i64).is_err());
+    }
+
+    #[test]
+    fn defaults_for_unset_fields() {
+        let pool = example_pool();
+        let msg = DynamicMessage::new(pool.message("Example").unwrap());
+        assert_eq!(msg.get("id"), None);
+        assert_eq!(msg.get_or_default("id"), Some(Value::I64(0)));
+        assert!(msg.get_repeated("elem").is_empty());
+        assert!(!msg.has("id"));
+    }
+
+    #[test]
+    fn unknown_fields_preserved_across_reencode() {
+        // New schema writes a field the old schema doesn't know; the old
+        // reader must carry it through (§5 schema evolution).
+        let mut new_pool = DescriptorPool::new();
+        new_pool
+            .add_message(
+                MessageDescriptor::new(
+                    "T",
+                    vec![
+                        FieldDescriptor::optional("x", 1, FieldType::Int64),
+                        FieldDescriptor::optional("added", 9, FieldType::String),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut old_pool = DescriptorPool::new();
+        old_pool
+            .add_message(
+                MessageDescriptor::new(
+                    "T",
+                    vec![FieldDescriptor::optional("x", 1, FieldType::Int64)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+
+        let mut written = DynamicMessage::new(new_pool.message("T").unwrap());
+        written.set("x", 7i64).unwrap();
+        written.set("added", "future data").unwrap();
+        let bytes = written.encode();
+
+        // Old reader decodes: new field lands in unknowns.
+        let old_read = DynamicMessage::decode(old_pool.message("T").unwrap(), &old_pool, &bytes).unwrap();
+        assert_eq!(old_read.get("x").unwrap().as_i64(), Some(7));
+        assert_eq!(old_read.unknown_field_count(), 1);
+
+        // Old reader re-encodes; new reader still sees the added field.
+        let reencoded = old_read.encode();
+        let new_read =
+            DynamicMessage::decode(new_pool.message("T").unwrap(), &new_pool, &reencoded).unwrap();
+        assert_eq!(new_read.get("added").unwrap().as_str(), Some("future data"));
+    }
+
+    #[test]
+    fn new_fields_read_as_unset_from_old_records() {
+        // Old schema wrote the record; a reader with the evolved schema
+        // sees the added field as unset (§5).
+        let mut old_pool = DescriptorPool::new();
+        old_pool
+            .add_message(
+                MessageDescriptor::new(
+                    "T",
+                    vec![FieldDescriptor::optional("x", 1, FieldType::Int64)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut new_pool = DescriptorPool::new();
+        new_pool
+            .add_message(
+                MessageDescriptor::new(
+                    "T",
+                    vec![
+                        FieldDescriptor::optional("x", 1, FieldType::Int64),
+                        FieldDescriptor::optional("added", 2, FieldType::String),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut old_msg = DynamicMessage::new(old_pool.message("T").unwrap());
+        old_msg.set("x", 1i64).unwrap();
+        let decoded =
+            DynamicMessage::decode(new_pool.message("T").unwrap(), &new_pool, &old_msg.encode())
+                .unwrap();
+        assert!(!decoded.has("added"));
+        assert_eq!(decoded.get_or_default("added"), Some(Value::String(String::new())));
+    }
+
+    #[test]
+    fn all_scalar_types_roundtrip() {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(
+            MessageDescriptor::new(
+                "S",
+                vec![
+                    FieldDescriptor::optional("i32", 1, FieldType::Int32),
+                    FieldDescriptor::optional("i64", 2, FieldType::Int64),
+                    FieldDescriptor::optional("u32", 3, FieldType::UInt32),
+                    FieldDescriptor::optional("u64", 4, FieldType::UInt64),
+                    FieldDescriptor::optional("s32", 5, FieldType::SInt32),
+                    FieldDescriptor::optional("s64", 6, FieldType::SInt64),
+                    FieldDescriptor::optional("f32", 7, FieldType::Fixed32),
+                    FieldDescriptor::optional("f64", 8, FieldType::Fixed64),
+                    FieldDescriptor::optional("sf32", 9, FieldType::SFixed32),
+                    FieldDescriptor::optional("sf64", 10, FieldType::SFixed64),
+                    FieldDescriptor::optional("fl", 11, FieldType::Float),
+                    FieldDescriptor::optional("db", 12, FieldType::Double),
+                    FieldDescriptor::optional("b", 13, FieldType::Bool),
+                    FieldDescriptor::optional("s", 14, FieldType::String),
+                    FieldDescriptor::optional("by", 15, FieldType::Bytes),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut m = DynamicMessage::new(pool.message("S").unwrap());
+        m.set("i32", -42i32).unwrap();
+        m.set("i64", i64::MIN).unwrap();
+        m.set("u32", u32::MAX).unwrap();
+        m.set("u64", u64::MAX).unwrap();
+        m.set("s32", -99i32).unwrap();
+        m.set("s64", -1_000_000i64).unwrap();
+        m.set("f32", 7u32).unwrap();
+        m.set("f64", 8u64).unwrap();
+        m.set("sf32", -7i32).unwrap();
+        m.set("sf64", -8i64).unwrap();
+        m.set("fl", 1.5f32).unwrap();
+        m.set("db", -2.75f64).unwrap();
+        m.set("b", true).unwrap();
+        m.set("s", "héllo").unwrap();
+        m.set("by", b"\x00\x01\xFF".as_slice()).unwrap();
+        let back = DynamicMessage::decode(pool.message("S").unwrap(), &pool, &m.encode()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn negative_int32_uses_ten_byte_varint() {
+        // Protobuf quirk: int32 negatives sign-extend to 64 bits.
+        let mut pool = DescriptorPool::new();
+        pool.add_message(
+            MessageDescriptor::new("N", vec![FieldDescriptor::optional("v", 1, FieldType::Int32)])
+                .unwrap(),
+        )
+        .unwrap();
+        let mut m = DynamicMessage::new(pool.message("N").unwrap());
+        m.set("v", -1i32).unwrap();
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), 1 + 10); // tag + 10-byte varint
+        let back = DynamicMessage::decode(pool.message("N").unwrap(), &pool, &bytes).unwrap();
+        assert_eq!(back.get("v").unwrap(), &Value::I32(-1));
+    }
+
+    #[test]
+    fn repeated_label_helpers() {
+        let d = FieldDescriptor::repeated("r", 1, FieldType::Int64);
+        assert!(d.is_repeated());
+        assert_eq!(d.label, FieldLabel::Repeated);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let pool = example_pool();
+        let msg = example_message(&pool);
+        let bytes = msg.encode();
+        let truncated = &bytes[..bytes.len() - 1];
+        assert!(DynamicMessage::decode(pool.message("Example").unwrap(), &pool, truncated).is_err());
+    }
+
+    #[test]
+    fn clear_field_removes_value() {
+        let pool = example_pool();
+        let mut msg = example_message(&pool);
+        assert!(msg.has("id"));
+        msg.clear_field("id").unwrap();
+        assert!(!msg.has("id"));
+        assert!(msg.clear_field("bogus").is_err());
+    }
+}

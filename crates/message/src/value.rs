@@ -1,0 +1,186 @@
+//! Typed field values.
+
+use crate::descriptor::FieldType;
+use crate::message::DynamicMessage;
+
+/// A dynamically-typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    I32(i32),
+    I64(i64),
+    U32(u32),
+    U64(u64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    String(String),
+    Bytes(Vec<u8>),
+    Enum(i32),
+    Message(DynamicMessage),
+}
+
+impl Value {
+    /// Whether this value can be stored in a field of `ty`.
+    pub fn matches_type(&self, ty: &FieldType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::I32(_), FieldType::Int32 | FieldType::SInt32 | FieldType::SFixed32)
+                | (Value::I64(_), FieldType::Int64 | FieldType::SInt64 | FieldType::SFixed64)
+                | (Value::U32(_), FieldType::UInt32 | FieldType::Fixed32)
+                | (Value::U64(_), FieldType::UInt64 | FieldType::Fixed64)
+                | (Value::F32(_), FieldType::Float)
+                | (Value::F64(_), FieldType::Double)
+                | (Value::Bool(_), FieldType::Bool)
+                | (Value::String(_), FieldType::String)
+                | (Value::Bytes(_), FieldType::Bytes)
+                | (Value::Enum(_), FieldType::Enum(_))
+                | (Value::Message(_), FieldType::Message(_))
+        )
+    }
+
+    /// Type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::I32(_) => "i32",
+            Value::I64(_) => "i64",
+            Value::U32(_) => "u32",
+            Value::U64(_) => "u64",
+            Value::F32(_) => "f32",
+            Value::F64(_) => "f64",
+            Value::Bool(_) => "bool",
+            Value::String(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Enum(_) => "enum",
+            Value::Message(_) => "message",
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I32(v) => Some(*v as i64),
+            Value::I64(v) => Some(*v),
+            Value::U32(v) => Some(*v as i64),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            Value::Enum(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F32(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_message(&self) -> Option<&DynamicMessage> {
+        match self {
+            Value::Message(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The protobuf default for `ty`: what a reader sees for a field that
+    /// is absent from the wire bytes. Message fields have no default.
+    pub fn default_for(ty: &FieldType) -> Option<Value> {
+        Some(match ty {
+            FieldType::Int32 | FieldType::SInt32 | FieldType::SFixed32 => Value::I32(0),
+            FieldType::Int64 | FieldType::SInt64 | FieldType::SFixed64 => Value::I64(0),
+            FieldType::UInt32 | FieldType::Fixed32 => Value::U32(0),
+            FieldType::UInt64 | FieldType::Fixed64 => Value::U64(0),
+            FieldType::Float => Value::F32(0.0),
+            FieldType::Double => Value::F64(0.0),
+            FieldType::Bool => Value::Bool(false),
+            FieldType::String => Value::String(String::new()),
+            FieldType::Bytes => Value::Bytes(Vec::new()),
+            FieldType::Enum(_) => Value::Enum(0),
+            FieldType::Message(_) => return None,
+        })
+    }
+}
+
+macro_rules! value_from {
+    ($t:ty, $variant:ident) => {
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::$variant(v)
+            }
+        }
+    };
+}
+
+value_from!(i32, I32);
+value_from!(i64, I64);
+value_from!(u32, U32);
+value_from!(u64, U64);
+value_from!(f32, F32);
+value_from!(f64, F64);
+value_from!(bool, Bool);
+value_from!(String, String);
+value_from!(Vec<u8>, Bytes);
+value_from!(DynamicMessage, Message);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value::Bytes(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_matching() {
+        assert!(Value::I64(1).matches_type(&FieldType::Int64));
+        assert!(!Value::I64(1).matches_type(&FieldType::Int32));
+        assert!(Value::String("x".into()).matches_type(&FieldType::String));
+        assert!(Value::Enum(2).matches_type(&FieldType::Enum("E".into())));
+        assert!(!Value::Bytes(vec![]).matches_type(&FieldType::String));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I32(-5).as_i64(), Some(-5));
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::F32(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn defaults_match_proto3() {
+        assert_eq!(Value::default_for(&FieldType::Int64), Some(Value::I64(0)));
+        assert_eq!(Value::default_for(&FieldType::String), Some(Value::String(String::new())));
+        assert_eq!(Value::default_for(&FieldType::Bool), Some(Value::Bool(false)));
+        assert_eq!(Value::default_for(&FieldType::Message("M".into())), None);
+    }
+}

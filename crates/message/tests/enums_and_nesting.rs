@@ -1,0 +1,119 @@
+//! Integration tests for enum fields, deep nesting, and repeated nested
+//! messages — the shapes CloudKit schemas actually use.
+
+use rl_message::{
+    DescriptorPool, DynamicMessage, EnumDescriptor, FieldDescriptor, FieldType,
+    MessageDescriptor, Value,
+};
+
+fn pool() -> DescriptorPool {
+    let mut pool = DescriptorPool::new();
+    pool.add_enum(EnumDescriptor::new(
+        "Color",
+        vec![(0, "UNKNOWN"), (1, "RED"), (2, "BLUE")],
+    ))
+    .unwrap();
+    pool.add_message(
+        MessageDescriptor::new(
+            "Leaf",
+            vec![FieldDescriptor::optional("v", 1, FieldType::Int64)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    pool.add_message(
+        MessageDescriptor::new(
+            "Middle",
+            vec![
+                FieldDescriptor::optional("leaf", 1, FieldType::Message("Leaf".into())),
+                FieldDescriptor::repeated("leaves", 2, FieldType::Message("Leaf".into())),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    pool.add_message(
+        MessageDescriptor::new(
+            "Root",
+            vec![
+                FieldDescriptor::optional("color", 1, FieldType::Enum("Color".into())),
+                FieldDescriptor::optional("middle", 2, FieldType::Message("Middle".into())),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    pool.validate().unwrap();
+    pool
+}
+
+#[test]
+fn enum_fields_roundtrip() {
+    let pool = pool();
+    let mut m = DynamicMessage::new(pool.message("Root").unwrap());
+    m.set("color", Value::Enum(2)).unwrap();
+    let back = DynamicMessage::decode(pool.message("Root").unwrap(), &pool, &m.encode()).unwrap();
+    assert_eq!(back.get("color"), Some(&Value::Enum(2)));
+    // Enum descriptor resolves names.
+    let e = pool.enum_type("Color").unwrap();
+    assert_eq!(e.values.get(&2).map(String::as_str), Some("BLUE"));
+}
+
+#[test]
+fn three_levels_of_nesting_roundtrip() {
+    let pool = pool();
+    let mut leaf = DynamicMessage::new(pool.message("Leaf").unwrap());
+    leaf.set("v", 42i64).unwrap();
+    let mut middle = DynamicMessage::new(pool.message("Middle").unwrap());
+    middle.set("leaf", leaf.clone()).unwrap();
+    for i in 0..3i64 {
+        let mut l = DynamicMessage::new(pool.message("Leaf").unwrap());
+        l.set("v", i).unwrap();
+        middle.push("leaves", l).unwrap();
+    }
+    let mut root = DynamicMessage::new(pool.message("Root").unwrap());
+    root.set("middle", middle).unwrap();
+    root.set("color", Value::Enum(1)).unwrap();
+
+    let back = DynamicMessage::decode(pool.message("Root").unwrap(), &pool, &root.encode()).unwrap();
+    assert_eq!(back, root);
+    let mid = back.get("middle").unwrap().as_message().unwrap();
+    assert_eq!(mid.get_repeated("leaves").len(), 3);
+    assert_eq!(
+        mid.get("leaf").unwrap().as_message().unwrap().get("v").unwrap().as_i64(),
+        Some(42)
+    );
+}
+
+#[test]
+fn repeated_message_order_is_preserved() {
+    let pool = pool();
+    let mut middle = DynamicMessage::new(pool.message("Middle").unwrap());
+    for i in [5i64, 1, 9, 3] {
+        let mut l = DynamicMessage::new(pool.message("Leaf").unwrap());
+        l.set("v", i).unwrap();
+        middle.push("leaves", l).unwrap();
+    }
+    let back =
+        DynamicMessage::decode(pool.message("Middle").unwrap(), &pool, &middle.encode()).unwrap();
+    let vs: Vec<i64> = back
+        .get_repeated("leaves")
+        .iter()
+        .map(|v| v.as_message().unwrap().get("v").unwrap().as_i64().unwrap())
+        .collect();
+    assert_eq!(vs, vec![5, 1, 9, 3]);
+}
+
+#[test]
+fn enum_value_in_unknown_message_type_rejected_by_pool_validation() {
+    let mut pool = DescriptorPool::new();
+    pool.add_message(
+        MessageDescriptor::new(
+            "M",
+            vec![FieldDescriptor::optional("e", 1, FieldType::Enum("Ghost".into()))],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(pool.validate().is_err());
+}

@@ -1,0 +1,107 @@
+//! Leaderboard: the RANK index use case from Appendix B — find a player's
+//! position by score, and jump straight to the k-th ranked player without
+//! scanning (the "scrollbar" pattern).
+//!
+//! Run with `cargo run --example leaderboard`.
+
+use record_layer::expr::KeyExpression;
+use record_layer::metadata::{Index, RecordMetaDataBuilder};
+use record_layer::store::RecordStore;
+use rl_fdb::tuple::Tuple;
+use rl_fdb::{Database, Subspace};
+use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor, Value};
+
+fn main() -> record_layer::Result<()> {
+    let mut pool = DescriptorPool::new();
+    pool.add_message(
+        MessageDescriptor::new(
+            "Player",
+            vec![
+                FieldDescriptor::optional("name", 1, FieldType::String),
+                FieldDescriptor::optional("score", 2, FieldType::Int64),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let metadata = RecordMetaDataBuilder::new(pool)
+        .record_type("Player", KeyExpression::field("name"))
+        .index("Player", Index::rank("by_score", KeyExpression::field("score")))
+        .build()?;
+
+    let db = Database::new();
+    let space = Subspace::from_bytes(b"leaderboard".to_vec());
+
+    let players = [
+        ("ahab", 4200i64),
+        ("ishmael", 1500),
+        ("queequeg", 8800),
+        ("starbuck", 6100),
+        ("stubb", 3300),
+        ("flask", 2700),
+        ("pip", 900),
+        ("fedallah", 7400),
+    ];
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+        for (name, score) in players {
+            let mut p = store.new_record("Player")?;
+            p.set("name", name).unwrap();
+            p.set("score", score).unwrap();
+            store.save_record(p)?;
+        }
+        Ok(())
+    })?;
+
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+        let total = store.rank_count("by_score")?;
+        println!("leaderboard has {total} players");
+
+        // A player's position: rank of their (score, pk) entry. Rank 0 is
+        // the lowest score, so position-from-top = total - 1 - rank.
+        for (name, score) in [("starbuck", 6100i64), ("pip", 900)] {
+            let entry = Tuple::new().push(score).push(name);
+            let rank = store.rank_of("by_score", &entry)?.unwrap();
+            println!("{name}: #{} from the top", total - rank);
+        }
+
+        // The scrollbar: jump straight to the k-th entry.
+        println!("\ntop 3 by direct rank access:");
+        for k in 0..3 {
+            let entry = store.entry_at_rank("by_score", total - 1 - k)?.unwrap();
+            println!(
+                "  #{}: {} ({} points)",
+                k + 1,
+                entry.get(1).and_then(|e| e.as_str()).unwrap(),
+                entry.get(0).and_then(|e| e.as_int()).unwrap()
+            );
+        }
+        Ok(())
+    })?;
+
+    // Score update: the rank moves transactionally with the record.
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+        let mut p = store.new_record("Player")?;
+        p.set("name", "pip").unwrap();
+        p.set("score", 9999i64).unwrap();
+        store.save_record(p)?;
+        Ok(())
+    })?;
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+        let total = store.rank_count("by_score")?;
+        let top = store.entry_at_rank("by_score", total - 1)?.unwrap();
+        println!(
+            "\nafter pip's comeback, the leader is {} ({})",
+            top.get(1).and_then(|e| e.as_str()).unwrap(),
+            top.get(0).and_then(|e| e.as_int()).unwrap()
+        );
+        let rec = store.load_record(&Tuple::from(("pip",)))?.unwrap();
+        println!("pip's record now reads {:?}", rec.message.get("score").and_then(Value::as_i64).unwrap());
+        Ok(())
+    })?;
+
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Quickstart: define a schema, open a record store, save and query
+//! records through the planner, and resume a query from a continuation.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use record_layer::cursor::{Continuation, ExecuteProperties};
+use record_layer::expr::KeyExpression;
+use record_layer::metadata::{Index, RecordMetaDataBuilder};
+use record_layer::plan::{BoxedCursorExt, RecordQueryPlanner};
+use record_layer::query::{Comparison, QueryComponent, RecordQuery};
+use record_layer::store::RecordStore;
+use rl_fdb::{Database, Subspace};
+use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor, Value};
+
+fn main() -> record_layer::Result<()> {
+    // 1. Schema: a User record type with an index on (city, age).
+    let mut pool = DescriptorPool::new();
+    pool.add_message(
+        MessageDescriptor::new(
+            "User",
+            vec![
+                FieldDescriptor::optional("id", 1, FieldType::Int64),
+                FieldDescriptor::optional("name", 2, FieldType::String),
+                FieldDescriptor::optional("city", 3, FieldType::String),
+                FieldDescriptor::optional("age", 4, FieldType::Int64),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let metadata = RecordMetaDataBuilder::new(pool)
+        .record_type("User", KeyExpression::field("id"))
+        .index("User", Index::value("by_city_age", KeyExpression::concat_fields("city", "age")))
+        .index("User", Index::count("user_count", KeyExpression::Empty))
+        .build()?;
+
+    // 2. A database and a record store subspace (one logical tenant).
+    let db = Database::new();
+    let store_space = Subspace::from_bytes(b"quickstart".to_vec());
+
+    // 3. Save some records — indexes are maintained transactionally.
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &store_space, &metadata)?;
+        for (id, name, city, age) in [
+            (1i64, "ada", "london", 36i64),
+            (2, "grace", "nyc", 45),
+            (3, "alan", "london", 41),
+            (4, "edsger", "austin", 58),
+            (5, "barbara", "london", 29),
+        ] {
+            let mut user = store.new_record("User")?;
+            user.set("id", id).unwrap();
+            user.set("name", name).unwrap();
+            user.set("city", city).unwrap();
+            user.set("age", age).unwrap();
+            store.save_record(user)?;
+        }
+        Ok(())
+    })?;
+
+    // 4. Declarative query: londoners older than 30, served by the index.
+    let query = RecordQuery::new().record_type("User").filter(QueryComponent::and(vec![
+        QueryComponent::field("city", Comparison::Equals("london".into())),
+        QueryComponent::field("age", Comparison::GreaterThan(30i64.into())),
+    ]));
+    let planner = RecordQueryPlanner::new(&metadata);
+    let plan = planner.plan(&query)?;
+    println!("plan: {}", plan.describe());
+
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &store_space, &metadata)?;
+        for rec in plan.execute_all(&store)? {
+            println!(
+                "  {} (age {})",
+                rec.message.get("name").and_then(Value::as_str).unwrap(),
+                rec.message.get("age").and_then(Value::as_i64).unwrap()
+            );
+        }
+        Ok(())
+    })?;
+
+    // 5. Continuations: stop after 1 row, resume in a NEW transaction —
+    //    the layer is stateless, so the position lives entirely in the
+    //    returned continuation.
+    let continuation = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &store_space, &metadata)?;
+        let mut cursor = plan.execute(
+            &store,
+            &Continuation::Start,
+            &ExecuteProperties::new().with_return_limit(1),
+        )?;
+        let (first, reason, continuation) = cursor.collect_remaining_boxed()?;
+        println!("first page: {} row ({reason:?})", first.len());
+        Ok(continuation.to_bytes())
+    })?;
+
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &store_space, &metadata)?;
+        let resumed = Continuation::from_bytes(&continuation)?;
+        let mut cursor = plan.execute(&store, &resumed, &ExecuteProperties::new())?;
+        let (rest, _, _) = cursor.collect_remaining_boxed()?;
+        println!("second page: {} row(s)", rest.len());
+        Ok(())
+    })?;
+
+    // 6. The COUNT aggregate index, maintained with conflict-free atomic
+    //    mutations.
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &store_space, &metadata)?;
+        let count = store.evaluate_aggregate("user_count", &rl_fdb::tuple::Tuple::new())?;
+        println!("total users (COUNT index): {:?}", count.as_long().unwrap());
+        Ok(())
+    })?;
+
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Personalized full-text search (§8.1, Appendix B): a transactional TEXT
+//! index with token, prefix, phrase, and proximity search — the pattern
+//! behind CloudKit's mail/notes search, with no separate search system.
+//!
+//! Run with `cargo run --example text_search`.
+
+use record_layer::expr::KeyExpression;
+use record_layer::metadata::{Index, RecordMetaDataBuilder};
+use record_layer::query::TextComparison;
+use record_layer::store::RecordStore;
+use rl_fdb::{Database, Subspace};
+use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor};
+
+fn main() -> record_layer::Result<()> {
+    let mut pool = DescriptorPool::new();
+    pool.add_message(
+        MessageDescriptor::new(
+            "Note",
+            vec![
+                FieldDescriptor::optional("id", 1, FieldType::Int64),
+                FieldDescriptor::optional("body", 2, FieldType::String),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let metadata = RecordMetaDataBuilder::new(pool)
+        .record_type("Note", KeyExpression::field("id"))
+        .index("Note", Index::text("note_text", KeyExpression::field("body")))
+        .build()?;
+
+    let db = Database::new();
+    let space = Subspace::from_bytes(b"notes".to_vec());
+
+    let notes = [
+        (1i64, "Call me Ishmael. Some years ago I went to sea."),
+        (2, "The white whale breached near the ship at dawn."),
+        (3, "Whale oil lamps burned through the night watch."),
+        (4, "We sailed from Nantucket chasing the great white whale."),
+        (5, "The captain paced the deck, speaking of the sea."),
+    ];
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+        for (id, body) in notes {
+            let mut n = store.new_record("Note")?;
+            n.set("id", id).unwrap();
+            n.set("body", body).unwrap();
+            store.save_record(n)?;
+        }
+        Ok(())
+    })?;
+
+    let searches: Vec<(&str, TextComparison)> = vec![
+        ("token 'whale'", TextComparison::ContainsAll(vec!["whale".into()])),
+        (
+            "all of {white, whale}",
+            TextComparison::ContainsAll(vec!["white".into(), "whale".into()]),
+        ),
+        (
+            "any of {ishmael, captain}",
+            TextComparison::ContainsAny(vec!["ishmael".into(), "captain".into()]),
+        ),
+        ("prefix 'sail'", TextComparison::ContainsPrefix("sail".into())),
+        (
+            "phrase 'white whale'",
+            TextComparison::ContainsPhrase(vec!["white".into(), "whale".into()]),
+        ),
+        (
+            "'whale' within 3 of 'ship'",
+            TextComparison::ContainsAllWithin {
+                tokens: vec!["whale".into(), "ship".into()],
+                max_distance: 3,
+            },
+        ),
+    ];
+
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+        for (label, cmp) in &searches {
+            let pks = store.text_search("note_text", cmp)?;
+            let ids: Vec<i64> = pks.iter().filter_map(|pk| pk.get(0).and_then(|e| e.as_int())).collect();
+            println!("{label:<32} -> notes {ids:?}");
+        }
+
+        // Updates are transactional: no background job, no stale results.
+        let mut n = store.new_record("Note")?;
+        n.set("id", 2i64).unwrap();
+        n.set("body", "Rewritten: nothing about large cetaceans here.").unwrap();
+        store.save_record(n)?;
+        let pks = store.text_search("note_text", &TextComparison::ContainsAll(vec!["whale".into()]))?;
+        let ids: Vec<i64> = pks.iter().filter_map(|pk| pk.get(0).and_then(|e| e.as_int())).collect();
+        println!("\nafter rewriting note 2, 'whale' matches {ids:?} (immediately consistent)");
+
+        let stats = store.text_index_stats("note_text")?;
+        println!(
+            "index stats: {} keys, {} postings, {:.1} avg bunch fill, {} bytes",
+            stats.index_keys,
+            stats.postings,
+            stats.average_bunch_size(),
+            stats.total_bytes()
+        );
+        Ok(())
+    })?;
+
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace root crate: re-exports the public crates so that the examples
+//! and cross-crate integration tests in this repository have a single
+//! import point. Library users should depend on the individual crates.
+
+pub use cloudkit_sim;
+pub use record_layer;
+pub use rl_fdb;
+pub use rl_message;

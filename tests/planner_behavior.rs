@@ -1,0 +1,325 @@
+//! Planner behaviour across the stack: index selection, unions,
+//! intersections, sort rules, text scans, and continuation-resumable plan
+//! execution.
+
+use record_layer::cursor::{Continuation, ExecuteProperties};
+use record_layer::expr::KeyExpression;
+use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
+use record_layer::plan::{BoxedCursorExt, RecordQueryPlan, RecordQueryPlanner};
+use record_layer::query::{Comparison, QueryComponent, RecordQuery, TextComparison};
+use record_layer::store::RecordStore;
+use rl_fdb::{Database, Subspace};
+use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor, Value};
+
+fn metadata() -> RecordMetaData {
+    let mut pool = DescriptorPool::new();
+    pool.add_message(
+        MessageDescriptor::new(
+            "Item",
+            vec![
+                FieldDescriptor::optional("id", 1, FieldType::Int64),
+                FieldDescriptor::optional("color", 2, FieldType::String),
+                FieldDescriptor::optional("size", 3, FieldType::Int64),
+                FieldDescriptor::optional("name", 4, FieldType::String),
+                FieldDescriptor::optional("body", 5, FieldType::String),
+                FieldDescriptor::repeated("tags", 6, FieldType::String),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    RecordMetaDataBuilder::new(pool)
+        .record_type("Item", KeyExpression::field("id"))
+        .index("Item", Index::value("by_color", KeyExpression::field("color")))
+        .index("Item", Index::value("by_size", KeyExpression::field("size")))
+        .index(
+            "Item",
+            Index::value("by_color_size", KeyExpression::concat_fields("color", "size")),
+        )
+        .index("Item", Index::value("by_name", KeyExpression::field("name")))
+        .index("Item", Index::value("by_tag", KeyExpression::field_fanout("tags")))
+        .index("Item", Index::text("by_body", KeyExpression::field("body")))
+        .build()
+        .unwrap()
+}
+
+fn seed(db: &Database, md: &RecordMetaData) -> Subspace {
+    let sub = Subspace::from_bytes(b"plan".to_vec());
+    record_layer::run(db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, md)?;
+        let colors = ["red", "green", "blue"];
+        for i in 0..60i64 {
+            let mut item = store.new_record("Item")?;
+            item.set("id", i).unwrap();
+            item.set("color", colors[(i % 3) as usize]).unwrap();
+            item.set("size", i % 10).unwrap();
+            item.set("name", format!("item-{i:03}")).unwrap();
+            item.set("body", format!("body text number {i} with shared words")).unwrap();
+            item.push("tags", format!("tag{}", i % 5)).unwrap();
+            if i % 2 == 0 {
+                item.push("tags", "even".to_string()).unwrap();
+            }
+            store.save_record(item)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    sub
+}
+
+fn run_plan(db: &Database, md: &RecordMetaData, sub: &Subspace, plan: &RecordQueryPlan) -> Vec<i64> {
+    record_layer::run(db, |tx| {
+        let store = RecordStore::open_or_create(tx, sub, md)?;
+        let records = plan.execute_all(&store)?;
+        Ok(records
+            .iter()
+            .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+            .collect())
+    })
+    .unwrap()
+}
+
+#[test]
+fn compound_index_consumes_equality_plus_range() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
+        QueryComponent::field("color", Comparison::Equals("red".into())),
+        QueryComponent::field("size", Comparison::GreaterThanOrEquals(5i64.into())),
+    ]));
+    let plan = planner.plan(&query).unwrap();
+    assert_eq!(plan.describe(), "IndexScan(by_color_size)");
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert!(!ids.is_empty());
+    // Verify against brute force.
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        for id in &ids {
+            let rec = store.load_record(&rl_fdb::tuple::Tuple::from((*id,)))?.unwrap();
+            assert_eq!(rec.message.get("color").and_then(Value::as_str), Some("red"));
+            assert!(rec.message.get("size").and_then(Value::as_i64).unwrap() >= 5);
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(ids.len(), 60 / 3 / 2);
+}
+
+#[test]
+fn residual_filter_applies_unconsumed_predicates() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    // name has an index but the StartsWith goes to by_name; the size
+    // predicate has no combined index with name → residual.
+    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
+        QueryComponent::field("name", Comparison::StartsWith("item-00".into())),
+        QueryComponent::field("size", Comparison::LessThan(5i64.into())),
+    ]));
+    let plan = planner.plan(&query).unwrap();
+    assert!(plan.describe().contains("IndexScan"), "{}", plan.describe());
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn or_plans_as_union_without_duplicates() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::or(vec![
+        QueryComponent::field("color", Comparison::Equals("red".into())),
+        QueryComponent::field("size", Comparison::Equals(0i64.into())),
+    ]));
+    let plan = planner.plan(&query).unwrap();
+    assert!(plan.describe().starts_with("Union("), "{}", plan.describe());
+    let mut ids = run_plan(&db, &md, &sub, &plan);
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "union must deduplicate overlapping branches");
+    // red items: ids ≡ 0 mod 3 (20); size 0: ids ≡ 0 mod 10 (6); overlap ids ≡ 0 mod 30 (2).
+    assert_eq!(n, 20 + 6 - 2);
+}
+
+#[test]
+fn and_on_two_single_column_indexes_plans_intersection() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    // tags and name both have single-column indexes, but no compound one.
+    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
+        QueryComponent::one_of_them("tags", Comparison::Equals("even".into())),
+        QueryComponent::field("name", Comparison::Equals("item-004".into())),
+    ]));
+    let plan = planner.plan(&query).unwrap();
+    assert!(plan.describe().starts_with("Intersection("), "{}", plan.describe());
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(ids, vec![4]);
+}
+
+#[test]
+fn sort_served_by_index_or_rejected() {
+    let db = Database::new();
+    let md = metadata();
+    let _sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+
+    // Sort by color: by_color provides the order.
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .sort(KeyExpression::field("color"), false);
+    let plan = planner.plan(&query).unwrap();
+    assert!(plan.describe().contains("IndexScan(by_color"), "{}", plan.describe());
+
+    // Sort by primary key: full scan is pk-ordered.
+    let query = RecordQuery::new().record_type("Item").sort(KeyExpression::field("id"), false);
+    let plan = planner.plan(&query).unwrap();
+    assert!(plan.describe().contains("FullScan"), "{}", plan.describe());
+
+    // Sort by body (no index order): rejected, never sorted in memory.
+    let query = RecordQuery::new().record_type("Item").sort(KeyExpression::field("body"), false);
+    assert!(matches!(
+        planner.plan(&query),
+        Err(record_layer::Error::UnsupportedSort(_))
+    ));
+}
+
+#[test]
+fn reverse_sort_scans_index_backwards() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field("color", Comparison::Equals("red".into())))
+        .sort(KeyExpression::concat_fields("color", "size"), true);
+    let plan = planner.plan(&query).unwrap();
+    assert!(plan.describe().contains("reverse"), "{}", plan.describe());
+    let ids = run_plan(&db, &md, &sub, &plan);
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let sizes: Vec<i64> = ids
+            .iter()
+            .map(|id| {
+                store
+                    .load_record(&rl_fdb::tuple::Tuple::from((*id,)))
+                    .unwrap()
+                    .unwrap()
+                    .message
+                    .get("size")
+                    .and_then(Value::as_i64)
+                    .unwrap()
+            })
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "descending sizes: {sizes:?}");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn text_predicate_plans_text_scan() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::field(
+        "body",
+        Comparison::Text(TextComparison::ContainsAll(vec!["number".into(), "7".into()])),
+    ));
+    let plan = planner.plan(&query).unwrap();
+    assert_eq!(plan.describe(), "TextScan(by_body)");
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(ids, vec![7]);
+}
+
+#[test]
+fn plan_execution_resumes_from_continuation() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field("color", Comparison::Equals("green".into())));
+    let plan = planner.plan(&query).unwrap();
+
+    // First page of 5, then resume in a fresh transaction.
+    let (first_ids, continuation) = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut cursor = plan.execute(
+            &store,
+            &Continuation::Start,
+            &ExecuteProperties::new().with_return_limit(5),
+        )?;
+        let (recs, _, cont) = cursor.collect_remaining_boxed()?;
+        Ok((
+            recs.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect::<Vec<_>>(),
+            cont,
+        ))
+    })
+    .unwrap();
+    assert_eq!(first_ids.len(), 5);
+
+    let rest_ids = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut cursor = plan.execute(&store, &continuation, &ExecuteProperties::new())?;
+        let (recs, _, _) = cursor.collect_remaining_boxed()?;
+        Ok(recs.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect::<Vec<_>>())
+    })
+    .unwrap();
+    assert_eq!(first_ids.len() + rest_ids.len(), 20);
+    for id in &first_ids {
+        assert!(!rest_ids.contains(id), "resumed page must not repeat {id}");
+    }
+}
+
+#[test]
+fn union_continuation_does_not_duplicate_across_pages() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::or(vec![
+        QueryComponent::field("color", Comparison::Equals("red".into())),
+        QueryComponent::field("size", Comparison::Equals(0i64.into())),
+    ]));
+    let plan = planner.plan(&query).unwrap();
+
+    let mut all_ids: Vec<i64> = Vec::new();
+    let mut continuation = Continuation::Start;
+    loop {
+        let (ids, cont, done) = record_layer::run(&db, |tx| {
+            let store = RecordStore::open_or_create(tx, &sub, &md)?;
+            let mut cursor = plan.execute(
+                &store,
+                &continuation,
+                &ExecuteProperties::new().with_return_limit(4),
+            )?;
+            let (recs, reason, cont) = cursor.collect_remaining_boxed()?;
+            Ok((
+                recs.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect::<Vec<_>>(),
+                cont,
+                reason == record_layer::cursor::NoNextReason::SourceExhausted,
+            ))
+        })
+        .unwrap();
+        all_ids.extend(ids);
+        if done {
+            break;
+        }
+        continuation = cont;
+    }
+    let n = all_ids.len();
+    all_ids.sort_unstable();
+    all_ids.dedup();
+    assert_eq!(all_ids.len(), n, "paged union produced duplicates");
+    assert_eq!(n, 24);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests on the core invariants:
+//!
+//! * tuple packing is order-preserving and lossless,
+//! * protobuf wire encoding roundtrips and survives schema evolution,
+//! * the RANK skip list agrees with a sorted vector oracle,
+//! * the TEXT bunched map agrees with a BTreeMap oracle,
+//! * record save/load roundtrips arbitrary field values.
+
+use proptest::prelude::*;
+
+use record_layer::expr::KeyExpression;
+use record_layer::index::text::BunchedMap;
+use record_layer::metadata::RecordMetaDataBuilder;
+use record_layer::store::RecordStore;
+use rl_fdb::tuple::{Tuple, TupleElement};
+use rl_fdb::{Database, Subspace};
+use rl_message::{
+    DescriptorPool, DynamicMessage, FieldDescriptor, FieldType, MessageDescriptor,
+};
+
+fn arb_element() -> impl Strategy<Value = TupleElement> {
+    prop_oneof![
+        Just(TupleElement::Null),
+        any::<i64>().prop_map(TupleElement::Int),
+        any::<bool>().prop_map(TupleElement::Bool),
+        "[a-z]{0,12}".prop_map(TupleElement::String),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(TupleElement::Bytes),
+        any::<f64>()
+            .prop_filter("NaN breaks total order", |f| !f.is_nan())
+            .prop_map(TupleElement::Double),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_element(), 0..5).prop_map(Tuple::from_elements)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn tuple_pack_roundtrips(t in arb_tuple()) {
+        let packed = t.pack();
+        let back = Tuple::unpack(&packed).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn tuple_pack_preserves_order(a in arb_tuple(), b in arb_tuple()) {
+        // The defining property of the tuple layer (§2): binary order of
+        // encodings equals semantic order of tuples.
+        let (pa, pb) = (a.pack(), b.pack());
+        prop_assert_eq!(a.cmp(&b), pa.cmp(&pb));
+    }
+
+    #[test]
+    fn tuple_prefix_packs_to_byte_prefix(t in arb_tuple(), n in 0usize..5) {
+        let prefix = t.prefix(n.min(t.len()));
+        prop_assert!(t.pack().starts_with(&prefix.pack()));
+    }
+
+    #[test]
+    fn message_wire_roundtrips(id in any::<i64>(), name in "[a-z]{0,20}", flags in proptest::collection::vec(any::<bool>(), 0..8)) {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(MessageDescriptor::new("M", vec![
+            FieldDescriptor::optional("id", 1, FieldType::Int64),
+            FieldDescriptor::optional("name", 2, FieldType::String),
+            FieldDescriptor::repeated("flags", 3, FieldType::Bool),
+        ]).unwrap()).unwrap();
+        let mut m = DynamicMessage::new(pool.message("M").unwrap());
+        m.set("id", id).unwrap();
+        m.set("name", name.as_str()).unwrap();
+        for f in &flags {
+            m.push("flags", *f).unwrap();
+        }
+        let back = DynamicMessage::decode(pool.message("M").unwrap(), &pool, &m.encode()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn evolved_reader_preserves_unknown_fields(v in any::<i64>(), extra in "[a-z]{1,10}") {
+        let mut new_pool = DescriptorPool::new();
+        new_pool.add_message(MessageDescriptor::new("M", vec![
+            FieldDescriptor::optional("a", 1, FieldType::Int64),
+            FieldDescriptor::optional("b", 2, FieldType::String),
+        ]).unwrap()).unwrap();
+        let mut old_pool = DescriptorPool::new();
+        old_pool.add_message(MessageDescriptor::new("M", vec![
+            FieldDescriptor::optional("a", 1, FieldType::Int64),
+        ]).unwrap()).unwrap();
+
+        let mut written = DynamicMessage::new(new_pool.message("M").unwrap());
+        written.set("a", v).unwrap();
+        written.set("b", extra.as_str()).unwrap();
+        // Old reader decodes and re-encodes; nothing may be lost.
+        let relayed = DynamicMessage::decode(old_pool.message("M").unwrap(), &old_pool, &written.encode()).unwrap();
+        let reread = DynamicMessage::decode(new_pool.message("M").unwrap(), &new_pool, &relayed.encode()).unwrap();
+        prop_assert_eq!(reread.get("b").and_then(|x| x.as_str().map(str::to_string)), Some(extra));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ranked_set_matches_sorted_vector_oracle(ops in proptest::collection::vec((any::<bool>(), 0i64..50), 1..60)) {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        let set = record_layer::index::rank::RankedSet::new(
+            &tx, Subspace::from_bytes(b"prop".to_vec()), 4);
+        let mut oracle: Vec<i64> = Vec::new();
+        for (insert, v) in ops {
+            let t = Tuple::from((v,));
+            if insert {
+                let added = set.insert(&t).unwrap();
+                prop_assert_eq!(added, !oracle.contains(&v));
+                if added {
+                    oracle.push(v);
+                    oracle.sort_unstable();
+                }
+            } else {
+                let removed = set.erase(&t).unwrap();
+                prop_assert_eq!(removed, oracle.contains(&v));
+                oracle.retain(|&x| x != v);
+            }
+        }
+        prop_assert_eq!(set.len().unwrap(), oracle.len() as i64);
+        for (rank, v) in oracle.iter().enumerate() {
+            prop_assert_eq!(set.rank(&Tuple::from((*v,))).unwrap(), Some(rank as i64));
+            prop_assert_eq!(set.select(rank as i64).unwrap(), Some(Tuple::from((*v,))));
+        }
+    }
+
+    #[test]
+    fn bunched_map_matches_btreemap_oracle(
+        ops in proptest::collection::vec((any::<bool>(), 0i64..30, 0i64..5), 1..80),
+        bunch in 1usize..6,
+    ) {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        let map = BunchedMap::new(&tx, Subspace::from_bytes(b"bm".to_vec()), bunch);
+        let mut oracle: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
+        for (insert, pk, off) in ops {
+            if insert {
+                map.insert("tok", &Tuple::from((pk,)), &[off]).unwrap();
+                oracle.insert(pk, vec![off]);
+            } else {
+                map.remove("tok", &Tuple::from((pk,))).unwrap();
+                oracle.remove(&pk);
+            }
+            let postings = map.scan_token("tok").unwrap();
+            let got: Vec<(i64, Vec<i64>)> = postings
+                .into_iter()
+                .map(|(pk, offs)| (pk.get(0).unwrap().as_int().unwrap(), offs))
+                .collect();
+            let want: Vec<(i64, Vec<i64>)> =
+                oracle.iter().map(|(k, v)| (*k, v.clone())).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn record_save_load_roundtrips(id in any::<i64>(), title in "[ -~]{0,40}", blob in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut pool = DescriptorPool::new();
+        pool.add_message(MessageDescriptor::new("R", vec![
+            FieldDescriptor::optional("id", 1, FieldType::Int64),
+            FieldDescriptor::optional("title", 2, FieldType::String),
+            FieldDescriptor::optional("blob", 3, FieldType::Bytes),
+        ]).unwrap()).unwrap();
+        let md = RecordMetaDataBuilder::new(pool)
+            .record_type("R", KeyExpression::field("id"))
+            .build()
+            .unwrap();
+        let db = Database::new();
+        let sub = Subspace::from_bytes(b"rr".to_vec());
+        record_layer::run(&db, |tx| {
+            let store = RecordStore::open_or_create(tx, &sub, &md)?;
+            let mut r = store.new_record("R")?;
+            r.set("id", id).unwrap();
+            r.set("title", title.as_str()).unwrap();
+            r.set("blob", blob.clone()).unwrap();
+            store.save_record(r)?;
+            Ok(())
+        }).unwrap();
+        record_layer::run(&db, |tx| {
+            let store = RecordStore::open_or_create(tx, &sub, &md)?;
+            let rec = store.load_record(&Tuple::from((id,)))?.unwrap();
+            assert_eq!(rec.message.get("title").and_then(|v| v.as_str().map(str::to_string)), Some(title.clone()));
+            assert_eq!(rec.message.get("blob").and_then(|v| v.as_bytes().map(<[u8]>::to_vec)), Some(blob.clone()));
+            Ok(())
+        }).unwrap();
+    }
+}

@@ -1,0 +1,330 @@
+//! Record-store behaviours not covered elsewhere: headers and user
+//! versions, TupleRange byte-range semantics, reverse scans, snapshot
+//! reads, delete_all_records, scan limits interacting with split records,
+//! and index-state gating.
+
+use record_layer::cursor::{Continuation, ExecuteProperties, NoNextReason, RecordCursor};
+use record_layer::expr::KeyExpression;
+use record_layer::index::IndexState;
+use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
+use record_layer::store::{RecordStore, RecordStoreBuilder, TupleRange};
+use rl_fdb::tuple::Tuple;
+use rl_fdb::{Database, Subspace};
+use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor, Value};
+
+fn metadata() -> RecordMetaData {
+    let mut pool = DescriptorPool::new();
+    pool.add_message(
+        MessageDescriptor::new(
+            "T",
+            vec![
+                FieldDescriptor::optional("id", 1, FieldType::Int64),
+                FieldDescriptor::optional("v", 2, FieldType::Int64),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    RecordMetaDataBuilder::new(pool)
+        .record_type("T", KeyExpression::field("id"))
+        .index("T", Index::value("by_v", KeyExpression::field("v")))
+        .build()
+        .unwrap()
+}
+
+fn seed(db: &Database, md: &RecordMetaData, sub: &Subspace, n: i64) {
+    record_layer::run(db, |tx| {
+        let store = RecordStore::open_or_create(tx, sub, md)?;
+        for i in 0..n {
+            let mut r = store.new_record("T")?;
+            r.set("id", i).unwrap();
+            r.set("v", i * 2).unwrap();
+            store.save_record(r)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn header_records_versions_and_user_version() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"hdr".to_vec());
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let header = store.header()?.unwrap();
+        assert_eq!(header.metadata_version, md.version());
+        assert_eq!(header.user_version, 0);
+        // The application version (§5) is client-managed.
+        store.set_user_version(7)?;
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        assert_eq!(store.header()?.unwrap().user_version, 7);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn tuple_range_bounds() {
+    let sub = Subspace::from_bytes(b"X".to_vec());
+    // prefix(t): covers every key extending t, not siblings.
+    let r = TupleRange::prefix(Tuple::from((5i64,)));
+    let (begin, end) = r.to_byte_range(&sub);
+    let inside = sub.pack(&Tuple::from((5i64, 1i64)));
+    let sibling = sub.pack(&Tuple::from((6i64,)));
+    assert!(begin.as_slice() <= inside.as_slice() && inside.as_slice() < end.as_slice());
+    assert!(!(begin.as_slice() <= sibling.as_slice() && sibling.as_slice() < end.as_slice()));
+
+    // Exclusive low bound skips extensions of the bound tuple.
+    let r = TupleRange::between(Some((Tuple::from((5i64,)), false)), None);
+    let (begin, _) = r.to_byte_range(&sub);
+    assert!(inside.as_slice() < begin.as_slice());
+    let after = sub.pack(&Tuple::from((6i64,)));
+    assert!(after.as_slice() >= begin.as_slice());
+
+    // Inclusive high bound keeps extensions of the bound tuple.
+    let r = TupleRange::between(None, Some((Tuple::from((5i64,)), true)));
+    let (_, end) = r.to_byte_range(&sub);
+    assert!(inside.as_slice() < end.as_slice());
+}
+
+#[test]
+fn reverse_scan_returns_descending_and_resumes() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"rev".to_vec());
+    seed(&db, &md, &sub, 10);
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut cursor = store.scan_records_reverse(
+            &TupleRange::all(),
+            &Continuation::Start,
+            &ExecuteProperties::new(),
+        )?;
+        let (records, _, _) = cursor.collect_remaining()?;
+        let ids: Vec<i64> = records.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect();
+        assert_eq!(ids, (0..10).rev().collect::<Vec<_>>());
+        Ok(())
+    })
+    .unwrap();
+
+    // Reverse scan with a record-boundary continuation.
+    let cont = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut cursor = store.scan_records_reverse(
+            &TupleRange::all(),
+            &Continuation::Start,
+            &ExecuteProperties::new().with_scan_limit(8),
+        )?;
+        let (records, reason, cont) = cursor.collect_remaining()?;
+        assert!(reason.is_out_of_band());
+        assert!(!records.is_empty());
+        Ok(cont)
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut cursor =
+            store.scan_records_reverse(&TupleRange::all(), &cont, &ExecuteProperties::new())?;
+        let (records, _, _) = cursor.collect_remaining()?;
+        assert!(!records.is_empty());
+        let ids: Vec<i64> = records.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] > w[1]));
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn delete_all_records_clears_everything_but_header() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"wipe".to_vec());
+    seed(&db, &md, &sub, 20);
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        store.delete_all_records()?;
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        assert!(!store.has_any_record()?);
+        assert!(store.header()?.is_some(), "header survives");
+        let mut cursor = store.scan_index(
+            "by_v",
+            &TupleRange::all(),
+            &Continuation::Start,
+            false,
+            &ExecuteProperties::new(),
+        )?;
+        let (entries, _, _) = cursor.collect_remaining()?;
+        assert!(entries.is_empty(), "index data cleared too");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn snapshot_scans_do_not_conflict_with_writers() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"snap".to_vec());
+    seed(&db, &md, &sub, 5);
+
+    let reader = db.create_transaction();
+    let store = RecordStore::open_or_create(&reader, &sub, &md).unwrap();
+    let mut cursor = store
+        .scan_records(
+            &TupleRange::all(),
+            &Continuation::Start,
+            &ExecuteProperties::new().with_snapshot(true),
+        )
+        .unwrap();
+    let (records, _, _) = cursor.collect_remaining().unwrap();
+    assert_eq!(records.len(), 5);
+
+    // A concurrent writer commits into the scanned range.
+    record_layer::run(&db, |tx| {
+        let s = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut r = s.new_record("T")?;
+        r.set("id", 100i64).unwrap();
+        r.set("v", 1i64).unwrap();
+        s.save_record(r)?;
+        Ok(())
+    })
+    .unwrap();
+
+    // The snapshot reader still commits (it added no read conflicts).
+    reader.add_write_conflict_range(b"snapmark", b"snapmark\x00");
+    reader.commit().unwrap();
+}
+
+#[test]
+fn write_only_index_is_maintained_but_not_scannable() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"wo".to_vec());
+    seed(&db, &md, &sub, 3);
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        store.set_index_state("by_v", IndexState::WriteOnly)?;
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        // Scanning fails...
+        match store.scan_index("by_v", &TupleRange::all(), &Continuation::Start, false, &ExecuteProperties::new()) {
+            Err(record_layer::Error::IndexNotReadable { .. }) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+            Ok(_) => panic!("scan of write-only index must fail"),
+        }
+        // ...but writes still maintain the index.
+        let mut r = store.new_record("T")?;
+        r.set("id", 50i64).unwrap();
+        r.set("v", 999i64).unwrap();
+        store.save_record(r)?;
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        store.set_index_state("by_v", IndexState::Readable)?;
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let mut cursor = store.scan_index(
+            "by_v",
+            &TupleRange::prefix(Tuple::from((999i64,))),
+            &Continuation::Start,
+            false,
+            &ExecuteProperties::new(),
+        )?;
+        let (entries, _, _) = cursor.collect_remaining()?;
+        assert_eq!(entries.len(), 1, "write-only maintenance must have happened");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn scan_limit_prevents_partial_record_emission() {
+    // A split record whose chunks straddle the scan limit must not be
+    // emitted partially.
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"split".to_vec());
+    let mut big_pool = DescriptorPool::new();
+    big_pool
+        .add_message(
+            MessageDescriptor::new(
+                "T",
+                vec![
+                    FieldDescriptor::optional("id", 1, FieldType::Int64),
+                    FieldDescriptor::optional("v", 2, FieldType::Int64),
+                    FieldDescriptor::optional("blob", 3, FieldType::Bytes),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let md_big = RecordMetaDataBuilder::new(big_pool)
+        .record_type("T", KeyExpression::field("id"))
+        .build()
+        .unwrap();
+    let _ = md;
+    record_layer::run(&db, |tx| {
+        let store = RecordStoreBuilder::new().split_size(100).open_or_create(tx, &sub, &md_big)?;
+        for i in 0..4i64 {
+            let mut r = store.new_record("T")?;
+            r.set("id", i).unwrap();
+            // Non-zero fill: zero bytes double under tuple escaping, which
+            // would push one record past the scan budget below.
+            r.set("blob", vec![(i + 1) as u8; 450]).unwrap(); // ~5 chunks each
+            store.save_record(r)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let mut total = 0;
+    let mut continuation = Continuation::Start;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds < 32, "scan-limited pagination failed to make progress");
+        let (count, reason, cont) = record_layer::run(&db, |tx| {
+            let store =
+                RecordStoreBuilder::new().split_size(100).open_or_create(tx, &sub, &md_big)?;
+            let mut cursor = store.scan_records(
+                &TupleRange::all(),
+                &continuation,
+                &ExecuteProperties::new().with_scan_limit(7),
+            )?;
+            let (records, reason, cont) = cursor.collect_remaining()?;
+            for r in &records {
+                // Every emitted record must be complete.
+                assert_eq!(
+                    r.message.get("blob").and_then(Value::as_bytes).map(<[u8]>::len),
+                    Some(450)
+                );
+            }
+            Ok((records.len(), reason, cont))
+        })
+        .unwrap();
+        total += count;
+        if reason == NoNextReason::SourceExhausted {
+            break;
+        }
+        continuation = cont;
+    }
+    assert_eq!(total, 4);
+}
