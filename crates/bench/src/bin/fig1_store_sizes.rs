@@ -10,8 +10,7 @@
 //! figure's shape, then regenerate both panels from the stores' actual
 //! on-disk sizes (primary record data only, matching the figure's note).
 
-use rand::distributions::Distribution;
-use rand::Rng;
+use rl_bench::rng::{Distribution, Rng};
 
 use record_layer::expr::KeyExpression;
 use record_layer::metadata::RecordMetaDataBuilder;
@@ -28,7 +27,10 @@ fn main() {
     let mut r = rng(42);
     // Log-normal fit: median a few hundred bytes, sigma wide enough that
     // the tail dominates total bytes (as in the paper's bottom panel).
-    let dist = LogNormal { mu: 5.2, sigma: 2.6 };
+    let dist = LogNormal {
+        mu: 5.2,
+        sigma: 2.6,
+    };
 
     let mut pool = DescriptorPool::new();
     pool.add_message(
@@ -61,7 +63,7 @@ fn main() {
         let mut id = 0i64;
         while written < target {
             let chunk = (target - written).min(8_192).max(1);
-            let payload: Vec<u8> = (0..chunk).map(|_| r.gen()).collect();
+            let payload: Vec<u8> = (0..chunk).map(|_| r.gen_u8()).collect();
             record_layer::run(&db, |tx| {
                 let store = RecordStoreBuilder::new().open_or_create(tx, &sub, &metadata)?;
                 let mut msg = store.new_record("Blob")?;
@@ -102,7 +104,10 @@ fn main() {
 
     println!("# FIG1: record store size distribution ({TENANTS} synthetic tenants)");
     println!("# paper: majority of stores < 1 kB; most bytes in large stores");
-    println!("{:>16} {:>14} {:>10} {:>14} {:>10}", "size_bucket", "frac_stores", "cdf", "frac_bytes", "cdf");
+    println!(
+        "{:>16} {:>14} {:>10} {:>14} {:>10}",
+        "size_bucket", "frac_stores", "cdf", "frac_bytes", "cdf"
+    );
     let mut cdf_stores = 0.0;
     let mut cdf_bytes = 0.0;
     for b in 0..=32 {
@@ -136,7 +141,10 @@ fn main() {
         }
     }
     println!();
-    println!("stores under 1 kB:                 {:.1}%  (paper: 'substantial majority')", under_1k * 100.0);
+    println!(
+        "stores under 1 kB:                 {:.1}%  (paper: 'substantial majority')",
+        under_1k * 100.0
+    );
     println!(
         "bytes held by largest 10% of stores: {:.1}%  (paper: most bytes in large stores)",
         bytes_in_top_decile as f64 / acc as f64 * 100.0

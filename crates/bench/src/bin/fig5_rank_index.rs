@@ -9,9 +9,9 @@
 //! O(k). We report keys read per operation as the store grows, showing
 //! the crossover the RANK index exists for (leaderboards, scrollbars).
 
-use rl_bench::{item_metadata, rng};
-use rand::Rng;
 use record_layer::store::{RecordStore, TupleRange};
+use rl_bench::rng::Rng;
+use rl_bench::{item_metadata, rng};
 use rl_fdb::tuple::Tuple;
 use rl_fdb::{Database, Subspace};
 
@@ -19,11 +19,8 @@ fn main() {
     // ---- Part 1: the six-element worked example -------------------------
     let db = Database::new();
     let tx = db.create_transaction();
-    let set = record_layer::index::rank::RankedSet::new(
-        &tx,
-        Subspace::from_bytes(b"fig5".to_vec()),
-        3,
-    );
+    let set =
+        record_layer::index::rank::RankedSet::new(&tx, Subspace::from_bytes(b"fig5".to_vec()), 3);
     for s in ["a", "b", "c", "d", "e", "f"] {
         set.insert(&Tuple::from((s,))).unwrap();
     }
@@ -32,13 +29,20 @@ fn main() {
         let r = set.rank(&Tuple::from((s,))).unwrap().unwrap();
         println!("rank({s}) = {r}");
     }
-    assert_eq!(set.rank(&Tuple::from(("e",))).unwrap(), Some(4), "paper: rank of e is 4");
+    assert_eq!(
+        set.rank(&Tuple::from(("e",))).unwrap(),
+        Some(4),
+        "paper: rank of e is 4"
+    );
     println!("paper check: rank(e) == 4 ✔");
     println!();
 
     // ---- Part 2: rank/select vs linear scan ------------------------------
     println!("# FIG5 part 2: keys read to find the k-th element (k = n/2)");
-    println!("{:>8} {:>18} {:>18} {:>10}", "n", "skiplist_keys", "linear_scan_keys", "speedup");
+    println!(
+        "{:>8} {:>18} {:>18} {:>10}",
+        "n", "skiplist_keys", "linear_scan_keys", "speedup"
+    );
     for n in [100i64, 400, 1600, 6400] {
         let db = Database::new();
         let metadata = item_metadata(false, true);
@@ -83,7 +87,10 @@ fn main() {
         .unwrap();
         let scan_keys = metrics.snapshot().delta(&before).keys_read;
 
-        assert_eq!(via_rank, via_scan, "both strategies must agree on the k-th entry");
+        assert_eq!(
+            via_rank, via_scan,
+            "both strategies must agree on the k-th entry"
+        );
         println!(
             "{:>8} {:>18} {:>18} {:>9.1}x",
             n,

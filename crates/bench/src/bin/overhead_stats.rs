@@ -139,19 +139,52 @@ fn main() {
 
     println!("# OVH: keys read/written per operation (medians), §8.2");
     println!();
-    println!("{:<28} {:>12} {:>12} {:>12}", "operation", "keys", "payload", "overhead");
-    println!("{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: 38.3 total, 6.2 overhead ≈ 15%)", "query (reads)", q_keys, q_payload, q_overhead);
-    println!("{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: 13.3 total, 7.7 overhead)", "single-record get (reads)", g_keys, g_payload, g_overhead);
-    println!("{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: ~8.5 records, ~34.5 index writes ≈ 4/record)", "save 8 records (writes)", s_written, records_per_tx * 2.0, s_index_writes);
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "operation", "keys", "payload", "overhead"
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: 38.3 total, 6.2 overhead ≈ 15%)",
+        "query (reads)", q_keys, q_payload, q_overhead
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: 13.3 total, 7.7 overhead)",
+        "single-record get (reads)", g_keys, g_payload, g_overhead
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: ~8.5 records, ~34.5 index writes ≈ 4/record)",
+        "save 8 records (writes)",
+        s_written,
+        records_per_tx * 2.0,
+        s_index_writes
+    );
     println!();
-    println!("query overhead fraction:   {:.1}%   (paper ≈ 15%)", q_overhead / q_keys * 100.0);
-    println!("get overhead fraction:     {:.1}%   (paper ≈ 58%)", g_overhead / g_keys * 100.0);
-    println!("index writes per record:   {:.1}    (paper ≈ 4)", s_index_writes / records_per_tx);
+    println!(
+        "query overhead fraction:   {:.1}%   (paper ≈ 15%)",
+        q_overhead / q_keys * 100.0
+    );
+    println!(
+        "get overhead fraction:     {:.1}%   (paper ≈ 58%)",
+        g_overhead / g_keys * 100.0
+    );
+    println!(
+        "index writes per record:   {:.1}    (paper ≈ 4)",
+        s_index_writes / records_per_tx
+    );
     println!();
     println!("# shape check: queries amortize overhead over results; point reads are");
     println!("# proportionally expensive; save cost is dominated by index maintenance.");
 
-    assert!(q_overhead / q_keys < 0.5, "query overhead should be a minority of reads");
-    assert!(g_overhead / g_keys > 0.3, "point reads are proportionally expensive");
-    assert!(s_index_writes / records_per_tx >= 2.0, "index maintenance dominates save writes");
+    assert!(
+        q_overhead / q_keys < 0.5,
+        "query overhead should be a minority of reads"
+    );
+    assert!(
+        g_overhead / g_keys > 0.3,
+        "point reads are proportionally expensive"
+    );
+    assert!(
+        s_index_writes / records_per_tx >= 2.0,
+        "index maintenance dominates save writes"
+    );
 }

@@ -47,7 +47,10 @@ fn baseline_zone_concurrency() -> (u64, u64) {
                     .map(|v| i64::from_le_bytes(v[..8].try_into().unwrap()))
                     .unwrap_or(0);
                 tx.set(&counter_key, &(current + 1).to_le_bytes());
-                tx.set(&sub.pack(&Tuple::new().push("rec").push(i as i64)), b"payload");
+                tx.set(
+                    &sub.pack(&Tuple::new().push("rec").push(i as i64)),
+                    b"payload",
+                );
                 tx.set(
                     &sub.pack(&Tuple::new().push("sync").push(current + 1).push(i as i64)),
                     b"",
@@ -86,7 +89,8 @@ fn record_layer_zone_concurrency() -> (u64, u64) {
             .iter()
             .map(|&i| {
                 let tx = db.create_transaction();
-                ck.save(&tx, 1, "app", &RecordData::new("zone", format!("r{i}"))).unwrap();
+                ck.save(&tx, 1, "app", &RecordData::new("zone", format!("r{i}")))
+                    .unwrap();
                 (i, tx)
             })
             .collect();
@@ -136,7 +140,10 @@ fn index_consistency_miss_rates() -> (f64, f64) {
     let db = Database::new();
     let ck = CloudKit::new(
         &db,
-        &CloudKitConfig { indexed_fields: vec!["field0".into()], ..Default::default() },
+        &CloudKitConfig {
+            indexed_fields: vec!["field0".into()],
+            ..Default::default()
+        },
     );
     let mut rl_misses = 0;
     for i in 0..N {
@@ -187,34 +194,86 @@ fn main() {
     let b_conflict_rate = (b_attempts - b_commits) as f64 / b_attempts as f64;
     let r_conflict_rate = (r_attempts - r_commits) as f64 / r_attempts as f64;
     println!("## Concurrency: {WRITERS} in-flight writers x {ROUNDS} rounds, DIFFERENT records, ONE zone");
-    println!("{:<34} {:>10} {:>10} {:>14}", "system", "commits", "attempts", "conflict rate");
-    println!("{:<34} {:>10} {:>10} {:>13.1}%", "Cassandra-style (zone CAS)", b_commits, b_attempts, b_conflict_rate * 100.0);
-    println!("{:<34} {:>10} {:>10} {:>13.1}%", "Record Layer (record-level OCC)", r_commits, r_attempts, r_conflict_rate * 100.0);
+    println!(
+        "{:<34} {:>10} {:>10} {:>14}",
+        "system", "commits", "attempts", "conflict rate"
+    );
+    println!(
+        "{:<34} {:>10} {:>10} {:>13.1}%",
+        "Cassandra-style (zone CAS)",
+        b_commits,
+        b_attempts,
+        b_conflict_rate * 100.0
+    );
+    println!(
+        "{:<34} {:>10} {:>10} {:>13.1}%",
+        "Record Layer (record-level OCC)",
+        r_commits,
+        r_attempts,
+        r_conflict_rate * 100.0
+    );
     println!("# paper: 'no concurrency within a zone' vs 'record level' -> baseline must retry, RL should not");
     println!();
 
     println!("## Transactions: atomic update across two zones in one transaction");
     println!("Cassandra-style: impossible (atomic unit = single-zone batch; partition-bound)");
-    println!("Record Layer:    {}", if cross_zone_transaction() { "committed atomically (scope = cluster)" } else { "FAILED" });
+    println!(
+        "Record Layer:    {}",
+        if cross_zone_transaction() {
+            "committed atomically (scope = cluster)"
+        } else {
+            "FAILED"
+        }
+    );
     println!();
 
     let (async_miss, rl_miss) = index_consistency_miss_rates();
     println!("## Index consistency: query-after-write miss rate");
     println!("{:<34} {:>12}", "system", "miss rate");
-    println!("{:<34} {:>11.1}%", "Solr-style (async indexer)", async_miss * 100.0);
-    println!("{:<34} {:>11.1}%", "Record Layer (transactional)", rl_miss * 100.0);
+    println!(
+        "{:<34} {:>11.1}%",
+        "Solr-style (async indexer)",
+        async_miss * 100.0
+    );
+    println!(
+        "{:<34} {:>11.1}%",
+        "Record Layer (transactional)",
+        rl_miss * 100.0
+    );
     println!("# paper: eventual vs transactional index consistency");
     println!();
 
     println!("## Summary (Table 1)");
     println!("{:<22} {:<26} {:<26}", "", "Cassandra", "Record Layer");
-    println!("{:<22} {:<26} {:<26}", "Transactions", "Within Zone", "Within Cluster");
-    println!("{:<22} {:<26} {:<26}", "Concurrency", format!("Zone level ({:.0}% conflicts)", b_conflict_rate * 100.0), format!("Record level ({:.0}% conflicts)", r_conflict_rate * 100.0));
-    println!("{:<22} {:<26} {:<26}", "Zone size limit", "Partition size (GBs)", "Cluster size");
-    println!("{:<22} {:<26} {:<26}", "Index consistency", format!("Eventual ({:.0}% stale)", async_miss * 100.0), format!("Transactional ({:.0}% stale)", rl_miss * 100.0));
-    println!("{:<22} {:<26} {:<26}", "Indexes stored in", "Solr", "FoundationDB");
+    println!(
+        "{:<22} {:<26} {:<26}",
+        "Transactions", "Within Zone", "Within Cluster"
+    );
+    println!(
+        "{:<22} {:<26} {:<26}",
+        "Concurrency",
+        format!("Zone level ({:.0}% conflicts)", b_conflict_rate * 100.0),
+        format!("Record level ({:.0}% conflicts)", r_conflict_rate * 100.0)
+    );
+    println!(
+        "{:<22} {:<26} {:<26}",
+        "Zone size limit", "Partition size (GBs)", "Cluster size"
+    );
+    println!(
+        "{:<22} {:<26} {:<26}",
+        "Index consistency",
+        format!("Eventual ({:.0}% stale)", async_miss * 100.0),
+        format!("Transactional ({:.0}% stale)", rl_miss * 100.0)
+    );
+    println!(
+        "{:<22} {:<26} {:<26}",
+        "Indexes stored in", "Solr", "FoundationDB"
+    );
 
     assert!(b_conflict_rate > 0.1, "baseline should conflict heavily");
-    assert!(r_conflict_rate < 0.05, "record layer should be near conflict-free");
+    assert!(
+        r_conflict_rate < 0.05,
+        "record layer should be near conflict-free"
+    );
     assert!(async_miss > 0.5 && rl_miss == 0.0);
 }

@@ -68,7 +68,11 @@ fn build_index(docs: &[String], bunch_size: usize) -> (usize, usize, f64) {
     record_layer::run(&db, |tx| {
         let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
         let stats = store.text_index_stats("body_text")?;
-        Ok((stats.index_keys, stats.total_bytes(), stats.average_bunch_size()))
+        Ok((
+            stats.index_keys,
+            stats.total_bytes(),
+            stats.average_bunch_size(),
+        ))
     })
     .unwrap()
 }
@@ -79,7 +83,9 @@ fn main() {
     // mean frequency ~2.1 — a few thousand Zipfian words.
     let vocab = vocabulary(&mut r, 6000);
     let zipf = Zipf::new(vocab.len(), 0.9);
-    let docs: Vec<String> = (0..DOCS).map(|_| document(&mut r, &vocab, &zipf, DOC_BYTES)).collect();
+    let docs: Vec<String> = (0..DOCS)
+        .map(|_| document(&mut r, &vocab, &zipf, DOC_BYTES))
+        .collect();
 
     // Corpus statistics (compare with the paper's Moby Dick numbers).
     let mut unique_per_doc = 0usize;
@@ -140,5 +146,8 @@ fn main() {
 
     assert!(keys20 < keys1, "bunching must reduce key count");
     assert!(bytes20 < bytes1, "bunching must reduce total bytes");
-    assert!(fill20 > 1.5, "bunches should hold multiple postings on average");
+    assert!(
+        fill20 > 1.5,
+        "bunches should hold multiple postings on average"
+    );
 }

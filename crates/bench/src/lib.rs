@@ -4,17 +4,17 @@
 //! (see DESIGN.md §3 for the experiment index); the Criterion benches under
 //! `benches/` cover the shape-level performance claims.
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod rng;
+
+use crate::rng::{Distribution, Rng, XorShift64};
 
 use record_layer::expr::KeyExpression;
 use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
 use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor};
 
 /// Deterministic RNG for reproducible experiments.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> XorShift64 {
+    XorShift64::seed_from_u64(seed)
 }
 
 /// A log-normal sampler via Box–Muller (avoids extra dependencies).
@@ -24,7 +24,7 @@ pub struct LogNormal {
 }
 
 impl Distribution<f64> for LogNormal {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -50,7 +50,7 @@ impl Zipf {
         Zipf { cdf: weights }
     }
 
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1) + 1,
@@ -60,10 +60,10 @@ impl Zipf {
 
 /// A synthetic vocabulary with word lengths matched to the paper's Table 2
 /// corpus statistics (mean token length ≈ 7.8 characters).
-pub fn vocabulary(rng: &mut StdRng, size: usize) -> Vec<String> {
+pub fn vocabulary(rng: &mut XorShift64, size: usize) -> Vec<String> {
     const SYLLABLES: &[&str] = &[
-        "wha", "le", "ish", "ma", "el", "sea", "har", "poon", "ship", "cap",
-        "tain", "oce", "an", "deep", "wave", "sail", "mast", "crew", "hunt", "tide",
+        "wha", "le", "ish", "ma", "el", "sea", "har", "poon", "ship", "cap", "tain", "oce", "an",
+        "deep", "wave", "sail", "mast", "crew", "hunt", "tide",
     ];
     (0..size)
         .map(|i| {
@@ -81,7 +81,12 @@ pub fn vocabulary(rng: &mut StdRng, size: usize) -> Vec<String> {
 
 /// Generate a document of roughly `target_bytes` with Zipfian token
 /// frequencies over `vocab`.
-pub fn document(rng: &mut StdRng, vocab: &[String], zipf: &Zipf, target_bytes: usize) -> String {
+pub fn document(
+    rng: &mut XorShift64,
+    vocab: &[String],
+    zipf: &Zipf,
+    target_bytes: usize,
+) -> String {
     let mut doc = String::with_capacity(target_bytes + 16);
     while doc.len() < target_bytes {
         let word = &vocab[zipf.sample(rng) - 1];
@@ -118,10 +123,16 @@ pub fn metadata_with_value_indexes(n: usize) -> RecordMetaData {
     let mut pool = DescriptorPool::new();
     let mut fields = vec![FieldDescriptor::optional("id", 1, FieldType::Int64)];
     for i in 0..n.max(1) {
-        fields.push(FieldDescriptor::optional(format!("f{i}"), 2 + i as u32, FieldType::Int64));
+        fields.push(FieldDescriptor::optional(
+            format!("f{i}"),
+            2 + i as u32,
+            FieldType::Int64,
+        ));
     }
-    pool.add_message(MessageDescriptor::new("Item", fields).unwrap()).unwrap();
-    let mut builder = RecordMetaDataBuilder::new(pool).record_type("Item", KeyExpression::field("id"));
+    pool.add_message(MessageDescriptor::new("Item", fields).unwrap())
+        .unwrap();
+    let mut builder =
+        RecordMetaDataBuilder::new(pool).record_type("Item", KeyExpression::field("id"));
     for i in 0..n {
         builder = builder.index(
             "Item",
@@ -135,7 +146,10 @@ pub fn metadata_with_value_indexes(n: usize) -> RecordMetaData {
 pub fn item_metadata(with_text: bool, with_rank: bool) -> RecordMetaData {
     let mut builder = RecordMetaDataBuilder::new(experiment_pool())
         .record_type("Item", KeyExpression::field("id"))
-        .index("Item", Index::value("by_group", KeyExpression::field("group")))
+        .index(
+            "Item",
+            Index::value("by_group", KeyExpression::field("group")),
+        )
         .index(
             "Item",
             Index::value(
@@ -145,14 +159,24 @@ pub fn item_metadata(with_text: bool, with_rank: bool) -> RecordMetaData {
         )
         .index(
             "Item",
-            Index::sum("score_sum", KeyExpression::field("group"), KeyExpression::field("score")),
+            Index::sum(
+                "score_sum",
+                KeyExpression::field("group"),
+                KeyExpression::field("score"),
+            ),
         )
         .index("Item", Index::count("item_count", KeyExpression::Empty));
     if with_text {
-        builder = builder.index("Item", Index::text("body_text", KeyExpression::field("body")));
+        builder = builder.index(
+            "Item",
+            Index::text("body_text", KeyExpression::field("body")),
+        );
     }
     if with_rank {
-        builder = builder.index("Item", Index::rank("score_rank", KeyExpression::field("score")));
+        builder = builder.index(
+            "Item",
+            Index::rank("score_rank", KeyExpression::field("score")),
+        );
     }
     builder.build().unwrap()
 }
@@ -165,7 +189,9 @@ pub struct Log2Histogram {
 
 impl Log2Histogram {
     pub fn new(max_pow: usize) -> Self {
-        Log2Histogram { buckets: vec![0; max_pow + 1] }
+        Log2Histogram {
+            buckets: vec![0; max_pow + 1],
+        }
     }
 
     pub fn add(&mut self, value: u64) {
@@ -194,14 +220,20 @@ mod tests {
     #[test]
     fn lognormal_is_positive_and_heavy_tailed() {
         let mut r = rng(1);
-        let dist = LogNormal { mu: 5.5, sigma: 2.0 };
+        let dist = LogNormal {
+            mu: 5.5,
+            sigma: 2.0,
+        };
         let samples: Vec<f64> = (0..5000).map(|_| dist.sample(&mut r)).collect();
         assert!(samples.iter().all(|&s| s > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(mean > 2.0 * median, "heavy tail: mean {mean} vs median {median}");
+        assert!(
+            mean > 2.0 * median,
+            "heavy tail: mean {mean} vs median {median}"
+        );
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! A small deterministic PRNG so the experiment harness (and the root
+//! crate's randomized tests) need no external `rand` dependency — the
+//! tier-1 build must succeed offline with an empty cargo registry.
+//!
+//! The API deliberately mirrors the subset of `rand` the repository uses
+//! (`gen_range` over `Range`/`RangeInclusive`, a `Distribution` trait), so
+//! call sites read the same as they would against the real crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Uniform random source. Implemented by [`XorShift64`]; generators only
+/// need to provide `next_u64`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `u8`.
+    fn gen_u8(&mut self) -> u8
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value from a half-open or inclusive range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Range types `gen_range` accepts, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough uniform draw in `[0, span)` via 128-bit multiply-shift.
+fn below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.gen_f64() * (self.end - self.start);
+        // Guard against landing exactly on `end` through rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// A sampling distribution over `T`, mirroring `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// xorshift64* — 64 bits of state, passes SmallCrush; plenty for workload
+/// generation and property tests. Seeded through SplitMix64 so that
+/// consecutive small seeds give uncorrelated streams.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 { state: z | 1 }
+    }
+}
+
+impl Rng for XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = XorShift64::seed_from_u64(7);
+        let mut b = XorShift64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = XorShift64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let v = r.gen_range(0..=5usize);
+            assert!(v <= 5);
+            let f = r.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let n = r.gen_range(-10..10i64);
+            assert!((-10..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = XorShift64::seed_from_u64(99);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
+        }
+    }
+}

@@ -30,7 +30,10 @@ pub struct ZoneCasBackend {
 
 impl ZoneCasBackend {
     pub fn new(db: &Database, subspace: Subspace) -> Self {
-        ZoneCasBackend { db: db.clone(), subspace }
+        ZoneCasBackend {
+            db: db.clone(),
+            subspace,
+        }
     }
 
     fn counter_key(&self, zone: &str) -> Vec<u8> {
@@ -38,11 +41,13 @@ impl ZoneCasBackend {
     }
 
     fn record_key(&self, zone: &str, name: &str) -> Vec<u8> {
-        self.subspace.pack(&Tuple::new().push("rec").push(zone).push(name))
+        self.subspace
+            .pack(&Tuple::new().push("rec").push(zone).push(name))
     }
 
     fn sync_key(&self, zone: &str, counter: i64) -> Vec<u8> {
-        self.subspace.pack(&Tuple::new().push("sync").push(zone).push(counter))
+        self.subspace
+            .pack(&Tuple::new().push("sync").push(zone).push(counter))
     }
 
     /// Save a record: read-CAS the zone counter (serializing the zone),
@@ -83,7 +88,9 @@ impl ZoneCasBackend {
     /// Sync: scan the update-counter index after `since`.
     pub fn sync(&self, zone: &str, since: i64) -> rl_fdb::Result<Vec<(i64, String)>> {
         let tx = self.db.create_transaction();
-        let sub = self.subspace.subspace(&Tuple::new().push("sync").push(zone));
+        let sub = self
+            .subspace
+            .subspace(&Tuple::new().push("sync").push(zone));
         let begin = sub.pack(&Tuple::new().push(since + 1));
         let (_, end) = sub.range();
         let kvs = tx.get_range(&begin, &end, RangeOptions::default())?;
@@ -144,15 +151,23 @@ impl AsyncIndexer {
         let mut st = self.state.lock().unwrap();
         let mut applied = 0;
         while applied < n {
-            let Some(op) = st.queue.pop_front() else { break };
+            let Some(op) = st.queue.pop_front() else {
+                break;
+            };
             match op {
-                IndexOp::Put { field_value, record } => {
+                IndexOp::Put {
+                    field_value,
+                    record,
+                } => {
                     let entries = st.applied.entry(field_value).or_default();
                     if !entries.contains(&record) {
                         entries.push(record);
                     }
                 }
-                IndexOp::Remove { field_value, record } => {
+                IndexOp::Remove {
+                    field_value,
+                    record,
+                } => {
                     if let Some(entries) = st.applied.get_mut(&field_value) {
                         entries.retain(|r| r != &record);
                     }

@@ -15,6 +15,24 @@
 //! * [`baseline::AsyncIndexer`] — the Solr-era design: secondary indexes
 //!   updated asynchronously, giving eventual consistency that queries can
 //!   observe.
+//!
+//! ## Example
+//!
+//! ```
+//! use cloudkit_sim::{CloudKit, CloudKitConfig, RecordData, SyncToken};
+//! use rl_fdb::Database;
+//!
+//! let db = Database::new();
+//! let ck = CloudKit::new(&db, &CloudKitConfig::default());
+//! record_layer::run(&db, |tx| {
+//!     ck.save(tx, 42, "com.example.app", &RecordData::new("default", "note-1"))?;
+//!     Ok(())
+//! }).unwrap();
+//! let (changes, _token) = record_layer::run(&db, |tx| {
+//!     ck.sync(tx, 42, "com.example.app", "default", &SyncToken::start(), 10)
+//! }).unwrap();
+//! assert_eq!(changes.len(), 1);
+//! ```
 
 pub mod baseline;
 pub mod service;

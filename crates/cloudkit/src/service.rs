@@ -20,6 +20,10 @@ pub const RECORD_TYPE: &str = "CKRecord";
 pub struct CloudKitConfig {
     /// Extra user-defined field names indexed with VALUE indexes (CloudKit
     /// translates the application schema into Record Layer metadata, §8).
+    /// Must evolve append-only across deployments: each entry's position
+    /// determines its metadata version, so removing or reordering entries
+    /// produces a schema the §5 staleness check cannot tell apart from the
+    /// original.
     pub indexed_fields: Vec<String>,
     /// Whether to maintain the quota-management size index (§8 "system"
     /// indexes).
@@ -28,7 +32,10 @@ pub struct CloudKitConfig {
 
 impl Default for CloudKitConfig {
     fn default() -> Self {
-        CloudKitConfig { indexed_fields: vec![], quota_index: true }
+        CloudKitConfig {
+            indexed_fields: vec![],
+            quota_index: true,
+        }
     }
 }
 
@@ -43,7 +50,11 @@ pub struct RecordData {
 
 impl RecordData {
     pub fn new(zone: impl Into<String>, name: impl Into<String>) -> Self {
-        RecordData { zone: zone.into(), name: name.into(), ..Default::default() }
+        RecordData {
+            zone: zone.into(),
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     pub fn string_field(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
@@ -82,13 +93,22 @@ fn cloudkit_pool() -> DescriptorPool {
         FieldDescriptor::optional("update_counter", 6, FieldType::Int64),
     ];
     for i in 0..8 {
-        fields.push(FieldDescriptor::optional(format!("field{i}"), 10 + i, FieldType::String));
+        fields.push(FieldDescriptor::optional(
+            format!("field{i}"),
+            10 + i,
+            FieldType::String,
+        ));
     }
     for i in 0..4 {
-        fields.push(FieldDescriptor::optional(format!("num{i}"), 20 + i, FieldType::Int64));
+        fields.push(FieldDescriptor::optional(
+            format!("num{i}"),
+            20 + i,
+            FieldType::Int64,
+        ));
     }
     let mut pool = DescriptorPool::new();
-    pool.add_message(MessageDescriptor::new(RECORD_TYPE, fields).unwrap()).unwrap();
+    pool.add_message(MessageDescriptor::new(RECORD_TYPE, fields).unwrap())
+        .unwrap();
     pool
 }
 
@@ -116,11 +136,12 @@ fn sync_key_expression() -> KeyExpression {
                     0,
                 ))),
             None => {
-                let incarnation =
-                    ctx.message.get("incarnation").and_then(Value::as_i64).unwrap_or(1);
-                let version = ctx
-                    .version
-                    .unwrap_or_else(|| Versionstamp::incomplete(0));
+                let incarnation = ctx
+                    .message
+                    .get("incarnation")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(1);
+                let version = ctx.version.unwrap_or_else(|| Versionstamp::incomplete(0));
                 Tuple::new().push(zone).push(incarnation).push(version)
             }
         };
@@ -138,7 +159,10 @@ pub fn cloudkit_metadata(config: &CloudKitConfig) -> RecordMetaData {
             KeyExpression::concat_fields("zone", "record_name"),
         )
         // The sync index: (zone, incarnation, version) → record (§8.1).
-        .index(RECORD_TYPE, Index::version("ck_sync", sync_key_expression()));
+        .index(
+            RECORD_TYPE,
+            Index::version("ck_sync", sync_key_expression()),
+        );
     if config.quota_index {
         // System index tracking record count per zone for quota management
         // (stand-in for the size-by-type index described in §8).
@@ -147,8 +171,15 @@ pub fn cloudkit_metadata(config: &CloudKitConfig) -> RecordMetaData {
             Index::count("ck_zone_count", KeyExpression::field("zone")),
         );
     }
-    for field in &config.indexed_fields {
-        builder = builder.index(
+    // Each user-defined field index is a later evolution of the shared
+    // schema (§5): bumping the metadata version per field lets stores
+    // created under an older config detect an appended index when they
+    // open and leave it disabled until an online build backfills it.
+    // Versions are positional, so this relies on `indexed_fields` being
+    // append-only (see CloudKitConfig); §5 versioning is single-stream
+    // and cannot represent a replaced or reordered field list.
+    for (step, field) in config.indexed_fields.iter().enumerate() {
+        builder = builder.version(2 + step as u64).index(
             RECORD_TYPE,
             Index::value(
                 format!("ck_user_{field}"),
@@ -164,7 +195,10 @@ pub fn cloudkit_metadata(config: &CloudKitConfig) -> RecordMetaData {
 
 impl CloudKit {
     pub fn new(db: &Database, config: &CloudKitConfig) -> Self {
-        CloudKit { db: db.clone(), metadata: Arc::new(cloudkit_metadata(config)) }
+        CloudKit {
+            db: db.clone(),
+            metadata: Arc::new(cloudkit_metadata(config)),
+        }
     }
 
     pub fn database(&self) -> &Database {
@@ -284,12 +318,7 @@ impl CloudKit {
     /// destination database — "moving a tenant is as simple as copying the
     /// appropriate range of data" (§1) — then bump the incarnation on the
     /// destination so future sync versions sort after the move.
-    pub fn move_tenant(
-        &self,
-        dest: &CloudKit,
-        user: i64,
-        application: &str,
-    ) -> Result<usize> {
+    pub fn move_tenant(&self, dest: &CloudKit, user: i64, application: &str) -> Result<usize> {
         let sub = self.store_subspace(user, application);
         let (begin, end) = sub.range_inclusive();
         let kvs = record_layer::run(&self.db, |tx| {
@@ -300,7 +329,8 @@ impl CloudKit {
         let count = kvs.len();
         record_layer::run(&dest.db, |tx| {
             for kv in &kvs {
-                tx.try_set(&kv.key, &kv.value).map_err(record_layer::Error::Fdb)?;
+                tx.try_set(&kv.key, &kv.value)
+                    .map_err(record_layer::Error::Fdb)?;
             }
             Ok(())
         })?;
@@ -322,9 +352,24 @@ mod tests {
         let db = Database::new();
         let ck = CloudKit::new(&db, &CloudKitConfig::default());
         run(&db, |tx| {
-            ck.save(tx, 1, "notes", &RecordData::new("z", "a").string_field("field0", "u1"))?;
-            ck.save(tx, 2, "notes", &RecordData::new("z", "a").string_field("field0", "u2"))?;
-            ck.save(tx, 1, "photos", &RecordData::new("z", "a").string_field("field0", "p1"))?;
+            ck.save(
+                tx,
+                1,
+                "notes",
+                &RecordData::new("z", "a").string_field("field0", "u1"),
+            )?;
+            ck.save(
+                tx,
+                2,
+                "notes",
+                &RecordData::new("z", "a").string_field("field0", "u2"),
+            )?;
+            ck.save(
+                tx,
+                1,
+                "photos",
+                &RecordData::new("z", "a").string_field("field0", "p1"),
+            )?;
             Ok(())
         })
         .unwrap();
@@ -409,8 +454,18 @@ mod tests {
         };
         let ck = CloudKit::new(&db, &config);
         run(&db, |tx| {
-            ck.save(tx, 1, "app", &RecordData::new("z", "a").string_field("field0", "x"))?;
-            ck.save(tx, 1, "app", &RecordData::new("z", "b").string_field("field0", "y"))?;
+            ck.save(
+                tx,
+                1,
+                "app",
+                &RecordData::new("z", "a").string_field("field0", "x"),
+            )?;
+            ck.save(
+                tx,
+                1,
+                "app",
+                &RecordData::new("z", "b").string_field("field0", "y"),
+            )?;
             Ok(())
         })
         .unwrap();
@@ -431,7 +486,11 @@ mod tests {
                     ),
                 ]));
             let plan = planner.plan(&query)?;
-            assert!(plan.describe().contains("IndexScan(ck_user_field0)"), "{}", plan.describe());
+            assert!(
+                plan.describe().contains("IndexScan(ck_user_field0)"),
+                "{}",
+                plan.describe()
+            );
             let results = plan.execute_all(&store)?;
             assert_eq!(results.len(), 1);
             assert_eq!(results[0].primary_key, Tuple::from(("z", "b")));

@@ -143,7 +143,8 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        let (changes, token) = run(&db, |tx| ck.sync(tx, 1, "app", "z", &SyncToken::start(), 3)).unwrap();
+        let (changes, token) =
+            run(&db, |tx| ck.sync(tx, 1, "app", "z", &SyncToken::start(), 3)).unwrap();
         assert_eq!(changes.len(), 3);
         let names: Vec<String> = changes
             .iter()
@@ -172,9 +173,19 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        let (changes, _) = run(&db, |tx| ck.sync(tx, 1, "app", "z", &SyncToken::start(), 10)).unwrap();
-        let names: Vec<&str> = changes.iter().map(|c| c.primary_key.get(1).unwrap().as_str().unwrap()).collect();
-        assert_eq!(names, vec!["b", "a"], "a must appear once, at its new position");
+        let (changes, _) = run(&db, |tx| {
+            ck.sync(tx, 1, "app", "z", &SyncToken::start(), 10)
+        })
+        .unwrap();
+        let names: Vec<&str> = changes
+            .iter()
+            .map(|c| c.primary_key.get(1).unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["b", "a"],
+            "a must appear once, at its new position"
+        );
     }
 
     #[test]
@@ -187,9 +198,15 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        let (a_changes, _) = run(&db, |tx| ck.sync(tx, 1, "app", "za", &SyncToken::start(), 10)).unwrap();
+        let (a_changes, _) = run(&db, |tx| {
+            ck.sync(tx, 1, "app", "za", &SyncToken::start(), 10)
+        })
+        .unwrap();
         assert_eq!(a_changes.len(), 2);
-        let (b_changes, _) = run(&db, |tx| ck.sync(tx, 1, "app", "zb", &SyncToken::start(), 10)).unwrap();
+        let (b_changes, _) = run(&db, |tx| {
+            ck.sync(tx, 1, "app", "zb", &SyncToken::start(), 10)
+        })
+        .unwrap();
         assert_eq!(b_changes.len(), 1);
     }
 
@@ -210,8 +227,14 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        let (changes, _) = run(&db, |tx| ck.sync(tx, 1, "app", "z", &SyncToken::start(), 10)).unwrap();
-        let names: Vec<&str> = changes.iter().map(|c| c.primary_key.get(1).unwrap().as_str().unwrap()).collect();
+        let (changes, _) = run(&db, |tx| {
+            ck.sync(tx, 1, "app", "z", &SyncToken::start(), 10)
+        })
+        .unwrap();
+        let names: Vec<&str> = changes
+            .iter()
+            .map(|c| c.primary_key.get(1).unwrap().as_str().unwrap())
+            .collect();
         assert_eq!(names, vec!["old1", "old2", "new1"]);
         // Legacy ordering keys carry incarnation 0.
         assert_eq!(changes[0].ordering.get(0), Some(&TupleElement::Int(0)));
@@ -238,8 +261,14 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        let (changes, _) = run(&db, |tx| ck.sync(tx, 1, "app", "z", &SyncToken::start(), 10)).unwrap();
-        let names: Vec<&str> = changes.iter().map(|c| c.primary_key.get(1).unwrap().as_str().unwrap()).collect();
+        let (changes, _) = run(&db, |tx| {
+            ck.sync(tx, 1, "app", "z", &SyncToken::start(), 10)
+        })
+        .unwrap();
+        let names: Vec<&str> = changes
+            .iter()
+            .map(|c| c.primary_key.get(1).unwrap().as_str().unwrap())
+            .collect();
         assert_eq!(names, vec!["before_move", "after_move"]);
         assert_eq!(changes[0].ordering.get(0), Some(&TupleElement::Int(1)));
         assert_eq!(changes[1].ordering.get(0), Some(&TupleElement::Int(2)));

@@ -48,7 +48,9 @@ impl Continuation {
             Some((0x00, [])) => Ok(Continuation::Start),
             Some((0x01, rest)) => Ok(Continuation::At(rest.to_vec())),
             Some((0x02, [])) => Ok(Continuation::End),
-            _ => Err(Error::InvalidContinuation("unrecognized continuation encoding".into())),
+            _ => Err(Error::InvalidContinuation(
+                "unrecognized continuation encoding".into(),
+            )),
         }
     }
 
@@ -84,9 +86,15 @@ impl NoNextReason {
 #[derive(Debug, Clone, PartialEq)]
 pub enum CursorResult<T> {
     /// A value, plus the continuation that resumes *after* it.
-    Next { value: T, continuation: Continuation },
+    Next {
+        value: T,
+        continuation: Continuation,
+    },
     /// No next value; the continuation resumes where the cursor stopped.
-    NoNext { reason: NoNextReason, continuation: Continuation },
+    NoNext {
+        reason: NoNextReason,
+        continuation: Continuation,
+    },
 }
 
 impl<T> CursorResult<T> {
@@ -122,9 +130,10 @@ pub trait RecordCursor {
         loop {
             match self.next()? {
                 CursorResult::Next { value, .. } => out.push(value),
-                CursorResult::NoNext { reason, continuation } => {
-                    return Ok((out, reason, continuation))
-                }
+                CursorResult::NoNext {
+                    reason,
+                    continuation,
+                } => return Ok((out, reason, continuation)),
             }
         }
     }
@@ -302,9 +311,12 @@ impl<'a> KeyValueCursor<'a> {
         if self.exhausted_source {
             return Ok(());
         }
-        let options = RangeOptions::new().limit(self.batch_size).reverse(self.reverse);
+        let options = RangeOptions::new()
+            .limit(self.batch_size)
+            .reverse(self.reverse);
         let kvs = if self.snapshot {
-            self.tx.get_range_snapshot(&self.begin, &self.end, options)?
+            self.tx
+                .get_range_snapshot(&self.begin, &self.end, options)?
         } else {
             self.tx.get_range(&self.begin, &self.end, options)?
         };
@@ -347,11 +359,17 @@ impl RecordCursor for KeyValueCursor<'_> {
             Some(front) => {
                 let size = front.key.len() + front.value.len();
                 if let Some(reason) = self.limiter.try_record_scan(size) {
-                    return Ok(CursorResult::NoNext { reason, continuation: self.continuation() });
+                    return Ok(CursorResult::NoNext {
+                        reason,
+                        continuation: self.continuation(),
+                    });
                 }
                 let kv = self.buffer.pop_front().unwrap();
                 self.last_key = Some(kv.key.clone());
-                Ok(CursorResult::Next { value: kv, continuation: self.continuation() })
+                Ok(CursorResult::Next {
+                    value: kv,
+                    continuation: self.continuation(),
+                })
             }
         }
     }
@@ -425,13 +443,20 @@ where
 
     fn next(&mut self) -> Result<CursorResult<U>> {
         match self.inner.next()? {
-            CursorResult::Next { value, continuation } => Ok(CursorResult::Next {
+            CursorResult::Next {
+                value,
+                continuation,
+            } => Ok(CursorResult::Next {
                 value: (self.f)(value)?,
                 continuation,
             }),
-            CursorResult::NoNext { reason, continuation } => {
-                Ok(CursorResult::NoNext { reason, continuation })
-            }
+            CursorResult::NoNext {
+                reason,
+                continuation,
+            } => Ok(CursorResult::NoNext {
+                reason,
+                continuation,
+            }),
         }
     }
 }
@@ -463,9 +488,15 @@ where
     fn next(&mut self) -> Result<CursorResult<C::Item>> {
         loop {
             match self.inner.next()? {
-                CursorResult::Next { value, continuation } => {
+                CursorResult::Next {
+                    value,
+                    continuation,
+                } => {
                     if (self.f)(&value)? {
-                        return Ok(CursorResult::Next { value, continuation });
+                        return Ok(CursorResult::Next {
+                            value,
+                            continuation,
+                        });
                     }
                 }
                 stop @ CursorResult::NoNext { .. } => return Ok(stop),
@@ -483,7 +514,11 @@ pub struct TakeCursor<C> {
 
 impl<C: RecordCursor> TakeCursor<C> {
     pub fn new(inner: C, limit: usize) -> Self {
-        TakeCursor { inner, remaining: limit, last_continuation: Continuation::Start }
+        TakeCursor {
+            inner,
+            remaining: limit,
+            last_continuation: Continuation::Start,
+        }
     }
 }
 
@@ -498,10 +533,16 @@ impl<C: RecordCursor> RecordCursor for TakeCursor<C> {
             });
         }
         match self.inner.next()? {
-            CursorResult::Next { value, continuation } => {
+            CursorResult::Next {
+                value,
+                continuation,
+            } => {
                 self.remaining -= 1;
                 self.last_continuation = continuation.clone();
-                Ok(CursorResult::Next { value, continuation })
+                Ok(CursorResult::Next {
+                    value,
+                    continuation,
+                })
             }
             stop @ CursorResult::NoNext { .. } => Ok(stop),
         }
@@ -715,9 +756,15 @@ mod tests {
         for _ in 0..4 {
             limiter.try_record_scan(1);
         }
-        assert_eq!(limiter.try_record_scan(1), Some(NoNextReason::ScanLimitReached));
+        assert_eq!(
+            limiter.try_record_scan(1),
+            Some(NoNextReason::ScanLimitReached)
+        );
         // A clone shares the same budget.
         let clone = limiter.clone();
-        assert_eq!(clone.try_record_scan(1), Some(NoNextReason::ScanLimitReached));
+        assert_eq!(
+            clone.try_record_scan(1),
+            Some(NoNextReason::ScanLimitReached)
+        );
     }
 }

@@ -15,7 +15,10 @@ pub enum Error {
     Message(rl_message::Error),
     /// The record store header's metadata version is newer than the
     /// metadata the client supplied: the client must refresh its cache.
-    StaleMetaData { store_version: u64, supplied_version: u64 },
+    StaleMetaData {
+        store_version: u64,
+        supplied_version: u64,
+    },
     /// Schema evolution constraint violations found while updating
     /// metadata.
     InvalidEvolution(Vec<EvolutionError>),

@@ -38,7 +38,11 @@ pub struct EvalContext<'a> {
 
 impl<'a> EvalContext<'a> {
     pub fn new(message: &'a DynamicMessage, record_type: &'a str) -> Self {
-        EvalContext { message, record_type, version: None }
+        EvalContext {
+            message,
+            record_type,
+            version: None,
+        }
     }
 
     pub fn with_version(mut self, version: Option<Versionstamp>) -> Self {
@@ -77,7 +81,11 @@ pub enum KeyExpression {
     /// A (possibly repeated) field of the record.
     Field { name: String, fan_type: FanType },
     /// Descend into a nested message field and apply `inner` there.
-    Nest { field: String, fan_type: FanType, inner: Box<KeyExpression> },
+    Nest {
+        field: String,
+        fan_type: FanType,
+        inner: Box<KeyExpression>,
+    },
     /// Concatenation: sub-expression tuples joined left-to-right; multiple
     /// values fan out as a Cartesian product.
     Concat(Vec<KeyExpression>),
@@ -93,11 +101,17 @@ pub enum KeyExpression {
     /// Grouping wrapper for aggregate indexes: the final `grouped_count`
     /// columns of `inner` are the aggregated operand, the leading columns
     /// are the group key.
-    Grouping { inner: Box<KeyExpression>, grouped_count: usize },
+    Grouping {
+        inner: Box<KeyExpression>,
+        grouped_count: usize,
+    },
     /// Covering-index helper: the leading `key` columns form the index
     /// entry's key (after which the primary key is appended), the `value`
     /// columns are stored in the entry's value.
-    KeyWithValue { key: Box<KeyExpression>, value: Box<KeyExpression> },
+    KeyWithValue {
+        key: Box<KeyExpression>,
+        value: Box<KeyExpression>,
+    },
 }
 
 impl KeyExpression {
@@ -105,27 +119,44 @@ impl KeyExpression {
 
     /// `field("name")` — a scalar field.
     pub fn field(name: impl Into<String>) -> Self {
-        KeyExpression::Field { name: name.into(), fan_type: FanType::Scalar }
+        KeyExpression::Field {
+            name: name.into(),
+            fan_type: FanType::Scalar,
+        }
     }
 
     /// A repeated field producing one tuple per element.
     pub fn field_fanout(name: impl Into<String>) -> Self {
-        KeyExpression::Field { name: name.into(), fan_type: FanType::Fanout }
+        KeyExpression::Field {
+            name: name.into(),
+            fan_type: FanType::Fanout,
+        }
     }
 
     /// A repeated field producing a single list-valued entry.
     pub fn field_concat(name: impl Into<String>) -> Self {
-        KeyExpression::Field { name: name.into(), fan_type: FanType::Concatenate }
+        KeyExpression::Field {
+            name: name.into(),
+            fan_type: FanType::Concatenate,
+        }
     }
 
     /// `field(parent).nest(inner)` — descend into a nested message.
     pub fn nest(field: impl Into<String>, inner: KeyExpression) -> Self {
-        KeyExpression::Nest { field: field.into(), fan_type: FanType::Scalar, inner: Box::new(inner) }
+        KeyExpression::Nest {
+            field: field.into(),
+            fan_type: FanType::Scalar,
+            inner: Box::new(inner),
+        }
     }
 
     /// Nested descent that fans out over a repeated message field.
     pub fn nest_fanout(field: impl Into<String>, inner: KeyExpression) -> Self {
-        KeyExpression::Nest { field: field.into(), fan_type: FanType::Fanout, inner: Box::new(inner) }
+        KeyExpression::Nest {
+            field: field.into(),
+            fan_type: FanType::Fanout,
+            inner: Box::new(inner),
+        }
     }
 
     /// Concatenate sub-expressions.
@@ -141,12 +172,18 @@ impl KeyExpression {
     /// Group this expression for an aggregate index: the last
     /// `grouped_count` columns are the operand.
     pub fn group_by(self, grouped_count: usize) -> Self {
-        KeyExpression::Grouping { inner: Box::new(self), grouped_count }
+        KeyExpression::Grouping {
+            inner: Box::new(self),
+            grouped_count,
+        }
     }
 
     /// Attach covering-value columns.
     pub fn with_value(self, value: KeyExpression) -> Self {
-        KeyExpression::KeyWithValue { key: Box::new(self), value: Box::new(value) }
+        KeyExpression::KeyWithValue {
+            key: Box::new(self),
+            value: Box::new(value),
+        }
     }
 
     /// A named client-defined function expression.
@@ -205,7 +242,9 @@ impl KeyExpression {
             KeyExpression::Nest { inner, .. } => inner.uses_version(),
             KeyExpression::Concat(parts) => parts.iter().any(KeyExpression::uses_version),
             KeyExpression::Grouping { inner, .. } => inner.uses_version(),
-            KeyExpression::KeyWithValue { key, value } => key.uses_version() || value.uses_version(),
+            KeyExpression::KeyWithValue { key, value } => {
+                key.uses_version() || value.uses_version()
+            }
             KeyExpression::Function(_) => true, // conservative: functions may use it
             _ => false,
         }
@@ -216,9 +255,11 @@ impl KeyExpression {
         match self {
             KeyExpression::Empty => Ok(vec![Tuple::new()]),
             KeyExpression::Field { name, fan_type } => evaluate_field(ctx.message, name, *fan_type),
-            KeyExpression::Nest { field, fan_type, inner } => {
-                evaluate_nest(ctx, field, *fan_type, inner)
-            }
+            KeyExpression::Nest {
+                field,
+                fan_type,
+                inner,
+            } => evaluate_nest(ctx, field, *fan_type, inner),
             KeyExpression::Concat(parts) => {
                 let mut results: Vec<Tuple> = vec![Tuple::new()];
                 for part in parts {
@@ -233,9 +274,7 @@ impl KeyExpression {
                 }
                 Ok(results)
             }
-            KeyExpression::RecordTypeKey => {
-                Ok(vec![Tuple::new().push(ctx.record_type)])
-            }
+            KeyExpression::RecordTypeKey => Ok(vec![Tuple::new().push(ctx.record_type)]),
             KeyExpression::Version => {
                 let version = ctx.version.unwrap_or_else(|| Versionstamp::incomplete(0));
                 Ok(vec![Tuple::new().push(version)])
@@ -277,10 +316,17 @@ impl KeyExpression {
             KeyExpression::Field { name, fan_type } => {
                 let mut path = prefix.clone();
                 path.push(name.clone());
-                out.push(KeyPart::Field { path, fan_type: *fan_type });
+                out.push(KeyPart::Field {
+                    path,
+                    fan_type: *fan_type,
+                });
                 true
             }
-            KeyExpression::Nest { field, fan_type, inner } => {
+            KeyExpression::Nest {
+                field,
+                fan_type,
+                inner,
+            } => {
                 if *fan_type == FanType::Fanout {
                     // Fan-out nesting changes multiplicity; represent the
                     // inner fields but mark them fanned.
@@ -303,9 +349,7 @@ impl KeyExpression {
                     ok
                 }
             }
-            KeyExpression::Concat(parts) => {
-                parts.iter().all(|p| p.flatten_into(prefix, out))
-            }
+            KeyExpression::Concat(parts) => parts.iter().all(|p| p.flatten_into(prefix, out)),
             KeyExpression::RecordTypeKey => {
                 out.push(KeyPart::RecordType);
                 true
@@ -327,7 +371,10 @@ impl KeyExpression {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KeyPart {
     /// A (possibly nested) field path, e.g. `["parent", "a"]`.
-    Field { path: Vec<String>, fan_type: FanType },
+    Field {
+        path: Vec<String>,
+        fan_type: FanType,
+    },
     /// The record-type column.
     RecordType,
     /// The version column.
@@ -396,9 +443,9 @@ fn evaluate_nest(
     inner: &KeyExpression,
 ) -> Result<Vec<Tuple>> {
     let descriptor = ctx.message.descriptor();
-    let fd = descriptor
-        .field_by_name(field)
-        .ok_or_else(|| Error::KeyExpression(format!("no field {field} on {}", ctx.message.type_name())))?;
+    let fd = descriptor.field_by_name(field).ok_or_else(|| {
+        Error::KeyExpression(format!("no field {field} on {}", ctx.message.type_name()))
+    })?;
     if fd.is_repeated() {
         if fan_type != FanType::Fanout {
             return Err(Error::KeyExpression(format!(
@@ -407,9 +454,9 @@ fn evaluate_nest(
         }
         let mut out = Vec::new();
         for v in ctx.message.get_repeated(field) {
-            let nested = v.as_message().ok_or_else(|| {
-                Error::KeyExpression(format!("field {field} is not a message"))
-            })?;
+            let nested = v
+                .as_message()
+                .ok_or_else(|| Error::KeyExpression(format!("field {field} is not a message")))?;
             let sub_ctx = EvalContext {
                 message: nested,
                 record_type: ctx.record_type,
@@ -465,7 +512,11 @@ mod tests {
                 vec![
                     FieldDescriptor::optional("id", 1, FieldType::Int64),
                     FieldDescriptor::repeated("elem", 2, FieldType::String),
-                    FieldDescriptor::optional("parent", 3, FieldType::Message("Example.Nested".into())),
+                    FieldDescriptor::optional(
+                        "parent",
+                        3,
+                        FieldType::Message("Example.Nested".into()),
+                    ),
                 ],
             )
             .unwrap(),
@@ -506,9 +557,7 @@ mod tests {
 
         // field("elem", Concatenate) yields (["first","second","third"]).
         let r = KeyExpression::field_concat("elem").evaluate(&ctx).unwrap();
-        let expected = Tuple::new().push(
-            Tuple::new().push("first").push("second").push("third"),
-        );
+        let expected = Tuple::new().push(Tuple::new().push("first").push("second").push("third"));
         assert_eq!(r, vec![expected]);
 
         // field("elem", Fanout) yields three tuples.
@@ -603,7 +652,9 @@ mod tests {
         let pool = example_pool();
         let msg = example_record(&pool);
         let ctx = EvalContext::new(&msg, "Example");
-        assert!(KeyExpression::field_fanout("elem").evaluate_single(&ctx).is_err());
+        assert!(KeyExpression::field_fanout("elem")
+            .evaluate_single(&ctx)
+            .is_err());
         assert!(KeyExpression::field("id").evaluate_single(&ctx).is_ok());
     }
 
@@ -618,7 +669,12 @@ mod tests {
         // Without a version, an incomplete placeholder is produced.
         let ctx = EvalContext::new(&msg, "Example");
         let r = KeyExpression::Version.evaluate(&ctx).unwrap();
-        assert!(!r[0].get(0).unwrap().as_versionstamp().unwrap().is_complete());
+        assert!(!r[0]
+            .get(0)
+            .unwrap()
+            .as_versionstamp()
+            .unwrap()
+            .is_complete());
     }
 
     #[test]
@@ -627,11 +683,7 @@ mod tests {
         let msg = example_record(&pool);
         let ctx = EvalContext::new(&msg, "Example");
         let expr = KeyExpression::function("double_id", 1, |ctx| {
-            let id = ctx
-                .message
-                .get("id")
-                .and_then(Value::as_i64)
-                .unwrap_or(0);
+            let id = ctx.message.get("id").and_then(Value::as_i64).unwrap_or(0);
             Ok(vec![Tuple::new().push(id * 2)])
         });
         let r = expr.evaluate(&ctx).unwrap();
@@ -665,8 +717,14 @@ mod tests {
         assert_eq!(
             parts,
             vec![
-                KeyPart::Field { path: vec!["id".into()], fan_type: FanType::Scalar },
-                KeyPart::Field { path: vec!["parent".into(), "a".into()], fan_type: FanType::Scalar },
+                KeyPart::Field {
+                    path: vec!["id".into()],
+                    fan_type: FanType::Scalar
+                },
+                KeyPart::Field {
+                    path: vec!["parent".into(), "a".into()],
+                    fan_type: FanType::Scalar
+                },
             ]
         );
         // Functions cannot be flattened.
@@ -676,7 +734,10 @@ mod tests {
 
     #[test]
     fn value_conversions() {
-        assert_eq!(value_to_element(&Value::I32(-3)).unwrap(), TupleElement::Int(-3));
+        assert_eq!(
+            value_to_element(&Value::I32(-3)).unwrap(),
+            TupleElement::Int(-3)
+        );
         assert_eq!(
             value_to_element(&Value::String("s".into())).unwrap(),
             TupleElement::String("s".into())

@@ -26,7 +26,10 @@ pub struct AtomicIndexMaintainer {
 
 impl AtomicIndexMaintainer {
     pub fn new(index_type: IndexType) -> Self {
-        assert!(index_type.is_atomic(), "not an atomic index type: {index_type:?}");
+        assert!(
+            index_type.is_atomic(),
+            "not an atomic index type: {index_type:?}"
+        );
         AtomicIndexMaintainer { index_type }
     }
 }
@@ -52,7 +55,11 @@ fn operand_as_i64(operand: &Tuple) -> Result<Option<i64>> {
 }
 
 fn operand_is_null(operand: &Tuple) -> bool {
-    operand.is_empty() || operand.elements().iter().all(|e| matches!(e, TupleElement::Null))
+    operand.is_empty()
+        || operand
+            .elements()
+            .iter()
+            .all(|e| matches!(e, TupleElement::Null))
 }
 
 impl IndexMaintainer for AtomicIndexMaintainer {
@@ -62,8 +69,14 @@ impl IndexMaintainer for AtomicIndexMaintainer {
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
     ) -> Result<()> {
-        let old_tuples = old.map(|r| evaluate_index_expr(ctx.index, r)).transpose()?.unwrap_or_default();
-        let new_tuples = new.map(|r| evaluate_index_expr(ctx.index, r)).transpose()?.unwrap_or_default();
+        let old_tuples = old
+            .map(|r| evaluate_index_expr(ctx.index, r))
+            .transpose()?
+            .unwrap_or_default();
+        let new_tuples = new
+            .map(|r| evaluate_index_expr(ctx.index, r))
+            .transpose()?
+            .unwrap_or_default();
 
         match self.index_type {
             IndexType::Count => {
@@ -71,12 +84,14 @@ impl IndexMaintainer for AtomicIndexMaintainer {
                 for t in &old_tuples {
                     let (group, _) = split_group(ctx.index, t);
                     let key = ctx.subspace.pack(&group);
-                    ctx.tx.mutate(MutationType::Add, &key, &(-1i64).to_le_bytes())?;
+                    ctx.tx
+                        .mutate(MutationType::Add, &key, &(-1i64).to_le_bytes())?;
                 }
                 for t in &new_tuples {
                     let (group, _) = split_group(ctx.index, t);
                     let key = ctx.subspace.pack(&group);
-                    ctx.tx.mutate(MutationType::Add, &key, &1i64.to_le_bytes())?;
+                    ctx.tx
+                        .mutate(MutationType::Add, &key, &1i64.to_le_bytes())?;
                 }
             }
             IndexType::CountUpdates => {
@@ -89,7 +104,8 @@ impl IndexMaintainer for AtomicIndexMaintainer {
                         continue;
                     }
                     let key = ctx.subspace.pack(&group);
-                    ctx.tx.mutate(MutationType::Add, &key, &1i64.to_le_bytes())?;
+                    ctx.tx
+                        .mutate(MutationType::Add, &key, &1i64.to_le_bytes())?;
                 }
             }
             IndexType::CountNonNull => {
@@ -99,7 +115,8 @@ impl IndexMaintainer for AtomicIndexMaintainer {
                         continue;
                     }
                     let key = ctx.subspace.pack(&group);
-                    ctx.tx.mutate(MutationType::Add, &key, &(-1i64).to_le_bytes())?;
+                    ctx.tx
+                        .mutate(MutationType::Add, &key, &(-1i64).to_le_bytes())?;
                 }
                 for t in &new_tuples {
                     let (group, operand) = split_group(ctx.index, t);
@@ -107,7 +124,8 @@ impl IndexMaintainer for AtomicIndexMaintainer {
                         continue;
                     }
                     let key = ctx.subspace.pack(&group);
-                    ctx.tx.mutate(MutationType::Add, &key, &1i64.to_le_bytes())?;
+                    ctx.tx
+                        .mutate(MutationType::Add, &key, &1i64.to_le_bytes())?;
                 }
             }
             IndexType::Sum => {
@@ -115,7 +133,8 @@ impl IndexMaintainer for AtomicIndexMaintainer {
                     let (group, operand) = split_group(ctx.index, t);
                     if let Some(v) = operand_as_i64(&operand)? {
                         let key = ctx.subspace.pack(&group);
-                        ctx.tx.mutate(MutationType::Add, &key, &(-v).to_le_bytes())?;
+                        ctx.tx
+                            .mutate(MutationType::Add, &key, &(-v).to_le_bytes())?;
                     }
                 }
                 for t in &new_tuples {
@@ -169,10 +188,12 @@ pub fn evaluate(
             buf[..n].copy_from_slice(&bytes[..n]);
             Ok(AggregateValue::Long(i64::from_le_bytes(buf)))
         }
-        IndexType::MaxEver | IndexType::MinEver => {
-            Ok(AggregateValue::Tuple(Tuple::unpack(&bytes).map_err(Error::Fdb)?))
-        }
-        other => Err(Error::MetaData(format!("{other:?} is not an aggregate index"))),
+        IndexType::MaxEver | IndexType::MinEver => Ok(AggregateValue::Tuple(
+            Tuple::unpack(&bytes).map_err(Error::Fdb)?,
+        )),
+        other => Err(Error::MetaData(format!(
+            "{other:?} is not an aggregate index"
+        ))),
     }
 }
 
@@ -216,11 +237,19 @@ mod tests {
             )
             .index(
                 "Order",
-                Index::max_ever("max_amount", KeyExpression::Empty, KeyExpression::field("amount")),
+                Index::max_ever(
+                    "max_amount",
+                    KeyExpression::Empty,
+                    KeyExpression::field("amount"),
+                ),
             )
             .index(
                 "Order",
-                Index::min_ever("min_amount", KeyExpression::Empty, KeyExpression::field("amount")),
+                Index::min_ever(
+                    "min_amount",
+                    KeyExpression::Empty,
+                    KeyExpression::field("amount"),
+                ),
             )
             .index(
                 "Order",
@@ -242,7 +271,13 @@ mod tests {
             .unwrap()
     }
 
-    fn save_order(db: &Database, md: &crate::metadata::RecordMetaData, id: i64, customer: &str, amount: Option<i64>) {
+    fn save_order(
+        db: &Database,
+        md: &crate::metadata::RecordMetaData,
+        id: i64,
+        customer: &str,
+        amount: Option<i64>,
+    ) {
         let sub = rl_fdb::Subspace::from_bytes(b"S".to_vec());
         crate::run(db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, md)?;
@@ -258,7 +293,12 @@ mod tests {
         .unwrap();
     }
 
-    fn aggregate(db: &Database, md: &crate::metadata::RecordMetaData, index: &str, group: Tuple) -> AggregateValue {
+    fn aggregate(
+        db: &Database,
+        md: &crate::metadata::RecordMetaData,
+        index: &str,
+        group: Tuple,
+    ) -> AggregateValue {
         let sub = rl_fdb::Subspace::from_bytes(b"S".to_vec());
         crate::run(db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, md)?;
@@ -275,7 +315,10 @@ mod tests {
         save_order(&db, &md, 2, "alice", Some(5));
         save_order(&db, &md, 3, "bob", Some(7));
 
-        assert_eq!(aggregate(&db, &md, "order_count", Tuple::new()).as_long(), Some(3));
+        assert_eq!(
+            aggregate(&db, &md, "order_count", Tuple::new()).as_long(),
+            Some(3)
+        );
         assert_eq!(
             aggregate(&db, &md, "count_by_customer", Tuple::from(("alice",))).as_long(),
             Some(2)
@@ -297,7 +340,10 @@ mod tests {
         save_order(&db, &md, 1, "alice", Some(10));
         // Replace order 1 with a different amount and customer.
         save_order(&db, &md, 1, "bob", Some(4));
-        assert_eq!(aggregate(&db, &md, "order_count", Tuple::new()).as_long(), Some(1));
+        assert_eq!(
+            aggregate(&db, &md, "order_count", Tuple::new()).as_long(),
+            Some(1)
+        );
         assert_eq!(
             aggregate(&db, &md, "sum_by_customer", Tuple::from(("alice",))).as_long(),
             Some(0)
@@ -325,7 +371,10 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(aggregate(&db, &md, "order_count", Tuple::new()).as_long(), Some(1));
+        assert_eq!(
+            aggregate(&db, &md, "order_count", Tuple::new()).as_long(),
+            Some(1)
+        );
         assert_eq!(
             aggregate(&db, &md, "sum_by_customer", Tuple::from(("alice",))).as_long(),
             Some(3)
@@ -363,7 +412,10 @@ mod tests {
         let md = metadata();
         save_order(&db, &md, 1, "a", Some(5));
         save_order(&db, &md, 2, "a", None);
-        assert_eq!(aggregate(&db, &md, "amount_non_null", Tuple::new()).as_long(), Some(1));
+        assert_eq!(
+            aggregate(&db, &md, "amount_non_null", Tuple::new()).as_long(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -373,7 +425,10 @@ mod tests {
         save_order(&db, &md, 1, "a", Some(5));
         save_order(&db, &md, 1, "a", Some(6));
         save_order(&db, &md, 1, "a", Some(7));
-        assert_eq!(aggregate(&db, &md, "amount_updates", Tuple::new()).as_long(), Some(3));
+        assert_eq!(
+            aggregate(&db, &md, "amount_updates", Tuple::new()).as_long(),
+            Some(3)
+        );
     }
 
     #[test]
@@ -418,6 +473,9 @@ mod tests {
             aggregate(&db, &md, "sum_by_customer", Tuple::from(("shared",))).as_long(),
             Some(2)
         );
-        assert_eq!(aggregate(&db, &md, "order_count", Tuple::new()).as_long(), Some(2));
+        assert_eq!(
+            aggregate(&db, &md, "order_count", Tuple::new()).as_long(),
+            Some(2)
+        );
     }
 }

@@ -104,7 +104,10 @@ impl<'m> OnlineIndexBuilder<'m> {
                 let mut scanned = 0usize;
                 let final_continuation = loop {
                     match cursor.next()? {
-                        CursorResult::Next { value: record, continuation } => {
+                        CursorResult::Next {
+                            value: record,
+                            continuation,
+                        } => {
                             if index.applies_to(&record.record_type) {
                                 store.update_one_index(index, &record)?;
                             }
@@ -175,7 +178,10 @@ mod tests {
     fn metadata_v2() -> crate::metadata::RecordMetaData {
         RecordMetaDataBuilder::from_existing(&metadata_v1())
             .index("T", Index::value("by_v", KeyExpression::field("v")))
-            .index("T", Index::sum("sum_v", KeyExpression::Empty, KeyExpression::field("v")))
+            .index(
+                "T",
+                Index::sum("sum_v", KeyExpression::Empty, KeyExpression::field("v")),
+            )
             .build()
             .unwrap()
     }
@@ -226,7 +232,11 @@ mod tests {
         builder.build().unwrap();
         // 50 records / 7 per batch → several transactions, proving the
         // build spans transactions.
-        assert!(builder.transactions_used > 3, "used {}", builder.transactions_used);
+        assert!(
+            builder.transactions_used > 3,
+            "used {}",
+            builder.transactions_used
+        );
 
         crate::run(&db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, &v2)?;
@@ -257,7 +267,10 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        OnlineIndexBuilder::new(&db, &sub, &v2, "sum_v").batch_size(6).build().unwrap();
+        OnlineIndexBuilder::new(&db, &sub, &v2, "sum_v")
+            .batch_size(6)
+            .build()
+            .unwrap();
         crate::run(&db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, &v2)?;
             let sum = store.evaluate_aggregate("sum_v", &Tuple::new())?;
@@ -294,7 +307,10 @@ mod tests {
         })
         .unwrap();
 
-        OnlineIndexBuilder::new(&db, &sub, &v2, "by_v").batch_size(4).build().unwrap();
+        OnlineIndexBuilder::new(&db, &sub, &v2, "by_v")
+            .batch_size(4)
+            .build()
+            .unwrap();
 
         crate::run(&db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, &v2)?;
@@ -328,7 +344,10 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        OnlineIndexBuilder::new(&db, &sub, &v2, "by_v").batch_size(4).build().unwrap();
+        OnlineIndexBuilder::new(&db, &sub, &v2, "by_v")
+            .batch_size(4)
+            .build()
+            .unwrap();
         crate::run(&db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, &v2)?;
             let mut cursor = store.scan_index(

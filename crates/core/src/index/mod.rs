@@ -172,7 +172,10 @@ impl Default for IndexRegistry {
     fn default() -> Self {
         let mut builtin: BTreeMap<&'static str, Arc<dyn IndexMaintainer>> = BTreeMap::new();
         builtin.insert("value", Arc::new(value::ValueIndexMaintainer));
-        builtin.insert("count", Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::Count)));
+        builtin.insert(
+            "count",
+            Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::Count)),
+        );
         builtin.insert(
             "count_updates",
             Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::CountUpdates)),
@@ -181,13 +184,25 @@ impl Default for IndexRegistry {
             "count_non_null",
             Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::CountNonNull)),
         );
-        builtin.insert("sum", Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::Sum)));
-        builtin.insert("max_ever", Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::MaxEver)));
-        builtin.insert("min_ever", Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::MinEver)));
+        builtin.insert(
+            "sum",
+            Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::Sum)),
+        );
+        builtin.insert(
+            "max_ever",
+            Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::MaxEver)),
+        );
+        builtin.insert(
+            "min_ever",
+            Arc::new(atomic::AtomicIndexMaintainer::new(IndexType::MinEver)),
+        );
         builtin.insert("version", Arc::new(version::VersionIndexMaintainer));
         builtin.insert("rank", Arc::new(rank::RankIndexMaintainer));
         builtin.insert("text", Arc::new(text::TextIndexMaintainer));
-        IndexRegistry { builtin, custom: BTreeMap::new() }
+        IndexRegistry {
+            builtin,
+            custom: BTreeMap::new(),
+        }
     }
 }
 
@@ -197,7 +212,11 @@ impl IndexRegistry {
     }
 
     /// Register a client-defined maintainer under a custom type name.
-    pub fn register_custom(&mut self, name: impl Into<String>, maintainer: Arc<dyn IndexMaintainer>) {
+    pub fn register_custom(
+        &mut self,
+        name: impl Into<String>,
+        maintainer: Arc<dyn IndexMaintainer>,
+    ) {
         self.custom.insert(name.into(), maintainer);
     }
 
@@ -229,7 +248,11 @@ mod tests {
 
     #[test]
     fn state_bytes_roundtrip() {
-        for s in [IndexState::Disabled, IndexState::WriteOnly, IndexState::Readable] {
+        for s in [
+            IndexState::Disabled,
+            IndexState::WriteOnly,
+            IndexState::Readable,
+        ] {
             assert_eq!(IndexState::from_byte(s.to_byte()).unwrap(), s);
         }
         assert!(IndexState::from_byte(9).is_err());

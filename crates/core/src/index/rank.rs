@@ -52,7 +52,11 @@ fn le_count(bytes: &[u8]) -> i64 {
 impl<'a> RankedSet<'a> {
     pub fn new(tx: &'a Transaction, subspace: Subspace, nlevels: usize) -> Self {
         assert!(nlevels >= 2, "a ranked set needs at least 2 levels");
-        RankedSet { tx, subspace, nlevels }
+        RankedSet {
+            tx,
+            subspace,
+            nlevels,
+        }
     }
 
     fn level_subspace(&self, level: usize) -> Subspace {
@@ -91,11 +95,9 @@ impl<'a> RankedSet<'a> {
     fn predecessor_key(&self, level: usize, bound_key: &[u8]) -> Result<Vec<u8>> {
         let begin = self.sentinel_key(level);
         let end = rl_fdb::key_after(bound_key);
-        let kvs = self.tx.get_range_snapshot(
-            &begin,
-            &end,
-            RangeOptions::new().limit(1).reverse(true),
-        )?;
+        let kvs =
+            self.tx
+                .get_range_snapshot(&begin, &end, RangeOptions::new().limit(1).reverse(true))?;
         Ok(kvs.into_iter().next().map(|kv| kv.key).unwrap_or(begin))
     }
 
@@ -154,7 +156,8 @@ impl<'a> RankedSet<'a> {
                 // Not a member: the covering finger grows by one. Atomic
                 // ADD keeps concurrent inserts conflict-free here.
                 let prev_key = self.predecessor_key(level, &key)?;
-                self.tx.mutate(MutationType::Add, &prev_key, &1i64.to_le_bytes())?;
+                self.tx
+                    .mutate(MutationType::Add, &prev_key, &1i64.to_le_bytes())?;
             }
         }
         Ok(true)
@@ -307,11 +310,17 @@ impl IndexMaintainer for RankIndexMaintainer {
         let set = RankedSet::new(ctx.tx, ctx.subspace.child(LEVELS), nlevels);
 
         let old_entries = old
-            .map(|r| evaluate_index_expr(ctx.index, r).map(|t| to_index_entries(ctx.index, t, &r.primary_key)))
+            .map(|r| {
+                evaluate_index_expr(ctx.index, r)
+                    .map(|t| to_index_entries(ctx.index, t, &r.primary_key))
+            })
             .transpose()?
             .unwrap_or_default();
         let new_entries = new
-            .map(|r| evaluate_index_expr(ctx.index, r).map(|t| to_index_entries(ctx.index, t, &r.primary_key)))
+            .map(|r| {
+                evaluate_index_expr(ctx.index, r)
+                    .map(|t| to_index_entries(ctx.index, t, &r.primary_key))
+            })
             .transpose()?
             .unwrap_or_default();
 

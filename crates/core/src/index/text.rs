@@ -95,7 +95,9 @@ impl Tokenizer for NgramTokenizer {
 
 fn tokenizer_for(index: &crate::metadata::Index) -> Box<dyn Tokenizer> {
     match index.options.text_tokenizer.as_str() {
-        "ngram" => Box::new(NgramTokenizer { n: index.options.ngram_size }),
+        "ngram" => Box::new(NgramTokenizer {
+            n: index.options.ngram_size,
+        }),
         _ => Box::new(WhitespaceTokenizer),
     }
 }
@@ -143,7 +145,11 @@ fn element_to_offsets(el: &TupleElement) -> Result<Vec<i64>> {
 impl<'a> BunchedMap<'a> {
     pub fn new(tx: &'a Transaction, subspace: Subspace, bunch_size: usize) -> Self {
         assert!(bunch_size >= 1);
-        BunchedMap { tx, subspace, bunch_size }
+        BunchedMap {
+            tx,
+            subspace,
+            bunch_size,
+        }
     }
 
     fn entry_key(&self, token: &str, pk: &Tuple) -> Vec<u8> {
@@ -219,9 +225,11 @@ impl<'a> BunchedMap<'a> {
     fn bunch_at_or_before(&self, token: &str, pk: &Tuple) -> Result<Option<(Tuple, Vec<Posting>)>> {
         let token_start = self.subspace.pack(&Tuple::new().push(token));
         let end = rl_fdb::key_after(&self.entry_key(token, pk));
-        let kvs = self
-            .tx
-            .get_range(&token_start, &end, RangeOptions::new().limit(1).reverse(true))?;
+        let kvs = self.tx.get_range(
+            &token_start,
+            &end,
+            RangeOptions::new().limit(1).reverse(true),
+        )?;
         match kvs.into_iter().next() {
             None => Ok(None),
             Some(kv) => {
@@ -238,7 +246,9 @@ impl<'a> BunchedMap<'a> {
     fn bunch_after(&self, token: &str, pk: &Tuple) -> Result<Option<(Tuple, Vec<Posting>)>> {
         let begin = rl_fdb::key_after(&self.entry_key(token, pk));
         let (_, token_end) = self.subspace.subspace(&Tuple::new().push(token)).range();
-        let kvs = self.tx.get_range(&begin, &token_end, RangeOptions::new().limit(1))?;
+        let kvs = self
+            .tx
+            .get_range(&begin, &token_end, RangeOptions::new().limit(1))?;
         match kvs.into_iter().next() {
             None => Ok(None),
             Some(kv) => {
@@ -421,7 +431,11 @@ impl IndexMaintainer for TextIndexMaintainer {
         new: Option<&StoredRecord>,
     ) -> Result<()> {
         let tokenizer = tokenizer_for(ctx.index);
-        let map = BunchedMap::new(ctx.tx, ctx.subspace.clone(), ctx.index.options.text_bunch_size);
+        let map = BunchedMap::new(
+            ctx.tx,
+            ctx.subspace.clone(),
+            ctx.index.options.text_bunch_size,
+        );
 
         let old_text = old.map(|r| text_of(ctx.index, r)).transpose()?.flatten();
         let new_text = new.map(|r| text_of(ctx.index, r)).transpose()?.flatten();
@@ -478,9 +492,10 @@ impl<'a> RecordStore<'a> {
                 pks.sort();
                 Ok(pks)
             }
-            TextComparison::ContainsAll(tokens) => {
-                Ok(intersect_postings(&map, tokens)?.into_iter().map(|(pk, _)| pk).collect())
-            }
+            TextComparison::ContainsAll(tokens) => Ok(intersect_postings(&map, tokens)?
+                .into_iter()
+                .map(|(pk, _)| pk)
+                .collect()),
             TextComparison::ContainsPrefix(prefix) => {
                 let mut pks: Vec<Tuple> = Vec::new();
                 for (_, (pk, _)) in map.scan_prefix(&prefix.to_lowercase())? {
@@ -507,14 +522,18 @@ impl<'a> RecordStore<'a> {
                     .map(|(pk, _)| pk)
                     .collect())
             }
-            TextComparison::ContainsAllWithin { tokens, max_distance } => {
+            TextComparison::ContainsAllWithin {
+                tokens,
+                max_distance,
+            } => {
                 let matches = intersect_postings(&map, tokens)?;
                 Ok(matches
                     .into_iter()
                     .filter(|(_, per_token_offsets)| {
                         per_token_offsets[0].iter().any(|&anchor| {
                             per_token_offsets[1..].iter().all(|offs| {
-                                offs.iter().any(|&o| o.abs_diff(anchor) <= *max_distance as u64)
+                                offs.iter()
+                                    .any(|&o| o.abs_diff(anchor) <= *max_distance as u64)
                             })
                         })
                     })
@@ -615,7 +634,10 @@ mod tests {
             assert!(stats.index_keys < 7, "bunching must reduce key count");
             // Scan returns everything in order regardless of bunching.
             let postings = map.scan_token("tok").unwrap();
-            let pks: Vec<i64> = postings.iter().map(|(p, _)| p.get(0).unwrap().as_int().unwrap()).collect();
+            let pks: Vec<i64> = postings
+                .iter()
+                .map(|(p, _)| p.get(0).unwrap().as_int().unwrap())
+                .collect();
             assert_eq!(pks, vec![0, 1, 2, 3, 4, 5, 6]);
         });
     }
@@ -689,7 +711,10 @@ mod tests {
             }
             let postings = map.scan_token("t").unwrap();
             let expect: Vec<i64> = (0..40).filter(|i| i % 3 != 0).collect();
-            let got: Vec<i64> = postings.iter().map(|(p, _)| p.get(0).unwrap().as_int().unwrap()).collect();
+            let got: Vec<i64> = postings
+                .iter()
+                .map(|(p, _)| p.get(0).unwrap().as_int().unwrap())
+                .collect();
             assert_eq!(got, expect);
         });
     }

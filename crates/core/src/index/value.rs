@@ -4,7 +4,9 @@
 use rl_fdb::RangeOptions;
 
 use crate::error::{Error, Result};
-use crate::index::{evaluate_index_expr, to_index_entries, IndexContext, IndexEntry, IndexMaintainer};
+use crate::index::{
+    evaluate_index_expr, to_index_entries, IndexContext, IndexEntry, IndexMaintainer,
+};
 use crate::store::StoredRecord;
 
 /// Maintains VALUE indexes by diffing old and new entry sets, so unchanged
@@ -26,13 +28,21 @@ impl IndexMaintainer for ValueIndexMaintainer {
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
     ) -> Result<()> {
-        let old_entries = old.map(|r| entries_for(ctx, r)).transpose()?.unwrap_or_default();
-        let new_entries = new.map(|r| entries_for(ctx, r)).transpose()?.unwrap_or_default();
+        let old_entries = old
+            .map(|r| entries_for(ctx, r))
+            .transpose()?
+            .unwrap_or_default();
+        let new_entries = new
+            .map(|r| entries_for(ctx, r))
+            .transpose()?
+            .unwrap_or_default();
 
         // Remove entries no longer produced.
         for entry in &old_entries {
             if !new_entries.contains(entry) {
-                let key = ctx.subspace.pack(&entry.key.clone().concat(&entry.primary_key));
+                let key = ctx
+                    .subspace
+                    .pack(&entry.key.clone().concat(&entry.primary_key));
                 ctx.tx.clear(&key);
             }
         }
@@ -46,15 +56,21 @@ impl IndexMaintainer for ValueIndexMaintainer {
                 // scan the key's prefix for a foreign pk.
                 let prefix = ctx.subspace.subspace(&entry.key);
                 let (begin, end) = prefix.range();
-                let existing = ctx.tx.get_range(&begin, &end, RangeOptions::new().limit(2))?;
+                let existing = ctx
+                    .tx
+                    .get_range(&begin, &end, RangeOptions::new().limit(2))?;
                 for kv in existing {
                     let t = prefix.unpack(&kv.key).map_err(Error::Fdb)?;
                     if t != entry.primary_key {
-                        return Err(Error::UniquenessViolation { index: ctx.index.name.clone() });
+                        return Err(Error::UniquenessViolation {
+                            index: ctx.index.name.clone(),
+                        });
                     }
                 }
             }
-            let key = ctx.subspace.pack(&entry.key.clone().concat(&entry.primary_key));
+            let key = ctx
+                .subspace
+                .pack(&entry.key.clone().concat(&entry.primary_key));
             let value = if entry.value.is_empty() {
                 Vec::new()
             } else {
@@ -96,7 +112,10 @@ mod tests {
         RecordMetaDataBuilder::new(pool)
             .record_type("T", KeyExpression::field("id"))
             .index("T", Index::value("by_a", KeyExpression::field("a")))
-            .index("T", Index::value("by_tag", KeyExpression::field_fanout("tags")))
+            .index(
+                "T",
+                Index::value("by_tag", KeyExpression::field_fanout("tags")),
+            )
             .build()
             .unwrap()
     }
@@ -104,7 +123,9 @@ mod tests {
     fn index_key_count(db: &Database, subspace: &Subspace) -> usize {
         let tx = db.create_transaction();
         let (b, e) = subspace.range_inclusive();
-        tx.get_range(&b, &e, rl_fdb::RangeOptions::default()).unwrap().len()
+        tx.get_range(&b, &e, rl_fdb::RangeOptions::default())
+            .unwrap()
+            .len()
     }
 
     #[test]
@@ -194,7 +215,10 @@ mod tests {
         for name in ["by_a", "by_tag"] {
             let isub = store.index_subspace(md.index(name).unwrap());
             let (b, e) = isub.range_inclusive();
-            assert!(tx.get_range(&b, &e, rl_fdb::RangeOptions::default()).unwrap().is_empty());
+            assert!(tx
+                .get_range(&b, &e, rl_fdb::RangeOptions::default())
+                .unwrap()
+                .is_empty());
         }
     }
 
@@ -214,7 +238,10 @@ mod tests {
         .unwrap();
         let md = RecordMetaDataBuilder::new(pool)
             .record_type("U", KeyExpression::field("id"))
-            .index("U", Index::value("by_email", KeyExpression::field("email")).with_unique())
+            .index(
+                "U",
+                Index::value("by_email", KeyExpression::field("email")).with_unique(),
+            )
             .build()
             .unwrap();
         let db = Database::new();
@@ -229,14 +256,14 @@ mod tests {
         })
         .unwrap();
         let err = crate::run(&db, |tx| {
-                let store = RecordStore::open_or_create(tx, &sub, &md)?;
-                let mut rec = store.new_record("U")?;
-                rec.set("id", 2i64).unwrap();
-                rec.set("email", "a@example.com").unwrap();
-                store.save_record(rec)?;
-                Ok(())
-            })
-            .unwrap_err();
+            let store = RecordStore::open_or_create(tx, &sub, &md)?;
+            let mut rec = store.new_record("U")?;
+            rec.set("id", 2i64).unwrap();
+            rec.set("email", "a@example.com").unwrap();
+            store.save_record(rec)?;
+            Ok(())
+        })
+        .unwrap_err();
         assert!(matches!(err, Error::UniquenessViolation { .. }));
         // Same record re-saved is fine.
         crate::run(&db, |tx| {

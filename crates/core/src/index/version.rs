@@ -51,8 +51,12 @@ impl IndexMaintainer for VersionIndexMaintainer {
                     entry.value.pack()
                 };
                 if has_incomplete(&full) {
-                    let operand = ctx.subspace.pack_versionstamp_operand(&full).map_err(crate::Error::Fdb)?;
-                    ctx.tx.mutate(MutationType::SetVersionstampedKey, &operand, &value)?;
+                    let operand = ctx
+                        .subspace
+                        .pack_versionstamp_operand(&full)
+                        .map_err(crate::Error::Fdb)?;
+                    ctx.tx
+                        .mutate(MutationType::SetVersionstampedKey, &operand, &value)?;
                 } else {
                     ctx.tx.try_set(&ctx.subspace.pack(&full), &value)?;
                 }
@@ -115,7 +119,12 @@ mod tests {
         .unwrap();
     }
 
-    fn scan_sync(db: &Database, md: &crate::metadata::RecordMetaData, index: &str, range: TupleRange) -> Vec<(Tuple, Tuple)> {
+    fn scan_sync(
+        db: &Database,
+        md: &crate::metadata::RecordMetaData,
+        index: &str,
+        range: TupleRange,
+    ) -> Vec<(Tuple, Tuple)> {
         let sub = Subspace::from_bytes(b"S".to_vec());
         crate::run(db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, md)?;
@@ -127,7 +136,10 @@ mod tests {
                 &ExecuteProperties::new(),
             )?;
             let (entries, _, _) = cursor.collect_remaining()?;
-            Ok(entries.into_iter().map(|e| (e.key, e.primary_key)).collect())
+            Ok(entries
+                .into_iter()
+                .map(|e| (e.key, e.primary_key))
+                .collect())
         })
         .unwrap()
     }
@@ -143,7 +155,10 @@ mod tests {
         let entries = scan_sync(&db, &md, "sync", TupleRange::all());
         assert_eq!(entries.len(), 3);
         // Scanning the version index returns records in write order.
-        let pks: Vec<i64> = entries.iter().map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap()).collect();
+        let pks: Vec<i64> = entries
+            .iter()
+            .map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(pks, vec![1, 2, 3]);
         // Versions are complete and strictly increasing.
         let versions: Vec<_> = entries
@@ -164,7 +179,10 @@ mod tests {
 
         let entries = scan_sync(&db, &md, "sync", TupleRange::all());
         assert_eq!(entries.len(), 2, "old version entry must be removed");
-        let pks: Vec<i64> = entries.iter().map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap()).collect();
+        let pks: Vec<i64> = entries
+            .iter()
+            .map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(pks, vec![2, 1]);
     }
 
@@ -189,7 +207,10 @@ mod tests {
             "sync",
             TupleRange::between(Some((checkpoint, false)), None),
         );
-        let pks: Vec<i64> = news.iter().map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap()).collect();
+        let pks: Vec<i64> = news
+            .iter()
+            .map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(pks, vec![3, 4]);
     }
 
@@ -207,7 +228,10 @@ mod tests {
             "zone_sync",
             TupleRange::prefix(Tuple::from(("a",))),
         );
-        let pks: Vec<i64> = a_entries.iter().map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap()).collect();
+        let pks: Vec<i64> = a_entries
+            .iter()
+            .map(|(_, pk)| pk.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(pks, vec![1, 3]);
         // Key layout: (zone, version).
         assert!(matches!(a_entries[0].0.get(0), Some(TupleElement::String(z)) if z == "a"));

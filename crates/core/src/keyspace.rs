@@ -38,7 +38,11 @@ pub struct KeySpaceDirectory {
 
 impl KeySpaceDirectory {
     pub fn new(name: impl Into<String>, key_type: KeyType) -> Self {
-        KeySpaceDirectory { name: name.into(), key_type, children: BTreeMap::new() }
+        KeySpaceDirectory {
+            name: name.into(),
+            key_type,
+            children: BTreeMap::new(),
+        }
     }
 
     /// Attach a child directory, which must be uniquely named among its
@@ -63,7 +67,10 @@ impl KeySpace {
 
     pub fn with_roots(tops: Vec<KeySpaceDirectory>) -> Self {
         KeySpace {
-            roots: tops.into_iter().map(|d| (d.name.clone(), Arc::new(d))).collect(),
+            roots: tops
+                .into_iter()
+                .map(|d| (d.name.clone(), Arc::new(d)))
+                .collect(),
             directory_layer: DirectoryLayer::new(),
         }
     }
@@ -117,9 +124,7 @@ impl KeySpacePath {
         let child = current
             .children
             .get(name)
-            .ok_or_else(|| {
-                Error::MetaData(format!("no directory {name} under {}", current.name))
-            })?
+            .ok_or_else(|| Error::MetaData(format!("no directory {name} under {}", current.name)))?
             .clone();
         self.segments.push((child, None));
         Ok(self)

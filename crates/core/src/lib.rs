@@ -28,6 +28,47 @@
 //!   and residual filters (Appendix C).
 //! * [`keyspace`] — the KeySpace API for carving up the global keyspace
 //!   like a filesystem (§4).
+//!
+//! ## Example
+//!
+//! ```
+//! use record_layer::expr::KeyExpression;
+//! use record_layer::metadata::RecordMetaDataBuilder;
+//! use record_layer::store::RecordStore;
+//! use rl_fdb::tuple::Tuple;
+//! use rl_fdb::{Database, Subspace};
+//! use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor};
+//!
+//! let mut pool = DescriptorPool::new();
+//! pool.add_message(MessageDescriptor::new(
+//!     "User",
+//!     vec![
+//!         FieldDescriptor::optional("id", 1, FieldType::Int64),
+//!         FieldDescriptor::optional("name", 2, FieldType::String),
+//!     ],
+//! ).unwrap()).unwrap();
+//! let metadata = RecordMetaDataBuilder::new(pool)
+//!     .record_type("User", KeyExpression::field("id"))
+//!     .build().unwrap();
+//!
+//! let db = Database::new();
+//! let space = Subspace::from_bytes(b"doc".to_vec());
+//! record_layer::run(&db, |tx| {
+//!     let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+//!     let mut user = store.new_record("User")?;
+//!     user.set("id", 1i64).unwrap();
+//!     user.set("name", "ada").unwrap();
+//!     store.save_record(user)?;
+//!     Ok(())
+//! }).unwrap();
+//!
+//! let name = record_layer::run(&db, |tx| {
+//!     let store = RecordStore::open_or_create(tx, &space, &metadata)?;
+//!     let rec = store.load_record(&Tuple::from((1i64,)))?.unwrap();
+//!     Ok(rec.message.get("name").and_then(|v| v.as_str().map(String::from)))
+//! }).unwrap();
+//! assert_eq!(name.as_deref(), Some("ada"));
+//! ```
 
 pub mod cursor;
 pub mod error;
@@ -74,7 +115,9 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::expr::{FanType, KeyExpression};
     pub use crate::index::IndexState;
-    pub use crate::metadata::{Index, IndexType, RecordMetaData, RecordMetaDataBuilder, RecordType};
+    pub use crate::metadata::{
+        Index, IndexType, RecordMetaData, RecordMetaDataBuilder, RecordType,
+    };
     pub use crate::query::{Comparison, QueryComponent, RecordQuery, TextComparison};
     pub use crate::store::{RecordStore, StoredRecord};
 }

@@ -109,7 +109,11 @@ pub struct Index {
 }
 
 impl Index {
-    pub fn new(name: impl Into<String>, index_type: IndexType, key_expression: KeyExpression) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        index_type: IndexType,
+        key_expression: KeyExpression,
+    ) -> Self {
         Index {
             name: name.into(),
             index_type,
@@ -369,7 +373,11 @@ impl RecordMetaDataBuilder {
         let name = name.into();
         self.record_types.insert(
             name.clone(),
-            RecordType { name, primary_key, since_version: self.version },
+            RecordType {
+                name,
+                primary_key,
+                since_version: self.version,
+            },
         );
         self
     }
@@ -491,7 +499,10 @@ mod tests {
         RecordMetaDataBuilder::new(pool())
             .record_type("User", KeyExpression::field("id"))
             .record_type("Order", KeyExpression::field("id"))
-            .index("User", Index::value("by_name", KeyExpression::field("name")))
+            .index(
+                "User",
+                Index::value("by_name", KeyExpression::field("name")),
+            )
             .build()
             .unwrap()
     }
@@ -501,7 +512,10 @@ mod tests {
         let md = basic_metadata();
         assert_eq!(md.version(), 1);
         assert!(md.record_type("User").is_ok());
-        assert!(matches!(md.record_type("Nope"), Err(Error::UnknownRecordType(_))));
+        assert!(matches!(
+            md.record_type("Nope"),
+            Err(Error::UnknownRecordType(_))
+        ));
         assert!(md.index("by_name").is_ok());
         assert!(matches!(md.index("nope"), Err(Error::UnknownIndex(_))));
     }
@@ -519,11 +533,19 @@ mod tests {
             )
             .build()
             .unwrap();
-        let user_indexes: Vec<_> = md.indexes_for_type("User").iter().map(|i| i.name.clone()).collect();
+        let user_indexes: Vec<_> = md
+            .indexes_for_type("User")
+            .iter()
+            .map(|i| i.name.clone())
+            .collect();
         assert!(user_indexes.contains(&"u".to_string()));
         assert!(user_indexes.contains(&"all_names".to_string()));
         assert!(user_indexes.contains(&"both".to_string()));
-        let order_indexes: Vec<_> = md.indexes_for_type("Order").iter().map(|i| i.name.clone()).collect();
+        let order_indexes: Vec<_> = md
+            .indexes_for_type("Order")
+            .iter()
+            .map(|i| i.name.clone())
+            .collect();
         assert!(!order_indexes.contains(&"u".to_string()));
         assert!(order_indexes.contains(&"both".to_string()));
     }
@@ -572,7 +594,10 @@ mod tests {
     fn evolution_valid_addition() {
         let v1 = basic_metadata();
         let v2 = RecordMetaDataBuilder::from_existing(&v1)
-            .index("User", Index::value("by_score", KeyExpression::field("score")))
+            .index(
+                "User",
+                Index::value("by_score", KeyExpression::field("score")),
+            )
             .build()
             .unwrap();
         assert_eq!(v2.version(), 2);
@@ -611,12 +636,18 @@ mod tests {
         let v1 = basic_metadata();
         // Redefining by_name is invalid.
         let v2 = RecordMetaDataBuilder::from_existing(&v1)
-            .index("User", Index::value("by_name", KeyExpression::field("score")))
+            .index(
+                "User",
+                Index::value("by_name", KeyExpression::field("score")),
+            )
             .build()
             .unwrap();
         assert!(v2.validate_evolution_from(&v1).is_err());
         // Dropping it is fine.
-        let v3 = RecordMetaDataBuilder::from_existing(&v1).drop_index("by_name").build().unwrap();
+        let v3 = RecordMetaDataBuilder::from_existing(&v1)
+            .drop_index("by_name")
+            .build()
+            .unwrap();
         v3.validate_evolution_from(&v1).unwrap();
     }
 
@@ -646,8 +677,14 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        let v2 = RecordMetaDataBuilder::from_existing(&v1).pool(new_pool).build().unwrap();
-        assert!(matches!(v2.validate_evolution_from(&v1), Err(Error::InvalidEvolution(_))));
+        let v2 = RecordMetaDataBuilder::from_existing(&v1)
+            .pool(new_pool)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            v2.validate_evolution_from(&v1),
+            Err(Error::InvalidEvolution(_))
+        ));
     }
 
     #[test]

@@ -28,14 +28,20 @@ pub enum ScanBounds {
     Range(TupleRange),
     /// Equality prefix columns followed by a *string prefix* match on the
     /// next column (byte-level, exploiting tuple encoding).
-    StringPrefix { prefix_cols: Tuple, prefix: String },
+    StringPrefix {
+        prefix_cols: Tuple,
+        prefix: String,
+    },
 }
 
 impl ScanBounds {
     pub fn to_byte_range(&self, subspace: &Subspace) -> (Vec<u8>, Vec<u8>) {
         match self {
             ScanBounds::Range(r) => r.to_byte_range(subspace),
-            ScanBounds::StringPrefix { prefix_cols, prefix } => {
+            ScanBounds::StringPrefix {
+                prefix_cols,
+                prefix,
+            } => {
                 // Pack the equality columns, then the string *without* its
                 // terminator: every longer string shares these bytes.
                 let mut begin = subspace.pack(prefix_cols);
@@ -90,7 +96,12 @@ impl RecordQueryPlan {
                     "FullScan".to_string()
                 }
             }
-            RecordQueryPlan::IndexScan { index_name, residual, reverse, .. } => {
+            RecordQueryPlan::IndexScan {
+                index_name,
+                residual,
+                reverse,
+                ..
+            } => {
                 let base = if *reverse {
                     format!("IndexScan({index_name}, reverse)")
                 } else {
@@ -139,7 +150,11 @@ impl RecordQueryPlan {
         props: &ExecuteProperties,
     ) -> Result<PlanCursor<'a>> {
         match self {
-            RecordQueryPlan::FullScan { record_types, residual, reverse } => {
+            RecordQueryPlan::FullScan {
+                record_types,
+                residual,
+                reverse,
+            } => {
                 let scan = if *reverse {
                     store.scan_records_reverse(&TupleRange::all(), continuation, props)?
                 } else {
@@ -151,7 +166,13 @@ impl RecordQueryPlan {
                     residual: residual.clone(),
                 }))
             }
-            RecordQueryPlan::IndexScan { index_name, bounds, reverse, record_types, residual } => {
+            RecordQueryPlan::IndexScan {
+                index_name,
+                bounds,
+                reverse,
+                record_types,
+                residual,
+            } => {
                 let index = store.require_readable(index_name)?;
                 let subspace = store.index_subspace(index);
                 let (begin, end) = bounds.to_byte_range(&subspace);
@@ -175,7 +196,12 @@ impl RecordQueryPlan {
                     residual: residual.clone(),
                 }))
             }
-            RecordQueryPlan::TextScan { index_name, comparison, record_types, residual } => {
+            RecordQueryPlan::TextScan {
+                index_name,
+                comparison,
+                record_types,
+                residual,
+            } => {
                 let pks = store.text_search(index_name, comparison)?;
                 let mut records = Vec::new();
                 for pk in pks {
@@ -192,7 +218,10 @@ impl RecordQueryPlan {
                         }
                     }
                 }
-                Ok(Box::new(crate::cursor::ListCursor::new(records, continuation)?))
+                Ok(Box::new(crate::cursor::ListCursor::new(
+                    records,
+                    continuation,
+                )?))
             }
             RecordQueryPlan::Union { children } => {
                 UnionCursor::create(children, store, continuation, props)
@@ -209,8 +238,14 @@ impl RecordQueryPlan {
                             CursorResult::Next { value, .. } => {
                                 set.insert(value.primary_key.pack());
                             }
-                            CursorResult::NoNext { reason: NoNextReason::SourceExhausted, .. } => break,
-                            CursorResult::NoNext { reason, continuation } => {
+                            CursorResult::NoNext {
+                                reason: NoNextReason::SourceExhausted,
+                                ..
+                            } => break,
+                            CursorResult::NoNext {
+                                reason,
+                                continuation,
+                            } => {
                                 // Out-of-band stop inside the buffered side
                                 // cannot be resumed precisely; surface it.
                                 let _ = (reason, continuation);
@@ -222,8 +257,14 @@ impl RecordQueryPlan {
                     }
                     pk_sets.push(set);
                 }
-                let last = children.last().unwrap().execute_inner(store, continuation, props)?;
-                Ok(Box::new(IntersectionCursor { inner: last, pk_sets }))
+                let last = children
+                    .last()
+                    .unwrap()
+                    .execute_inner(store, continuation, props)?;
+                Ok(Box::new(IntersectionCursor {
+                    inner: last,
+                    pk_sets,
+                }))
             }
         }
     }
@@ -255,9 +296,10 @@ impl BoxedCursorExt for PlanCursor<'_> {
         loop {
             match self.next()? {
                 CursorResult::Next { value, .. } => out.push(value),
-                CursorResult::NoNext { reason, continuation } => {
-                    return Ok((out, reason, continuation))
-                }
+                CursorResult::NoNext {
+                    reason,
+                    continuation,
+                } => return Ok((out, reason, continuation)),
             }
         }
     }
@@ -277,7 +319,10 @@ impl RecordCursor for FilteredRecordCursor<'_> {
     fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
         loop {
             match self.inner.next()? {
-                CursorResult::Next { value, continuation } => {
+                CursorResult::Next {
+                    value,
+                    continuation,
+                } => {
                     if let Some(types) = &self.record_types {
                         if !types.contains(&value.record_type) {
                             continue;
@@ -288,7 +333,10 @@ impl RecordCursor for FilteredRecordCursor<'_> {
                             continue;
                         }
                     }
-                    return Ok(CursorResult::Next { value, continuation });
+                    return Ok(CursorResult::Next {
+                        value,
+                        continuation,
+                    });
                 }
                 stop @ CursorResult::NoNext { .. } => return Ok(stop),
             }
@@ -336,7 +384,10 @@ impl RecordCursor for IndexFetchCursor<'_> {
     fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
         loop {
             match self.kv.next()? {
-                CursorResult::Next { value: kv, continuation } => {
+                CursorResult::Next {
+                    value: kv,
+                    continuation,
+                } => {
                     let t = self.subspace.unpack(&kv.key).map_err(Error::Fdb)?;
                     let pk = t.suffix(self.key_columns);
                     let store = self.store.open()?;
@@ -353,10 +404,19 @@ impl RecordCursor for IndexFetchCursor<'_> {
                             continue;
                         }
                     }
-                    return Ok(CursorResult::Next { value: record, continuation });
+                    return Ok(CursorResult::Next {
+                        value: record,
+                        continuation,
+                    });
                 }
-                CursorResult::NoNext { reason, continuation } => {
-                    return Ok(CursorResult::NoNext { reason, continuation })
+                CursorResult::NoNext {
+                    reason,
+                    continuation,
+                } => {
+                    return Ok(CursorResult::NoNext {
+                        reason,
+                        continuation,
+                    })
                 }
             }
         }
@@ -415,7 +475,10 @@ impl<'a> UnionCursor<'a> {
         let current: PlanCursor<'a> = if branch < children.len() {
             children[branch].execute_inner(store, &inner, props)?
         } else {
-            Box::new(crate::cursor::ListCursor::new(Vec::new(), &Continuation::Start)?)
+            Box::new(crate::cursor::ListCursor::new(
+                Vec::new(),
+                &Continuation::Start,
+            )?)
         };
         Ok(Box::new(UnionCursor {
             children: children.to_vec(),
@@ -454,14 +517,23 @@ impl RecordCursor for UnionCursor<'_> {
                 });
             }
             match self.current.next()? {
-                CursorResult::Next { value, continuation } => {
+                CursorResult::Next {
+                    value,
+                    continuation,
+                } => {
                     let pk = value.primary_key.pack();
                     if self.seen.insert(pk) {
                         let cont = self.encode_continuation(&continuation);
-                        return Ok(CursorResult::Next { value, continuation: cont });
+                        return Ok(CursorResult::Next {
+                            value,
+                            continuation: cont,
+                        });
                     }
                 }
-                CursorResult::NoNext { reason: NoNextReason::SourceExhausted, .. } => {
+                CursorResult::NoNext {
+                    reason: NoNextReason::SourceExhausted,
+                    ..
+                } => {
                     self.branch += 1;
                     if self.branch < self.children.len() {
                         let store = self.store.open()?;
@@ -472,9 +544,15 @@ impl RecordCursor for UnionCursor<'_> {
                         )?;
                     }
                 }
-                CursorResult::NoNext { reason, continuation } => {
+                CursorResult::NoNext {
+                    reason,
+                    continuation,
+                } => {
                     let cont = self.encode_continuation(&continuation);
-                    return Ok(CursorResult::NoNext { reason, continuation: cont });
+                    return Ok(CursorResult::NoNext {
+                        reason,
+                        continuation: cont,
+                    });
                 }
             }
         }
@@ -492,10 +570,16 @@ impl RecordCursor for IntersectionCursor<'_> {
     fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
         loop {
             match self.inner.next()? {
-                CursorResult::Next { value, continuation } => {
+                CursorResult::Next {
+                    value,
+                    continuation,
+                } => {
                     let pk = value.primary_key.pack();
                     if self.pk_sets.iter().all(|s| s.contains(&pk)) {
-                        return Ok(CursorResult::Next { value, continuation });
+                        return Ok(CursorResult::Next {
+                            value,
+                            continuation,
+                        });
                     }
                 }
                 stop @ CursorResult::NoNext { .. } => return Ok(stop),
@@ -645,15 +729,21 @@ impl<'m> RecordQueryPlanner<'m> {
         }
         for component in stack {
             let (path, comparison) = match component {
-                QueryComponent::Field { path, comparison } => {
-                    (Some((path.clone(), FanType::Scalar)), Some(comparison.clone()))
-                }
-                QueryComponent::OneOfThem { field, comparison } => {
-                    (Some((vec![field.clone()], FanType::Fanout)), Some(comparison.clone()))
-                }
+                QueryComponent::Field { path, comparison } => (
+                    Some((path.clone(), FanType::Scalar)),
+                    Some(comparison.clone()),
+                ),
+                QueryComponent::OneOfThem { field, comparison } => (
+                    Some((vec![field.clone()], FanType::Fanout)),
+                    Some(comparison.clone()),
+                ),
                 _ => (None, None),
             };
-            out.push(Conjunct { component: component.clone(), path, comparison });
+            out.push(Conjunct {
+                component: component.clone(),
+                path,
+                comparison,
+            });
         }
         out
     }
@@ -684,10 +774,14 @@ impl<'m> RecordQueryPlanner<'m> {
 
         // Greedily consume equality conjuncts along the index's columns.
         for part in parts {
-            let KeyPart::Field { path, fan_type } = part else { break };
+            let KeyPart::Field { path, fan_type } = part else {
+                break;
+            };
             let found = conjuncts.iter().enumerate().find(|(i, c)| {
                 !consumed[*i]
-                    && c.path.as_ref().is_some_and(|(p, ft)| p == path && ft == fan_type)
+                    && c.path
+                        .as_ref()
+                        .is_some_and(|(p, ft)| p == path && ft == fan_type)
                     && matches!(c.comparison, Some(Comparison::Equals(_)))
             });
             match found {
@@ -744,7 +838,10 @@ impl<'m> RecordQueryPlanner<'m> {
                 }
             }
             if let Some(prefix) = string_prefix {
-                bounds = ScanBounds::StringPrefix { prefix_cols: eq_prefix.clone(), prefix };
+                bounds = ScanBounds::StringPrefix {
+                    prefix_cols: eq_prefix.clone(),
+                    prefix,
+                };
             } else if low.is_some() || high.is_some() {
                 let low_t = low.map(|(el, incl)| (eq_prefix.clone().push(el), incl));
                 let high_t = high.map(|(el, incl)| (eq_prefix.clone().push(el), incl));
@@ -807,7 +904,9 @@ impl<'m> RecordQueryPlanner<'m> {
         types: &Option<BTreeSet<String>>,
         sort: &KeyExpression,
     ) -> bool {
-        let Some(sort_parts) = sort.flatten() else { return false };
+        let Some(sort_parts) = sort.flatten() else {
+            return false;
+        };
         let mut candidates: Vec<&crate::metadata::RecordType> = Vec::new();
         match types {
             Some(ts) => {
@@ -821,9 +920,9 @@ impl<'m> RecordQueryPlanner<'m> {
             None => candidates.extend(self.metadata.record_types()),
         }
         candidates.iter().all(|rt| {
-            rt.primary_key
-                .flatten()
-                .is_some_and(|pk| pk.len() >= sort_parts.len() && pk[..sort_parts.len()] == sort_parts[..])
+            rt.primary_key.flatten().is_some_and(|pk| {
+                pk.len() >= sort_parts.len() && pk[..sort_parts.len()] == sort_parts[..]
+            })
         })
     }
 
@@ -833,13 +932,17 @@ impl<'m> RecordQueryPlanner<'m> {
         types: &Option<BTreeSet<String>>,
     ) -> Result<Option<RecordQueryPlan>> {
         for (i, c) in conjuncts.iter().enumerate() {
-            let Some(Comparison::Text(cmp)) = &c.comparison else { continue };
+            let Some(Comparison::Text(cmp)) = &c.comparison else {
+                continue;
+            };
             let Some((path, _)) = &c.path else { continue };
             for index in self.metadata.indexes() {
                 if index.index_type != IndexType::Text || !self.index_covers_types(index, types) {
                     continue;
                 }
-                let Some(parts) = index.key_expression.flatten() else { continue };
+                let Some(parts) = index.key_expression.flatten() else {
+                    continue;
+                };
                 let matches_field =
                     matches!(parts.first(), Some(KeyPart::Field { path: p, .. }) if p == path);
                 if !matches_field {
@@ -884,7 +987,9 @@ impl<'m> RecordQueryPlanner<'m> {
                 if index.index_type != IndexType::Value || !self.index_covers_types(index, types) {
                     continue;
                 }
-                let Some(parts) = index.key_expression.flatten() else { continue };
+                let Some(parts) = index.key_expression.flatten() else {
+                    continue;
+                };
                 if parts.len() == 1
                     && matches!(&parts[0], KeyPart::Field { path: p, fan_type } if p == path && fan_type == fan)
                 {

@@ -21,7 +21,10 @@ pub enum TextComparison {
     /// The tokens appear adjacent and in order.
     ContainsPhrase(Vec<String>),
     /// All tokens appear within a window of `max_distance` tokens.
-    ContainsAllWithin { tokens: Vec<String>, max_distance: usize },
+    ContainsAllWithin {
+        tokens: Vec<String>,
+        max_distance: usize,
+    },
 }
 
 /// A scalar comparison against a field value.
@@ -95,7 +98,10 @@ fn eval_text(cmp: &TextComparison, text: &str) -> bool {
             }
             tokens.windows(ts.len()).any(|w| w == ts.as_slice())
         }
-        TextComparison::ContainsAllWithin { tokens: ts, max_distance } => {
+        TextComparison::ContainsAllWithin {
+            tokens: ts,
+            max_distance,
+        } => {
             let positions: Vec<Vec<usize>> = ts
                 .iter()
                 .map(|t| {
@@ -113,9 +119,9 @@ fn eval_text(cmp: &TextComparison, text: &str) -> bool {
             // Any combination within the window; brute force over the first
             // token's occurrences suffices for correctness.
             positions[0].iter().any(|&p0| {
-                positions[1..].iter().all(|ps| {
-                    ps.iter().any(|&p| p.abs_diff(p0) <= *max_distance)
-                })
+                positions[1..]
+                    .iter()
+                    .all(|ps| ps.iter().any(|&p| p.abs_diff(p0) <= *max_distance))
             })
         }
     }
@@ -125,9 +131,15 @@ fn eval_text(cmp: &TextComparison, text: &str) -> bool {
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryComponent {
     /// Compare a (possibly nested, dot-free) field path.
-    Field { path: Vec<String>, comparison: Comparison },
+    Field {
+        path: Vec<String>,
+        comparison: Comparison,
+    },
     /// True when *any* element of a repeated field matches.
-    OneOfThem { field: String, comparison: Comparison },
+    OneOfThem {
+        field: String,
+        comparison: Comparison,
+    },
     And(Vec<QueryComponent>),
     Or(Vec<QueryComponent>),
     Not(Box<QueryComponent>),
@@ -138,7 +150,10 @@ pub enum QueryComponent {
 impl QueryComponent {
     /// `field("name").comparison` builder.
     pub fn field(name: impl Into<String>, comparison: Comparison) -> Self {
-        QueryComponent::Field { path: vec![name.into()], comparison }
+        QueryComponent::Field {
+            path: vec![name.into()],
+            comparison,
+        }
     }
 
     /// Nested path builder, e.g. `["parent", "a"]`.
@@ -150,7 +165,10 @@ impl QueryComponent {
     }
 
     pub fn one_of_them(field: impl Into<String>, comparison: Comparison) -> Self {
-        QueryComponent::OneOfThem { field: field.into(), comparison }
+        QueryComponent::OneOfThem {
+            field: field.into(),
+            comparison,
+        }
     }
 
     pub fn and(parts: Vec<QueryComponent>) -> Self {
@@ -307,14 +325,26 @@ mod tests {
         let pool = pool();
         let m = record(&pool);
         let eval = |c: QueryComponent| c.eval("T", &m).unwrap();
-        assert!(eval(QueryComponent::field("n", Comparison::Equals(TupleElement::Int(10)))));
-        assert!(eval(QueryComponent::field("n", Comparison::LessThan(TupleElement::Int(11)))));
-        assert!(!eval(QueryComponent::field("n", Comparison::GreaterThan(TupleElement::Int(10)))));
+        assert!(eval(QueryComponent::field(
+            "n",
+            Comparison::Equals(TupleElement::Int(10))
+        )));
+        assert!(eval(QueryComponent::field(
+            "n",
+            Comparison::LessThan(TupleElement::Int(11))
+        )));
+        assert!(!eval(QueryComponent::field(
+            "n",
+            Comparison::GreaterThan(TupleElement::Int(10))
+        )));
         assert!(eval(QueryComponent::field(
             "n",
             Comparison::GreaterThanOrEquals(TupleElement::Int(10))
         )));
-        assert!(eval(QueryComponent::field("s", Comparison::StartsWith("hello".into()))));
+        assert!(eval(QueryComponent::field(
+            "s",
+            Comparison::StartsWith("hello".into())
+        )));
         assert!(eval(QueryComponent::field(
             "n",
             Comparison::In(vec![TupleElement::Int(9), TupleElement::Int(10)])
@@ -339,10 +369,18 @@ mod tests {
         let m = record(&pool);
         let t = QueryComponent::field("n", Comparison::Equals(TupleElement::Int(10)));
         let f = QueryComponent::field("n", Comparison::Equals(TupleElement::Int(11)));
-        assert!(QueryComponent::and(vec![t.clone(), t.clone()]).eval("T", &m).unwrap());
-        assert!(!QueryComponent::and(vec![t.clone(), f.clone()]).eval("T", &m).unwrap());
-        assert!(QueryComponent::or(vec![f.clone(), t.clone()]).eval("T", &m).unwrap());
-        assert!(!QueryComponent::or(vec![f.clone(), f.clone()]).eval("T", &m).unwrap());
+        assert!(QueryComponent::and(vec![t.clone(), t.clone()])
+            .eval("T", &m)
+            .unwrap());
+        assert!(!QueryComponent::and(vec![t.clone(), f.clone()])
+            .eval("T", &m)
+            .unwrap());
+        assert!(QueryComponent::or(vec![f.clone(), t.clone()])
+            .eval("T", &m)
+            .unwrap());
+        assert!(!QueryComponent::or(vec![f.clone(), f.clone()])
+            .eval("T", &m)
+            .unwrap());
         assert!(QueryComponent::not(f).eval("T", &m).unwrap());
         assert!(!QueryComponent::not(t).eval("T", &m).unwrap());
     }
@@ -351,34 +389,48 @@ mod tests {
     fn one_of_them_matches_any_element() {
         let pool = pool();
         let m = record(&pool);
-        assert!(QueryComponent::one_of_them("tags", Comparison::Equals(TupleElement::String("blue".into())))
-            .eval("T", &m)
-            .unwrap());
-        assert!(!QueryComponent::one_of_them("tags", Comparison::Equals(TupleElement::String("green".into())))
-            .eval("T", &m)
-            .unwrap());
+        assert!(QueryComponent::one_of_them(
+            "tags",
+            Comparison::Equals(TupleElement::String("blue".into()))
+        )
+        .eval("T", &m)
+        .unwrap());
+        assert!(!QueryComponent::one_of_them(
+            "tags",
+            Comparison::Equals(TupleElement::String("green".into()))
+        )
+        .eval("T", &m)
+        .unwrap());
     }
 
     #[test]
     fn nested_paths() {
         let pool = pool();
         let m = record(&pool);
-        assert!(QueryComponent::nested(&["inner", "a"], Comparison::Equals(TupleElement::Int(5)))
-            .eval("T", &m)
-            .unwrap());
+        assert!(
+            QueryComponent::nested(&["inner", "a"], Comparison::Equals(TupleElement::Int(5)))
+                .eval("T", &m)
+                .unwrap()
+        );
         // Missing nested message: comparison is false.
         let empty = DynamicMessage::new(pool.message("T").unwrap());
-        assert!(!QueryComponent::nested(&["inner", "a"], Comparison::Equals(TupleElement::Int(5)))
-            .eval("T", &empty)
-            .unwrap());
+        assert!(
+            !QueryComponent::nested(&["inner", "a"], Comparison::Equals(TupleElement::Int(5)))
+                .eval("T", &empty)
+                .unwrap()
+        );
     }
 
     #[test]
     fn record_type_component() {
         let pool = pool();
         let m = record(&pool);
-        assert!(QueryComponent::RecordType("T".into()).eval("T", &m).unwrap());
-        assert!(!QueryComponent::RecordType("U".into()).eval("T", &m).unwrap());
+        assert!(QueryComponent::RecordType("T".into())
+            .eval("T", &m)
+            .unwrap());
+        assert!(!QueryComponent::RecordType("U".into())
+            .eval("T", &m)
+            .unwrap());
     }
 
     #[test]
@@ -386,14 +438,31 @@ mod tests {
         let pool = pool();
         let m = record(&pool);
         let eval = |t: TextComparison| {
-            QueryComponent::field("s", Comparison::Text(t)).eval("T", &m).unwrap()
+            QueryComponent::field("s", Comparison::Text(t))
+                .eval("T", &m)
+                .unwrap()
         };
-        assert!(eval(TextComparison::ContainsAll(vec!["hello".into(), "world".into()])));
-        assert!(!eval(TextComparison::ContainsAll(vec!["hello".into(), "mars".into()])));
-        assert!(eval(TextComparison::ContainsAny(vec!["mars".into(), "world".into()])));
+        assert!(eval(TextComparison::ContainsAll(vec![
+            "hello".into(),
+            "world".into()
+        ])));
+        assert!(!eval(TextComparison::ContainsAll(vec![
+            "hello".into(),
+            "mars".into()
+        ])));
+        assert!(eval(TextComparison::ContainsAny(vec![
+            "mars".into(),
+            "world".into()
+        ])));
         assert!(eval(TextComparison::ContainsPrefix("wor".into())));
-        assert!(eval(TextComparison::ContainsPhrase(vec!["hello".into(), "world".into()])));
-        assert!(!eval(TextComparison::ContainsPhrase(vec!["world".into(), "hello".into()])));
+        assert!(eval(TextComparison::ContainsPhrase(vec![
+            "hello".into(),
+            "world".into()
+        ])));
+        assert!(!eval(TextComparison::ContainsPhrase(vec![
+            "world".into(),
+            "hello".into()
+        ])));
         assert!(eval(TextComparison::ContainsAllWithin {
             tokens: vec!["hello".into(), "world".into()],
             max_distance: 1

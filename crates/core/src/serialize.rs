@@ -179,7 +179,11 @@ mod tests {
         let runs = vec![0u8; 1000];
         roundtrip(&s, &runs);
         let stored = s.serialize(&runs).unwrap();
-        assert!(stored.len() < 100, "RLE should compress runs: {}", stored.len());
+        assert!(
+            stored.len() < 100,
+            "RLE should compress runs: {}",
+            stored.len()
+        );
     }
 
     #[test]
@@ -202,10 +206,8 @@ mod tests {
 
     #[test]
     fn transforms_compose() {
-        let s = XorCipherSerializer::new(
-            CompressingSerializer::new(PlainSerializer),
-            b"k".to_vec(),
-        );
+        let s =
+            XorCipherSerializer::new(CompressingSerializer::new(PlainSerializer), b"k".to_vec());
         roundtrip(&s, &vec![7u8; 300]);
     }
 
@@ -215,6 +217,8 @@ mod tests {
         assert!(XorCipherSerializer::new(PlainSerializer, b"k".to_vec())
             .deserialize(&plain)
             .is_err());
-        assert!(CompressingSerializer::new(PlainSerializer).deserialize(&plain).is_err());
+        assert!(CompressingSerializer::new(PlainSerializer)
+            .deserialize(&plain)
+            .is_err());
     }
 }

@@ -117,7 +117,10 @@ impl TupleRange {
 
     /// All tuples extending `prefix` (equality on the leading columns).
     pub fn prefix(prefix: Tuple) -> Self {
-        TupleRange { low: Some((prefix.clone(), true)), high: Some((prefix, true)) }
+        TupleRange {
+            low: Some((prefix.clone(), true)),
+            high: Some((prefix, true)),
+        }
     }
 
     pub fn between(low: Option<(Tuple, bool)>, high: Option<(Tuple, bool)>) -> Self {
@@ -276,7 +279,9 @@ impl<'a> RecordStore<'a> {
     }
 
     fn index_state_key(&self, index_name: &str) -> Vec<u8> {
-        self.subspace.child(INDEX_STATE).pack(&Tuple::new().push(index_name))
+        self.subspace
+            .child(INDEX_STATE)
+            .pack(&Tuple::new().push(index_name))
     }
 
     /// Subspace recording online-build progress for an index.
@@ -400,7 +405,8 @@ impl<'a> RecordStore<'a> {
     }
 
     pub fn set_index_state(&self, index_name: &str, state: IndexState) -> Result<()> {
-        self.tx.try_set(&self.index_state_key(index_name), &[state.to_byte()])?;
+        self.tx
+            .try_set(&self.index_state_key(index_name), &[state.to_byte()])?;
         Ok(())
     }
 
@@ -472,10 +478,13 @@ impl<'a> RecordStore<'a> {
 
         // Write the new payload chunks.
         if split_count == 1 {
-            self.tx.try_set(&rec_sub.pack(&Tuple::new().push(0i64)), &serialized)?;
+            self.tx
+                .try_set(&rec_sub.pack(&Tuple::new().push(0i64)), &serialized)?;
         } else {
             if !self.metadata.split_long_records {
-                return Err(Error::RecordTooLarge { size: serialized.len() });
+                return Err(Error::RecordTooLarge {
+                    size: serialized.len(),
+                });
             }
             for (i, chunk) in serialized.chunks(self.split_size).enumerate() {
                 self.tx
@@ -489,7 +498,8 @@ impl<'a> RecordStore<'a> {
             let key = rec_sub.pack(&Tuple::new().push(-1i64));
             let mut param = new.version.unwrap().as_bytes().to_vec();
             param.extend_from_slice(&0u32.to_le_bytes());
-            self.tx.mutate(MutationType::SetVersionstampedValue, &key, &param)?;
+            self.tx
+                .mutate(MutationType::SetVersionstampedValue, &key, &param)?;
         }
 
         Ok(new)
@@ -501,7 +511,12 @@ impl<'a> RecordStore<'a> {
         let rec_sub = self.records_subspace().subspace(primary_key);
         let (begin, end) = rec_sub.range();
         let kvs = self.tx.get_range(&begin, &end, RangeOptions::default())?;
-        self.assemble_record(primary_key, &kvs.iter().map(|kv| (kv.key.clone(), kv.value.clone())).collect::<Vec<_>>())
+        self.assemble_record(
+            primary_key,
+            &kvs.iter()
+                .map(|kv| (kv.key.clone(), kv.value.clone()))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Reassemble a record from its (suffix-keyed) chunks.
@@ -587,11 +602,7 @@ impl<'a> RecordStore<'a> {
     // ----------------------------------------------------------- indexing
 
     /// Run every applicable maintainer for a record change.
-    fn update_indexes(
-        &self,
-        old: Option<&StoredRecord>,
-        new: Option<&StoredRecord>,
-    ) -> Result<()> {
+    fn update_indexes(&self, old: Option<&StoredRecord>, new: Option<&StoredRecord>) -> Result<()> {
         for index in self.metadata.indexes() {
             let state = self.index_state(&index.name)?;
             if !state.is_maintained() {
@@ -608,7 +619,9 @@ impl<'a> RecordStore<'a> {
                 subspace: self.index_subspace(index),
                 metadata: self.metadata,
             };
-            self.registry.maintainer(index)?.update(&ctx, old_in, new_in)?;
+            self.registry
+                .maintainer(index)?
+                .update(&ctx, old_in, new_in)?;
         }
         Ok(())
     }
@@ -622,7 +635,9 @@ impl<'a> RecordStore<'a> {
             subspace: self.index_subspace(index),
             metadata: self.metadata,
         };
-        self.registry.maintainer(index)?.update(&ctx, None, Some(record))
+        self.registry
+            .maintainer(index)?
+            .update(&ctx, None, Some(record))
     }
 
     /// Clear one index's data (before a rebuild).
@@ -813,8 +828,9 @@ impl<'a> RecordScanCursor<'a> {
             Continuation::Start => {}
             Continuation::End => done = true,
             Continuation::At(pk_bytes) => {
-                let pk = Tuple::unpack(pk_bytes)
-                    .map_err(|e| Error::InvalidContinuation(format!("bad record scan continuation: {e}")))?;
+                let pk = Tuple::unpack(pk_bytes).map_err(|e| {
+                    Error::InvalidContinuation(format!("bad record scan continuation: {e}"))
+                })?;
                 let pk_prefix = records_subspace.pack(&pk);
                 if reverse {
                     end = pk_prefix;
@@ -901,7 +917,10 @@ impl RecordCursor for RecordScanCursor<'_> {
                         }
                     }
                 }
-                CursorResult::NoNext { reason: NoNextReason::SourceExhausted, .. } => {
+                CursorResult::NoNext {
+                    reason: NoNextReason::SourceExhausted,
+                    ..
+                } => {
                     self.done = true;
                     if let Some(record) = self.assemble_pending()? {
                         self.last_emitted_pk = Some(record.primary_key.clone());
@@ -919,7 +938,10 @@ impl RecordCursor for RecordScanCursor<'_> {
                     // Out-of-band stop: do not emit a partially-read record;
                     // resume from the last complete boundary.
                     self.done = true;
-                    return Ok(CursorResult::NoNext { reason, continuation: self.continuation() });
+                    return Ok(CursorResult::NoNext {
+                        reason,
+                        continuation: self.continuation(),
+                    });
                 }
             }
         }
@@ -1006,16 +1028,26 @@ impl RecordCursor for IndexScanCursor<'_> {
                 };
                 self.last_key = Some(kv.key);
                 Ok(CursorResult::Next {
-                    value: IndexEntry { key, value, primary_key },
+                    value: IndexEntry {
+                        key,
+                        value,
+                        primary_key,
+                    },
                     continuation: self.continuation(),
                 })
             }
             CursorResult::NoNext { reason, .. } => {
                 if reason == NoNextReason::SourceExhausted {
                     self.done = true;
-                    Ok(CursorResult::NoNext { reason, continuation: Continuation::End })
+                    Ok(CursorResult::NoNext {
+                        reason,
+                        continuation: Continuation::End,
+                    })
                 } else {
-                    Ok(CursorResult::NoNext { reason, continuation: self.continuation() })
+                    Ok(CursorResult::NoNext {
+                        reason,
+                        continuation: self.continuation(),
+                    })
                 }
             }
         }

@@ -232,15 +232,21 @@ mod tests {
     #[test]
     fn bit_ops() {
         assert_eq!(
-            apply(MutationType::BitAnd, Some(&[0b1100]), &[0b1010]).unwrap().unwrap(),
+            apply(MutationType::BitAnd, Some(&[0b1100]), &[0b1010])
+                .unwrap()
+                .unwrap(),
             vec![0b1000]
         );
         assert_eq!(
-            apply(MutationType::BitOr, Some(&[0b1100]), &[0b1010]).unwrap().unwrap(),
+            apply(MutationType::BitOr, Some(&[0b1100]), &[0b1010])
+                .unwrap()
+                .unwrap(),
             vec![0b1110]
         );
         assert_eq!(
-            apply(MutationType::BitXor, Some(&[0b1100]), &[0b1010]).unwrap().unwrap(),
+            apply(MutationType::BitXor, Some(&[0b1100]), &[0b1010])
+                .unwrap()
+                .unwrap(),
             vec![0b0110]
         );
     }
@@ -248,48 +254,72 @@ mod tests {
     #[test]
     fn min_max_unsigned_le() {
         assert_eq!(
-            apply(MutationType::Max, Some(&le(5, 8)), &le(9, 8)).unwrap().unwrap(),
+            apply(MutationType::Max, Some(&le(5, 8)), &le(9, 8))
+                .unwrap()
+                .unwrap(),
             le(9, 8)
         );
         assert_eq!(
-            apply(MutationType::Max, Some(&le(9, 8)), &le(5, 8)).unwrap().unwrap(),
+            apply(MutationType::Max, Some(&le(9, 8)), &le(5, 8))
+                .unwrap()
+                .unwrap(),
             le(9, 8)
         );
         assert_eq!(
-            apply(MutationType::Min, Some(&le(5, 8)), &le(9, 8)).unwrap().unwrap(),
+            apply(MutationType::Min, Some(&le(5, 8)), &le(9, 8))
+                .unwrap()
+                .unwrap(),
             le(5, 8)
         );
         // Min with absent value stores the operand rather than zero.
-        assert_eq!(apply(MutationType::Min, None, &le(9, 8)).unwrap().unwrap(), le(9, 8));
+        assert_eq!(
+            apply(MutationType::Min, None, &le(9, 8)).unwrap().unwrap(),
+            le(9, 8)
+        );
     }
 
     #[test]
     fn byte_min_max_lexicographic() {
         assert_eq!(
-            apply(MutationType::ByteMin, Some(b"banana"), b"apple").unwrap().unwrap(),
+            apply(MutationType::ByteMin, Some(b"banana"), b"apple")
+                .unwrap()
+                .unwrap(),
             b"apple".to_vec()
         );
         assert_eq!(
-            apply(MutationType::ByteMax, Some(b"banana"), b"apple").unwrap().unwrap(),
+            apply(MutationType::ByteMax, Some(b"banana"), b"apple")
+                .unwrap()
+                .unwrap(),
             b"banana".to_vec()
         );
-        assert_eq!(apply(MutationType::ByteMax, None, b"x").unwrap().unwrap(), b"x".to_vec());
+        assert_eq!(
+            apply(MutationType::ByteMax, None, b"x").unwrap().unwrap(),
+            b"x".to_vec()
+        );
     }
 
     #[test]
     fn compare_and_clear() {
-        assert_eq!(apply(MutationType::CompareAndClear, Some(b"v"), b"v").unwrap(), None);
+        assert_eq!(
+            apply(MutationType::CompareAndClear, Some(b"v"), b"v").unwrap(),
+            None
+        );
         assert_eq!(
             apply(MutationType::CompareAndClear, Some(b"v"), b"w").unwrap(),
             Some(b"v".to_vec())
         );
-        assert_eq!(apply(MutationType::CompareAndClear, None, b"v").unwrap(), None);
+        assert_eq!(
+            apply(MutationType::CompareAndClear, None, b"v").unwrap(),
+            None
+        );
     }
 
     #[test]
     fn append_if_fits() {
         assert_eq!(
-            apply(MutationType::AppendIfFits, Some(b"ab"), b"cd").unwrap().unwrap(),
+            apply(MutationType::AppendIfFits, Some(b"ab"), b"cd")
+                .unwrap()
+                .unwrap(),
             b"abcd".to_vec()
         );
     }

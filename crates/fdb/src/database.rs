@@ -3,9 +3,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::atomic;
 use crate::error::{Error, Result};
@@ -134,7 +132,7 @@ impl Database {
     /// Perform a `getReadVersion` (GRV): the latest commit version.
     pub fn get_read_version(&self) -> u64 {
         self.grv_calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock().last_commit_version
+        lock(&self.inner).last_commit_version
     }
 
     /// Begin a transaction at the latest read version.
@@ -148,7 +146,7 @@ impl Database {
     /// version has not been committed yet, or `TransactionTooOld` if it has
     /// fallen out of the MVCC window.
     pub fn create_transaction_at(&self, read_version: u64) -> Result<Transaction> {
-        let inner = self.inner.lock();
+        let inner = lock(&self.inner);
         if read_version > inner.last_commit_version {
             return Err(Error::FutureVersion);
         }
@@ -156,7 +154,11 @@ impl Database {
             return Err(Error::TransactionTooOld);
         }
         drop(inner);
-        Ok(Transaction::new(self.clone(), read_version, self.clock_ms()))
+        Ok(Transaction::new(
+            self.clone(),
+            read_version,
+            self.clock_ms(),
+        ))
     }
 
     /// Retry loop, like the bindings' `Database::run`: runs `f` in a fresh
@@ -180,7 +182,7 @@ impl Database {
     // (crate-internal: used by Transaction for snapshot reads)
 
     pub(crate) fn storage_get(&self, key: &[u8], read_version: u64) -> Result<Option<Vec<u8>>> {
-        let inner = self.inner.lock();
+        let inner = lock(&self.inner);
         if read_version < inner.oldest_version {
             return Err(Error::TransactionTooOld);
         }
@@ -193,7 +195,7 @@ impl Database {
         end: &[u8],
         read_version: u64,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let inner = self.inner.lock();
+        let inner = lock(&self.inner);
         if read_version < inner.oldest_version {
             return Err(Error::TransactionTooOld);
         }
@@ -213,7 +215,7 @@ impl Database {
         write_conflicts: &[(Vec<u8>, Vec<u8>)],
         commands: &[Command],
     ) -> Result<u64> {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
 
         if read_version < inner.oldest_version {
             self.metrics.record_commit(false, false);
@@ -266,18 +268,25 @@ impl Database {
                     let current = inner.store.get(key, version);
                     let new = atomic::apply(*op, current.as_deref(), param)?;
                     keys_written += 1;
-                    bytes_written +=
-                        (key.len() + new.as_ref().map_or(0, Vec::len)) as u64;
+                    bytes_written += (key.len() + new.as_ref().map_or(0, Vec::len)) as u64;
                     inner.store.write(key.clone(), new, version);
                 }
-                Command::VersionstampedKey { key_payload, offset, value } => {
+                Command::VersionstampedKey {
+                    key_payload,
+                    offset,
+                    value,
+                } => {
                     let mut key = key_payload.clone();
                     atomic::fill_versionstamp(&mut key, *offset, &tr_version);
                     keys_written += 1;
                     bytes_written += (key.len() + value.len()) as u64;
                     inner.store.write(key, Some(value.clone()), version);
                 }
-                Command::VersionstampedValue { key, value_payload, offset } => {
+                Command::VersionstampedValue {
+                    key,
+                    value_payload,
+                    offset,
+                } => {
                     let mut value = value_payload.clone();
                     atomic::fill_versionstamp(&mut value, *offset, &tr_version);
                     keys_written += 1;
@@ -299,11 +308,7 @@ impl Database {
         // Expire the window and (periodically) compact MVCC history.
         let horizon = version.saturating_sub(self.options.mvcc_window_versions);
         inner.oldest_version = inner.oldest_version.max(horizon);
-        while inner
-            .window
-            .front()
-            .is_some_and(|c| c.version < horizon)
-        {
+        while inner.window.front().is_some_and(|c| c.version < horizon) {
             inner.window.pop_front();
         }
         inner.commits_since_compaction += 1;
@@ -320,13 +325,13 @@ impl Database {
 
     /// Diagnostic: number of live keys at the latest version.
     pub fn live_key_count(&self) -> usize {
-        let inner = self.inner.lock();
+        let inner = lock(&self.inner);
         inner.store.live_key_count(inner.last_commit_version)
     }
 
     /// Diagnostic: latest commit version without counting as a GRV call.
     pub fn last_commit_version(&self) -> u64 {
-        self.inner.lock().last_commit_version
+        lock(&self.inner).last_commit_version
     }
 }
 
@@ -338,13 +343,21 @@ impl Default for Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let inner = lock(&self.inner);
         f.debug_struct("Database")
             .field("last_commit_version", &inner.last_commit_version)
             .field("oldest_version", &inner.oldest_version)
             .field("window_len", &inner.window.len())
             .finish()
     }
+}
+
+/// Lock a mutex, explicitly recovering from poisoning: a panic in another
+/// thread mid-commit leaves the simulated cluster state intact enough for
+/// tests to observe, and matches the non-poisoning `parking_lot` semantics
+/// this module was originally written against.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Half-open interval intersection.
@@ -376,14 +389,14 @@ impl ReadVersionCache {
         min_version: u64,
     ) -> Result<Transaction> {
         let now = db.clock_ms();
-        let cached = *self.state.lock();
+        let cached = *lock(&self.state);
         if let Some((version, fetched_at)) = cached {
             if now.saturating_sub(fetched_at) <= max_staleness_ms && version >= min_version {
                 return db.create_transaction_at(version);
             }
         }
         let version = db.get_read_version();
-        *self.state.lock() = Some((version, now));
+        *lock(&self.state) = Some((version, now));
         db.create_transaction_at(version)
     }
 
@@ -391,7 +404,7 @@ impl ReadVersionCache {
     /// refreshing the cache for free.
     pub fn observe(&self, db: &Database, version: u64) {
         let now = db.clock_ms();
-        let mut st = self.state.lock();
+        let mut st = lock(&self.state);
         if st.map_or(true, |(v, _)| version >= v) {
             *st = Some((version, now));
         }
@@ -470,8 +483,10 @@ mod tests {
         let db = Database::new();
         let t1 = db.create_transaction();
         let t2 = db.create_transaction();
-        t1.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes()).unwrap();
-        t2.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes()).unwrap();
+        t1.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes())
+            .unwrap();
+        t2.mutate(MutationType::Add, b"ctr", &1u64.to_le_bytes())
+            .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap(); // would abort if ADD created a read conflict
         let tx = db.create_transaction();
@@ -486,7 +501,9 @@ mod tests {
         let t1 = db.create_transaction();
         let t2 = db.create_transaction();
         let read = |t: &Transaction| {
-            t.get(b"ctr").unwrap().map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()))
+            t.get(b"ctr")
+                .unwrap()
+                .map_or(0u64, |v| u64::from_le_bytes(v.try_into().unwrap()))
         };
         let v1 = read(&t1);
         let v2 = read(&t2);
@@ -530,12 +547,15 @@ mod tests {
         let mut key = b"prefix-".to_vec();
         key.extend_from_slice(&[0xFF; 10]);
         key.extend_from_slice(&7u32.to_le_bytes());
-        tx.mutate(MutationType::SetVersionstampedKey, &key, b"val").unwrap();
+        tx.mutate(MutationType::SetVersionstampedKey, &key, b"val")
+            .unwrap();
         tx.commit().unwrap();
         let version = tx.committed_version().unwrap();
 
         let tx = db.create_transaction();
-        let kvs = tx.get_range(b"prefix-", b"prefix.", RangeOptions::default()).unwrap();
+        let kvs = tx
+            .get_range(b"prefix-", b"prefix.", RangeOptions::default())
+            .unwrap();
         assert_eq!(kvs.len(), 1);
         let stamped = &kvs[0].key[7..15];
         assert_eq!(u64::from_be_bytes(stamped.try_into().unwrap()), version);
@@ -549,7 +569,8 @@ mod tests {
         let mut param = vec![0xFF; 10];
         param.extend_from_slice(b"-suffix");
         param.extend_from_slice(&0u32.to_le_bytes());
-        tx.mutate(MutationType::SetVersionstampedValue, b"k", &param).unwrap();
+        tx.mutate(MutationType::SetVersionstampedValue, b"k", &param)
+            .unwrap();
         tx.commit().unwrap();
         let version = tx.committed_version().unwrap();
 
@@ -606,7 +627,10 @@ mod tests {
         for i in 0..20u32 {
             tx.set(format!("key-{i}").as_bytes(), &[0u8; 64]);
         }
-        assert!(matches!(tx.commit(), Err(Error::TransactionTooLarge { .. })));
+        assert!(matches!(
+            tx.commit(),
+            Err(Error::TransactionTooLarge { .. })
+        ));
     }
 
     #[test]

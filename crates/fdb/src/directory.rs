@@ -78,7 +78,9 @@ impl DirectoryLayer {
                     .ok_or_else(|| Error::Directory("corrupt directory entry".into()))?;
                 Ok(Subspace::from_tuple(&Tuple::new().push(id)))
             }
-            None => Err(Error::Directory(format!("directory {path:?} does not exist"))),
+            None => Err(Error::Directory(format!(
+                "directory {path:?} does not exist"
+            ))),
         }
     }
 
@@ -114,7 +116,9 @@ impl DirectoryLayer {
     pub fn remove(&self, tx: &Transaction, path: &[&str]) -> Result<()> {
         let key = self.path_key(path);
         if tx.get(&key)?.is_none() {
-            return Err(Error::Directory(format!("directory {path:?} does not exist")));
+            return Err(Error::Directory(format!(
+                "directory {path:?} does not exist"
+            )));
         }
         tx.clear(&key);
         Ok(())
@@ -147,7 +151,8 @@ impl HighContentionAllocator {
     pub fn allocate(&self, tx: &Transaction) -> Result<i64> {
         // Find the current window start: the largest counter key.
         let (cbegin, cend) = self.counters.range();
-        let latest = tx.get_range_snapshot(&cbegin, &cend, RangeOptions::new().limit(1).reverse(true))?;
+        let latest =
+            tx.get_range_snapshot(&cbegin, &cend, RangeOptions::new().limit(1).reverse(true))?;
         let mut window_start: i64 = match latest.first() {
             Some(kv) => self
                 .counters
@@ -161,7 +166,11 @@ impl HighContentionAllocator {
         loop {
             // Count this allocation in the window (atomic; conflict-free).
             let counter_key = self.counters.pack(&Tuple::new().push(window_start));
-            tx.mutate(crate::atomic::MutationType::Add, &counter_key, &1u64.to_le_bytes())?;
+            tx.mutate(
+                crate::atomic::MutationType::Add,
+                &counter_key,
+                &1u64.to_le_bytes(),
+            )?;
             let count = tx
                 .get_snapshot(&counter_key)?
                 .map(|v| {
@@ -287,7 +296,11 @@ mod tests {
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), ids.len(), "allocator returned duplicates: {ids:?}");
+        assert_eq!(
+            dedup.len(),
+            ids.len(),
+            "allocator returned duplicates: {ids:?}"
+        );
     }
 
     #[test]
@@ -330,7 +343,10 @@ mod tests {
                 })
             })
             .collect();
-        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

@@ -75,10 +75,18 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::NotCommitted => write!(f, "transaction not committed due to conflict (1020)"),
-            Error::TransactionTooOld => write!(f, "transaction is too old to perform reads or be committed (1007)"),
-            Error::CommitUnknownResult => write!(f, "transaction may or may not have committed (1021)"),
+            Error::TransactionTooOld => write!(
+                f,
+                "transaction is too old to perform reads or be committed (1007)"
+            ),
+            Error::CommitUnknownResult => {
+                write!(f, "transaction may or may not have committed (1021)")
+            }
             Error::TransactionTooLarge { size, limit } => {
-                write!(f, "transaction exceeds byte limit ({size} > {limit}) (2101)")
+                write!(
+                    f,
+                    "transaction exceeds byte limit ({size} > {limit}) (2101)"
+                )
             }
             Error::KeyTooLarge { size, limit } => {
                 write!(f, "key length exceeds limit ({size} > {limit}) (2102)")
@@ -86,7 +94,9 @@ impl fmt::Display for Error {
             Error::ValueTooLarge { size, limit } => {
                 write!(f, "value length exceeds limit ({size} > {limit}) (2103)")
             }
-            Error::UsedDuringCommit => write!(f, "operation issued while a commit was outstanding (2017)"),
+            Error::UsedDuringCommit => {
+                write!(f, "operation issued while a commit was outstanding (2017)")
+            }
             Error::FutureVersion => write!(f, "request for future version (2210)"),
             Error::Directory(msg) => write!(f, "directory layer: {msg}"),
             Error::Tuple(msg) => write!(f, "tuple layer: {msg}"),
@@ -114,12 +124,19 @@ mod tests {
     fn codes_match_fdb() {
         assert_eq!(Error::NotCommitted.code(), 1020);
         assert_eq!(Error::TransactionTooOld.code(), 1007);
-        assert_eq!(Error::TransactionTooLarge { size: 0, limit: 0 }.code(), 2101);
+        assert_eq!(
+            Error::TransactionTooLarge { size: 0, limit: 0 }.code(),
+            2101
+        );
     }
 
     #[test]
     fn display_is_human_readable() {
-        let s = Error::TransactionTooLarge { size: 11, limit: 10 }.to_string();
+        let s = Error::TransactionTooLarge {
+            size: 11,
+            limit: 10,
+        }
+        .to_string();
         assert!(s.contains("11 > 10"));
     }
 }

@@ -9,7 +9,10 @@ pub struct KeyValue {
 
 impl KeyValue {
     pub fn new(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Self {
-        KeyValue { key: key.into(), value: value.into() }
+        KeyValue {
+            key: key.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -37,7 +40,11 @@ pub struct KeySelector {
 
 impl KeySelector {
     pub fn new(key: impl Into<Vec<u8>>, or_equal: bool, offset: i32) -> Self {
-        KeySelector { key: key.into(), or_equal, offset }
+        KeySelector {
+            key: key.into(),
+            or_equal,
+            offset,
+        }
     }
 
     /// The last key strictly less than `key`.
@@ -74,13 +81,41 @@ mod tests {
     #[test]
     fn selector_constructors() {
         let s = KeySelector::first_greater_or_equal(b"k".to_vec());
-        assert_eq!(s, KeySelector { key: b"k".to_vec(), or_equal: false, offset: 1 });
+        assert_eq!(
+            s,
+            KeySelector {
+                key: b"k".to_vec(),
+                or_equal: false,
+                offset: 1
+            }
+        );
         let s = KeySelector::first_greater_than(b"k".to_vec());
-        assert_eq!(s, KeySelector { key: b"k".to_vec(), or_equal: true, offset: 1 });
+        assert_eq!(
+            s,
+            KeySelector {
+                key: b"k".to_vec(),
+                or_equal: true,
+                offset: 1
+            }
+        );
         let s = KeySelector::last_less_than(b"k".to_vec());
-        assert_eq!(s, KeySelector { key: b"k".to_vec(), or_equal: false, offset: 0 });
+        assert_eq!(
+            s,
+            KeySelector {
+                key: b"k".to_vec(),
+                or_equal: false,
+                offset: 0
+            }
+        );
         let s = KeySelector::last_less_or_equal(b"k".to_vec());
-        assert_eq!(s, KeySelector { key: b"k".to_vec(), or_equal: true, offset: 0 });
+        assert_eq!(
+            s,
+            KeySelector {
+                key: b"k".to_vec(),
+                or_equal: true,
+                offset: 0
+            }
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let o = RangeOptions::new().limit(7).reverse(true).mode(StreamingMode::WantAll);
+        let o = RangeOptions::new()
+            .limit(7)
+            .reverse(true)
+            .mode(StreamingMode::WantAll);
         assert_eq!(o.limit, 7);
         assert!(o.reverse);
         assert_eq!(o.mode, StreamingMode::WantAll);

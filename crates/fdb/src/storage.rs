@@ -24,7 +24,9 @@ pub struct VersionedStore {
 
 impl VersionedStore {
     pub fn new() -> Self {
-        VersionedStore { map: BTreeMap::new() }
+        VersionedStore {
+            map: BTreeMap::new(),
+        }
     }
 
     /// Record a write (set or clear) at `version`. Versions must be applied

@@ -16,12 +16,16 @@ pub struct Subspace {
 impl Subspace {
     /// A subspace rooted at a raw binary prefix.
     pub fn from_bytes(prefix: impl Into<Vec<u8>>) -> Self {
-        Subspace { prefix: prefix.into() }
+        Subspace {
+            prefix: prefix.into(),
+        }
     }
 
     /// A subspace whose prefix is the packed form of `tuple`.
     pub fn from_tuple(tuple: &Tuple) -> Self {
-        Subspace { prefix: tuple.pack() }
+        Subspace {
+            prefix: tuple.pack(),
+        }
     }
 
     /// The empty (root) subspace.
@@ -60,9 +64,9 @@ impl Subspace {
 
     /// Recover the tuple from a key in this subspace.
     pub fn unpack(&self, key: &[u8]) -> Result<Tuple> {
-        let rest = key.strip_prefix(self.prefix.as_slice()).ok_or_else(|| {
-            Error::Tuple("key does not start with subspace prefix".into())
-        })?;
+        let rest = key
+            .strip_prefix(self.prefix.as_slice())
+            .ok_or_else(|| Error::Tuple("key does not start with subspace prefix".into()))?;
         Tuple::unpack(rest)
     }
 

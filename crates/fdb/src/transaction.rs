@@ -21,15 +21,35 @@ use crate::range::RangeOptions;
 /// One buffered write command, in program order.
 #[derive(Debug, Clone)]
 pub(crate) enum Command {
-    Set { key: Vec<u8>, value: Vec<u8> },
-    Clear { key: Vec<u8> },
-    ClearRange { begin: Vec<u8>, end: Vec<u8> },
-    Atomic { key: Vec<u8>, op: MutationType, param: Vec<u8> },
+    Set {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Clear {
+        key: Vec<u8>,
+    },
+    ClearRange {
+        begin: Vec<u8>,
+        end: Vec<u8>,
+    },
+    Atomic {
+        key: Vec<u8>,
+        op: MutationType,
+        param: Vec<u8>,
+    },
     /// SET_VERSIONSTAMPED_KEY: `key_payload[offset..offset+10]` is replaced
     /// by the transaction version at commit.
-    VersionstampedKey { key_payload: Vec<u8>, offset: usize, value: Vec<u8> },
+    VersionstampedKey {
+        key_payload: Vec<u8>,
+        offset: usize,
+        value: Vec<u8>,
+    },
     /// SET_VERSIONSTAMPED_VALUE: placeholder inside the value.
-    VersionstampedValue { key: Vec<u8>, value_payload: Vec<u8>, offset: usize },
+    VersionstampedValue {
+        key: Vec<u8>,
+        value_payload: Vec<u8>,
+        offset: usize,
+    },
 }
 
 /// A per-key operation for read-your-writes resolution.
@@ -110,7 +130,8 @@ impl Transaction {
     /// Allocate the next 2-byte user version for versionstamps minted in
     /// this transaction, keeping every stamped key/value unique.
     pub fn next_user_version(&self) -> u16 {
-        self.user_version.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.user_version
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The MVCC read version this transaction reads at.
@@ -136,7 +157,9 @@ impl Transaction {
         if st.committed {
             return Err(Error::UsedDuringCommit);
         }
-        if self.db.clock_ms().saturating_sub(self.start_ms) > self.db.options().transaction_time_limit_ms {
+        if self.db.clock_ms().saturating_sub(self.start_ms)
+            > self.db.options().transaction_time_limit_ms
+        {
             return Err(Error::TransactionTooOld);
         }
         Ok(())
@@ -144,14 +167,20 @@ impl Transaction {
 
     fn validate_key(&self, key: &[u8]) -> Result<()> {
         if key.len() > KEY_SIZE_LIMIT {
-            return Err(Error::KeyTooLarge { size: key.len(), limit: KEY_SIZE_LIMIT });
+            return Err(Error::KeyTooLarge {
+                size: key.len(),
+                limit: KEY_SIZE_LIMIT,
+            });
         }
         Ok(())
     }
 
     fn validate_value(&self, value: &[u8]) -> Result<()> {
         if value.len() > VALUE_SIZE_LIMIT {
-            return Err(Error::ValueTooLarge { size: value.len(), limit: VALUE_SIZE_LIMIT });
+            return Err(Error::ValueTooLarge {
+                size: value.len(),
+                limit: VALUE_SIZE_LIMIT,
+            });
         }
         Ok(())
     }
@@ -189,14 +218,21 @@ impl Transaction {
         let ops = st.writes_by_key.get(key).map(Vec::as_slice).unwrap_or(&[]);
         let v = effective_value(underlying.as_deref(), ops, &clear_seqs)?;
         if let Some(ref val) = v {
-            self.db.metrics().add_keys_read(1, (key.len() + val.len()) as u64);
+            self.db
+                .metrics()
+                .add_keys_read(1, (key.len() + val.len()) as u64);
         }
         Ok(v)
     }
 
     /// Range read `[begin, end)` with read-your-writes, adding the scanned
     /// range to the read conflict set.
-    pub fn get_range(&self, begin: &[u8], end: &[u8], options: RangeOptions) -> Result<Vec<KeyValue>> {
+    pub fn get_range(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        options: RangeOptions,
+    ) -> Result<Vec<KeyValue>> {
         self.get_range_inner(begin, end, options, false)
     }
 
@@ -268,7 +304,10 @@ impl Transaction {
                 if options.reverse {
                     (merged.last().unwrap().key.clone(), end.to_vec())
                 } else {
-                    (begin.to_vec(), crate::key_after(&merged.last().unwrap().key))
+                    (
+                        begin.to_vec(),
+                        crate::key_after(&merged.last().unwrap().key),
+                    )
                 }
             } else {
                 (begin.to_vec(), end.to_vec())
@@ -277,7 +316,10 @@ impl Transaction {
             st.read_conflicts.push((ca, cb));
         }
 
-        let bytes: u64 = merged.iter().map(|kv| (kv.key.len() + kv.value.len()) as u64).sum();
+        let bytes: u64 = merged
+            .iter()
+            .map(|kv| (kv.key.len() + kv.value.len()) as u64)
+            .sum();
         self.db.metrics().add_keys_read(merged.len() as u64, bytes);
         Ok(merged)
     }
@@ -339,7 +381,11 @@ impl Transaction {
 
     /// Last merged-view key `< key` (or `<= key` with `inclusive`).
     fn merged_prev_key(&self, key: &[u8], inclusive: bool) -> Result<Option<Vec<u8>>> {
-        let end = if inclusive { crate::key_after(key) } else { key.to_vec() };
+        let end = if inclusive {
+            crate::key_after(key)
+        } else {
+            key.to_vec()
+        };
         let kvs = self.get_range_snapshot(&[], &end, RangeOptions::new().limit(1).reverse(true))?;
         Ok(kvs.into_iter().next().map(|kv| kv.key))
     }
@@ -359,9 +405,16 @@ impl Transaction {
         self.check_open(&st)?;
         st.seq += 1;
         let seq = st.seq;
-        st.commands.push(Command::Set { key: key.to_vec(), value: value.to_vec() });
-        st.writes_by_key.entry(key.to_vec()).or_default().push((seq, KeyOp::Set(value.to_vec())));
-        st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+        st.commands.push(Command::Set {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        st.writes_by_key
+            .entry(key.to_vec())
+            .or_default()
+            .push((seq, KeyOp::Set(value.to_vec())));
+        st.write_conflicts
+            .push((key.to_vec(), crate::key_after(key)));
         st.size += key.len() + value.len() + 28;
         Ok(())
     }
@@ -375,8 +428,12 @@ impl Transaction {
         st.seq += 1;
         let seq = st.seq;
         st.commands.push(Command::Clear { key: key.to_vec() });
-        st.writes_by_key.entry(key.to_vec()).or_default().push((seq, KeyOp::Clear));
-        st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+        st.writes_by_key
+            .entry(key.to_vec())
+            .or_default()
+            .push((seq, KeyOp::Clear));
+        st.write_conflicts
+            .push((key.to_vec(), crate::key_after(key)));
         st.size += key.len() + 28;
     }
 
@@ -388,7 +445,10 @@ impl Transaction {
         }
         st.seq += 1;
         let seq = st.seq;
-        st.commands.push(Command::ClearRange { begin: begin.to_vec(), end: end.to_vec() });
+        st.commands.push(Command::ClearRange {
+            begin: begin.to_vec(),
+            end: end.to_vec(),
+        });
         st.cleared.push((begin.to_vec(), end.to_vec(), seq));
         st.write_conflicts.push((begin.to_vec(), end.to_vec()));
         st.size += begin.len() + end.len() + 28;
@@ -414,7 +474,8 @@ impl Transaction {
                 });
                 // The final key is unknown until commit; conservatively add
                 // a write conflict over the placeholder form.
-                st.write_conflicts.push((payload.clone(), crate::key_after(&payload)));
+                st.write_conflicts
+                    .push((payload.clone(), crate::key_after(&payload)));
                 st.size += payload.len() + param.len() + 28;
             }
             MutationType::SetVersionstampedValue => {
@@ -429,16 +490,22 @@ impl Transaction {
                     .entry(key.to_vec())
                     .or_default()
                     .push((seq, KeyOp::Set(payload.clone())));
-                st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+                st.write_conflicts
+                    .push((key.to_vec(), crate::key_after(key)));
                 st.size += key.len() + payload.len() + 28;
             }
             _ => {
-                st.commands.push(Command::Atomic { key: key.to_vec(), op, param: param.to_vec() });
+                st.commands.push(Command::Atomic {
+                    key: key.to_vec(),
+                    op,
+                    param: param.to_vec(),
+                });
                 st.writes_by_key
                     .entry(key.to_vec())
                     .or_default()
                     .push((seq, KeyOp::Atomic(op, param.to_vec())));
-                st.write_conflicts.push((key.to_vec(), crate::key_after(key)));
+                st.write_conflicts
+                    .push((key.to_vec(), crate::key_after(key)));
                 st.size += key.len() + param.len() + 28;
             }
         }
@@ -486,14 +553,19 @@ impl Transaction {
         if st.committed {
             return Err(Error::UsedDuringCommit);
         }
-        if self.db.clock_ms().saturating_sub(self.start_ms) > self.db.options().transaction_time_limit_ms {
+        if self.db.clock_ms().saturating_sub(self.start_ms)
+            > self.db.options().transaction_time_limit_ms
+        {
             self.db.metrics().record_commit(false, false);
             return Err(Error::TransactionTooOld);
         }
         let limit = self.db.options().transaction_size_limit;
         if st.size > limit {
             self.db.metrics().record_commit(false, false);
-            return Err(Error::TransactionTooLarge { size: st.size, limit });
+            return Err(Error::TransactionTooLarge {
+                size: st.size,
+                limit,
+            });
         }
         // Read-only transactions commit trivially without validation: they
         // already saw a consistent snapshot.
@@ -544,8 +616,10 @@ mod tests {
     fn read_your_writes_atomic_chain() {
         let db = Database::new();
         let tx = db.create_transaction();
-        tx.mutate(MutationType::Add, b"ctr", &5u64.to_le_bytes()).unwrap();
-        tx.mutate(MutationType::Add, b"ctr", &3u64.to_le_bytes()).unwrap();
+        tx.mutate(MutationType::Add, b"ctr", &5u64.to_le_bytes())
+            .unwrap();
+        tx.mutate(MutationType::Add, b"ctr", &3u64.to_le_bytes())
+            .unwrap();
         let v = tx.get(b"ctr").unwrap().unwrap();
         assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 8);
     }
@@ -582,7 +656,9 @@ mod tests {
         let keys: Vec<_> = r.iter().map(|kv| kv.key.clone()).collect();
         assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
 
-        let r = tx.get_range(b"a", b"z", RangeOptions::new().reverse(true).limit(2)).unwrap();
+        let r = tx
+            .get_range(b"a", b"z", RangeOptions::new().reverse(true).limit(2))
+            .unwrap();
         let keys: Vec<_> = r.iter().map(|kv| kv.key.clone()).collect();
         assert_eq!(keys, vec![b"d".to_vec(), b"c".to_vec()]);
     }
@@ -598,19 +674,23 @@ mod tests {
         let tx = db.create_transaction();
         tx.set(b"d", b"buf");
         assert_eq!(
-            tx.get_key(&KeySelector::first_greater_or_equal(b"c".to_vec())).unwrap(),
+            tx.get_key(&KeySelector::first_greater_or_equal(b"c".to_vec()))
+                .unwrap(),
             Some(b"d".to_vec())
         );
         assert_eq!(
-            tx.get_key(&KeySelector::first_greater_than(b"d".to_vec())).unwrap(),
+            tx.get_key(&KeySelector::first_greater_than(b"d".to_vec()))
+                .unwrap(),
             Some(b"f".to_vec())
         );
         assert_eq!(
-            tx.get_key(&KeySelector::last_less_than(b"d".to_vec())).unwrap(),
+            tx.get_key(&KeySelector::last_less_than(b"d".to_vec()))
+                .unwrap(),
             Some(b"b".to_vec())
         );
         assert_eq!(
-            tx.get_key(&KeySelector::last_less_or_equal(b"d".to_vec())).unwrap(),
+            tx.get_key(&KeySelector::last_less_or_equal(b"d".to_vec()))
+                .unwrap(),
             Some(b"d".to_vec())
         );
     }
@@ -620,9 +700,15 @@ mod tests {
         let db = Database::new();
         let tx = db.create_transaction();
         let big_key = vec![0u8; KEY_SIZE_LIMIT + 1];
-        assert!(matches!(tx.try_set(&big_key, b"v"), Err(Error::KeyTooLarge { .. })));
+        assert!(matches!(
+            tx.try_set(&big_key, b"v"),
+            Err(Error::KeyTooLarge { .. })
+        ));
         let big_val = vec![0u8; VALUE_SIZE_LIMIT + 1];
-        assert!(matches!(tx.try_set(b"k", &big_val), Err(Error::ValueTooLarge { .. })));
+        assert!(matches!(
+            tx.try_set(b"k", &big_val),
+            Err(Error::ValueTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -168,7 +168,9 @@ pub struct Tuple {
 
 impl Tuple {
     pub fn new() -> Self {
-        Tuple { elements: Vec::new() }
+        Tuple {
+            elements: Vec::new(),
+        }
     }
 
     pub fn from_elements(elements: Vec<TupleElement>) -> Self {
@@ -210,12 +212,16 @@ impl Tuple {
 
     /// The first `n` elements as a new tuple.
     pub fn prefix(&self, n: usize) -> Tuple {
-        Tuple { elements: self.elements[..n.min(self.elements.len())].to_vec() }
+        Tuple {
+            elements: self.elements[..n.min(self.elements.len())].to_vec(),
+        }
     }
 
     /// Elements from `n` onward as a new tuple.
     pub fn suffix(&self, n: usize) -> Tuple {
-        Tuple { elements: self.elements[n.min(self.elements.len())..].to_vec() }
+        Tuple {
+            elements: self.elements[n.min(self.elements.len())..].to_vec(),
+        }
     }
 
     /// Whether `self` is an element-wise prefix of `other`.
@@ -242,9 +248,8 @@ impl Tuple {
         for el in &self.elements {
             encode_element(el, &mut out, &mut vs_offset);
         }
-        let offset = vs_offset.ok_or_else(|| {
-            Error::Tuple("no incomplete versionstamp in tuple".into())
-        })?;
+        let offset =
+            vs_offset.ok_or_else(|| Error::Tuple("no incomplete versionstamp in tuple".into()))?;
         Ok((out, offset))
     }
 
@@ -403,9 +408,17 @@ fn encode_int(i: i64, out: &mut Vec<u8>) {
     } else {
         // Negative: complement within the minimal byte width so that more
         // negative numbers sort first.
-        let mag = if i == i64::MIN { u64::MAX / 2 + 1 } else { (-i) as u64 };
+        let mag = if i == i64::MIN {
+            u64::MAX / 2 + 1
+        } else {
+            (-i) as u64
+        };
         let n = ((64 - mag.leading_zeros() as usize) + 7) / 8;
-        let max_v = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+        let max_v = if n == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * n)) - 1
+        };
         let encoded = max_v - mag;
         out.push(INT_ZERO_CODE - n as u8);
         out.extend_from_slice(&encoded.to_be_bytes()[8 - n..]);
@@ -441,10 +454,7 @@ fn decode_element(bytes: &[u8], pos: usize) -> Result<(TupleElement, usize)> {
                             elements.push(TupleElement::Null);
                             p += 2;
                         } else {
-                            return Ok((
-                                TupleElement::Tuple(Tuple { elements }),
-                                p + 1,
-                            ));
+                            return Ok((TupleElement::Tuple(Tuple { elements }), p + 1));
                         }
                     }
                     Some(_) => {
@@ -497,7 +507,9 @@ fn decode_element(bytes: &[u8], pos: usize) -> Result<(TupleElement, usize)> {
                 pos + 1 + VERSIONSTAMP_LEN,
             ))
         }
-        other => Err(Error::Tuple(format!("unknown tuple type code 0x{other:02x}"))),
+        other => Err(Error::Tuple(format!(
+            "unknown tuple type code 0x{other:02x}"
+        ))),
     }
 }
 
@@ -547,7 +559,11 @@ fn decode_int(bytes: &[u8], pos: usize) -> Result<(TupleElement, usize)> {
         let mut buf = [0u8; 8];
         buf[8 - n..].copy_from_slice(raw);
         let encoded = u64::from_be_bytes(buf);
-        let max_v = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+        let max_v = if n == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * n)) - 1
+        };
         let mag = max_v - encoded;
         if mag > i64::MAX as u64 + 1 {
             return Err(Error::Tuple("integer underflows i64".into()));
@@ -576,7 +592,14 @@ mod tests {
         roundtrip(&Tuple::new());
         roundtrip(&Tuple::new().push(TupleElement::Null));
         roundtrip(&Tuple::new().push(b"bytes".as_slice()).push("string"));
-        roundtrip(&Tuple::new().push(0i64).push(1i64).push(-1i64).push(i64::MAX).push(i64::MIN));
+        roundtrip(
+            &Tuple::new()
+                .push(0i64)
+                .push(1i64)
+                .push(-1i64)
+                .push(i64::MAX)
+                .push(i64::MIN),
+        );
         roundtrip(&Tuple::new().push(1.5f32).push(-2.5f64));
         roundtrip(&Tuple::new().push(true).push(false));
         roundtrip(&Tuple::new().push(TupleElement::Uuid([7; 16])));
@@ -614,7 +637,19 @@ mod tests {
 
     #[test]
     fn ordering_ints() {
-        let vals = [i64::MIN, -65536, -256, -255, -1, 0, 1, 255, 256, 65536, i64::MAX];
+        let vals = [
+            i64::MIN,
+            -65536,
+            -256,
+            -255,
+            -1,
+            0,
+            1,
+            255,
+            256,
+            65536,
+            i64::MAX,
+        ];
         for w in vals.windows(2) {
             let a = Tuple::new().push(w[0]).pack();
             let b = Tuple::new().push(w[1]).pack();
@@ -624,7 +659,17 @@ mod tests {
 
     #[test]
     fn ordering_floats_including_negatives() {
-        let vals = [f64::NEG_INFINITY, -1e9, -1.0, -0.0, 0.0, 1e-9, 1.0, 1e9, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e9,
+            -1.0,
+            -0.0,
+            0.0,
+            1e-9,
+            1.0,
+            1e9,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             let a = Tuple::new().push(w[0]).pack();
             let b = Tuple::new().push(w[1]).pack();

@@ -37,7 +37,10 @@ impl Versionstamp {
         bytes[0..8].copy_from_slice(&commit_version.to_be_bytes());
         bytes[8..10].copy_from_slice(&batch_order.to_be_bytes());
         bytes[10..12].copy_from_slice(&user_version.to_be_bytes());
-        Versionstamp { bytes, complete: true }
+        Versionstamp {
+            bytes,
+            complete: true,
+        }
     }
 
     /// Create an incomplete versionstamp carrying only the 2-byte user
@@ -46,7 +49,10 @@ impl Versionstamp {
     pub fn incomplete(user_version: u16) -> Self {
         let mut bytes = [0xFFu8; VERSIONSTAMP_LEN];
         bytes[10..12].copy_from_slice(&user_version.to_be_bytes());
-        Versionstamp { bytes, complete: false }
+        Versionstamp {
+            bytes,
+            complete: false,
+        }
     }
 
     /// Reconstruct a complete versionstamp from its 12-byte wire form.
@@ -57,9 +63,12 @@ impl Versionstamp {
 
     /// Parse from a slice, which must be exactly 12 bytes.
     pub fn try_from_slice(slice: &[u8]) -> Result<Self> {
-        let arr: [u8; VERSIONSTAMP_LEN] = slice
-            .try_into()
-            .map_err(|_| Error::Tuple(format!("versionstamp must be 12 bytes, got {}", slice.len())))?;
+        let arr: [u8; VERSIONSTAMP_LEN] = slice.try_into().map_err(|_| {
+            Error::Tuple(format!(
+                "versionstamp must be 12 bytes, got {}",
+                slice.len()
+            ))
+        })?;
         Ok(Versionstamp::from_bytes(arr))
     }
 
@@ -111,7 +120,10 @@ impl Versionstamp {
         }
         let mut bytes = self.bytes;
         bytes[0..TR_VERSION_LEN].copy_from_slice(tr_version);
-        Ok(Versionstamp { bytes, complete: true })
+        Ok(Versionstamp {
+            bytes,
+            complete: true,
+        })
     }
 }
 

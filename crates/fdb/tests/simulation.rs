@@ -22,7 +22,10 @@ fn mvcc_history_compacts_but_recent_readers_still_work() {
     // Latest value visible; long-expired read versions rejected.
     let tx = db.create_transaction();
     assert_eq!(tx.get(b"hot").unwrap(), Some(b"v99".to_vec()));
-    assert!(matches!(db.create_transaction_at(1), Err(Error::TransactionTooOld)));
+    assert!(matches!(
+        db.create_transaction_at(1),
+        Err(Error::TransactionTooOld)
+    ));
     // Future versions rejected too.
     assert!(matches!(
         db.create_transaction_at(u64::MAX),
@@ -72,20 +75,31 @@ fn key_selector_edges() {
 
     let tx = db.create_transaction();
     // Before the first key.
-    assert_eq!(tx.get_key(&KeySelector::last_less_than(b"a".to_vec())).unwrap(), None);
     assert_eq!(
-        tx.get_key(&KeySelector::first_greater_or_equal(b"a".to_vec())).unwrap(),
+        tx.get_key(&KeySelector::last_less_than(b"a".to_vec()))
+            .unwrap(),
+        None
+    );
+    assert_eq!(
+        tx.get_key(&KeySelector::first_greater_or_equal(b"a".to_vec()))
+            .unwrap(),
         Some(b"b".to_vec())
     );
     // After the last key.
-    assert_eq!(tx.get_key(&KeySelector::first_greater_than(b"f".to_vec())).unwrap(), None);
     assert_eq!(
-        tx.get_key(&KeySelector::last_less_or_equal(b"z".to_vec())).unwrap(),
+        tx.get_key(&KeySelector::first_greater_than(b"f".to_vec()))
+            .unwrap(),
+        None
+    );
+    assert_eq!(
+        tx.get_key(&KeySelector::last_less_or_equal(b"z".to_vec()))
+            .unwrap(),
         Some(b"f".to_vec())
     );
     // Multi-step offsets.
     assert_eq!(
-        tx.get_key(&KeySelector::first_greater_or_equal(b"a".to_vec()).add(2)).unwrap(),
+        tx.get_key(&KeySelector::first_greater_or_equal(b"a".to_vec()).add(2))
+            .unwrap(),
         Some(b"f".to_vec())
     );
 }
@@ -122,9 +136,11 @@ fn serializability_of_interleaved_swaps() {
 fn atomic_ops_interleave_with_sets_in_program_order() {
     let db = Database::new();
     let tx = db.create_transaction();
-    tx.mutate(MutationType::Add, b"k", &5u64.to_le_bytes()).unwrap();
+    tx.mutate(MutationType::Add, b"k", &5u64.to_le_bytes())
+        .unwrap();
     tx.set(b"k", &100u64.to_le_bytes());
-    tx.mutate(MutationType::Add, b"k", &1u64.to_le_bytes()).unwrap();
+    tx.mutate(MutationType::Add, b"k", &1u64.to_le_bytes())
+        .unwrap();
     tx.commit().unwrap();
     let tx = db.create_transaction();
     let v = tx.get(b"k").unwrap().unwrap();
@@ -160,7 +176,9 @@ fn snapshot_range_plus_manual_conflict_key() {
     tx.commit().unwrap();
 
     let t1 = db.create_transaction();
-    let _ = t1.get_range_snapshot(b"s", b"t", RangeOptions::default()).unwrap();
+    let _ = t1
+        .get_range_snapshot(b"s", b"t", RangeOptions::default())
+        .unwrap();
     t1.add_read_conflict_key(b"s1");
     // Concurrent write to the *other* key: no conflict.
     let t2 = db.create_transaction();
@@ -171,7 +189,9 @@ fn snapshot_range_plus_manual_conflict_key() {
 
     // But a write to the distinguished key does conflict.
     let t3 = db.create_transaction();
-    let _ = t3.get_range_snapshot(b"s", b"t", RangeOptions::default()).unwrap();
+    let _ = t3
+        .get_range_snapshot(b"s", b"t", RangeOptions::default())
+        .unwrap();
     t3.add_read_conflict_key(b"s1");
     let t4 = db.create_transaction();
     t4.set(b"s1", b"changed");

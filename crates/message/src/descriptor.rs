@@ -43,7 +43,7 @@ impl FieldType {
             | FieldType::Enum(_) => 0, // varint
             FieldType::Fixed64 | FieldType::SFixed64 | FieldType::Double => 1, // 64-bit
             FieldType::String | FieldType::Bytes | FieldType::Message(_) => 2, // length-delimited
-            FieldType::Fixed32 | FieldType::SFixed32 | FieldType::Float => 5, // 32-bit
+            FieldType::Fixed32 | FieldType::SFixed32 | FieldType::Float => 5,  // 32-bit
         }
     }
 
@@ -95,8 +95,18 @@ pub struct FieldDescriptor {
 }
 
 impl FieldDescriptor {
-    pub fn new(name: impl Into<String>, number: u32, field_type: FieldType, label: FieldLabel) -> Self {
-        FieldDescriptor { name: name.into(), number, field_type, label }
+    pub fn new(
+        name: impl Into<String>,
+        number: u32,
+        field_type: FieldType,
+        label: FieldLabel,
+    ) -> Self {
+        FieldDescriptor {
+            name: name.into(),
+            number,
+            field_type,
+            label,
+        }
     }
 
     pub fn optional(name: impl Into<String>, number: u32, field_type: FieldType) -> Self {
@@ -148,7 +158,12 @@ impl MessageDescriptor {
                 )));
             }
         }
-        Ok(MessageDescriptor { name, fields, by_name, by_number })
+        Ok(MessageDescriptor {
+            name,
+            fields,
+            by_name,
+            by_number,
+        })
     }
 
     pub fn fields(&self) -> &[FieldDescriptor] {
@@ -175,7 +190,10 @@ impl EnumDescriptor {
     pub fn new(name: impl Into<String>, values: Vec<(i32, &str)>) -> Self {
         EnumDescriptor {
             name: name.into(),
-            values: values.into_iter().map(|(n, s)| (n, s.to_string())).collect(),
+            values: values
+                .into_iter()
+                .map(|(n, s)| (n, s.to_string()))
+                .collect(),
         }
     }
 }
@@ -209,7 +227,10 @@ impl DescriptorPool {
 
     pub fn add_enum(&mut self, desc: EnumDescriptor) -> Result<()> {
         if self.enums.contains_key(&desc.name) {
-            return Err(Error::InvalidDescriptor(format!("duplicate enum type {}", desc.name)));
+            return Err(Error::InvalidDescriptor(format!(
+                "duplicate enum type {}",
+                desc.name
+            )));
         }
         self.enums.insert(desc.name.clone(), Arc::new(desc));
         Ok(())

@@ -15,7 +15,12 @@ pub enum EvolutionError {
     /// A record type present in the old schema is missing from the new one.
     RemovedMessageType(String),
     /// A field number changed its type incompatibly.
-    IncompatibleFieldType { message: String, number: u32, old: String, new: String },
+    IncompatibleFieldType {
+        message: String,
+        number: u32,
+        old: String,
+        new: String,
+    },
     /// A field changed between optional and repeated.
     ChangedCardinality { message: String, number: u32 },
     /// A field was removed; numbers must be deprecated, not removed, so
@@ -25,24 +30,45 @@ pub enum EvolutionError {
     /// A field kept its number but changed its name — allowed by protobuf
     /// but forbidden here because Record Layer key expressions address
     /// fields by name.
-    RenamedField { message: String, number: u32, old: String, new: String },
+    RenamedField {
+        message: String,
+        number: u32,
+        old: String,
+        new: String,
+    },
 }
 
 impl std::fmt::Display for EvolutionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvolutionError::RemovedMessageType(m) => write!(f, "record type {m} was removed"),
-            EvolutionError::IncompatibleFieldType { message, number, old, new } => write!(
+            EvolutionError::IncompatibleFieldType {
+                message,
+                number,
+                old,
+                new,
+            } => write!(
                 f,
                 "field {number} of {message} changed type incompatibly ({old} -> {new})"
             ),
             EvolutionError::ChangedCardinality { message, number } => {
-                write!(f, "field {number} of {message} changed between optional and repeated")
+                write!(
+                    f,
+                    "field {number} of {message} changed between optional and repeated"
+                )
             }
             EvolutionError::RemovedField { message, number } => {
-                write!(f, "field {number} of {message} was removed (deprecate instead)")
+                write!(
+                    f,
+                    "field {number} of {message} was removed (deprecate instead)"
+                )
             }
-            EvolutionError::RenamedField { message, number, old, new } => {
+            EvolutionError::RenamedField {
+                message,
+                number,
+                old,
+                new,
+            } => {
                 write!(f, "field {number} of {message} renamed {old} -> {new}")
             }
         }
@@ -77,7 +103,10 @@ pub fn validate_evolution(old: &DescriptorPool, new: &DescriptorPool) -> Vec<Evo
                     new: new_field.name.clone(),
                 });
             }
-            if !old_field.field_type.evolution_compatible(&new_field.field_type) {
+            if !old_field
+                .field_type
+                .evolution_compatible(&new_field.field_type)
+            {
                 errors.push(EvolutionError::IncompatibleFieldType {
                     message: type_name.to_string(),
                     number: old_field.number,
@@ -103,7 +132,8 @@ mod tests {
 
     fn pool_with(fields: Vec<FieldDescriptor>) -> DescriptorPool {
         let mut pool = DescriptorPool::new();
-        pool.add_message(MessageDescriptor::new("T", fields).unwrap()).unwrap();
+        pool.add_message(MessageDescriptor::new("T", fields).unwrap())
+            .unwrap();
         pool
     }
 
@@ -115,8 +145,11 @@ mod tests {
             FieldDescriptor::optional("b", 2, FieldType::String),
         ]);
         new.add_message(
-            MessageDescriptor::new("U", vec![FieldDescriptor::optional("x", 1, FieldType::Bool)])
-                .unwrap(),
+            MessageDescriptor::new(
+                "U",
+                vec![FieldDescriptor::optional("x", 1, FieldType::Bool)],
+            )
+            .unwrap(),
         )
         .unwrap();
         assert!(validate_evolution(&old, &new).is_empty());
@@ -138,7 +171,10 @@ mod tests {
         ]);
         let new = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
         let errs = validate_evolution(&old, &new);
-        assert!(matches!(errs[0], EvolutionError::RemovedField { number: 2, .. }));
+        assert!(matches!(
+            errs[0],
+            EvolutionError::RemovedField { number: 2, .. }
+        ));
     }
 
     #[test]
@@ -147,7 +183,10 @@ mod tests {
         let new64 = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
         assert!(validate_evolution(&old32, &new64).is_empty());
         let errs = validate_evolution(&new64, &old32);
-        assert!(matches!(errs[0], EvolutionError::IncompatibleFieldType { .. }));
+        assert!(matches!(
+            errs[0],
+            EvolutionError::IncompatibleFieldType { .. }
+        ));
     }
 
     #[test]
@@ -155,13 +194,20 @@ mod tests {
         let old = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
         let new = pool_with(vec![FieldDescriptor::repeated("a", 1, FieldType::Int64)]);
         let errs = validate_evolution(&old, &new);
-        assert!(matches!(errs[0], EvolutionError::ChangedCardinality { number: 1, .. }));
+        assert!(matches!(
+            errs[0],
+            EvolutionError::ChangedCardinality { number: 1, .. }
+        ));
     }
 
     #[test]
     fn renaming_a_field_is_invalid() {
         let old = pool_with(vec![FieldDescriptor::optional("a", 1, FieldType::Int64)]);
-        let new = pool_with(vec![FieldDescriptor::optional("renamed", 1, FieldType::Int64)]);
+        let new = pool_with(vec![FieldDescriptor::optional(
+            "renamed",
+            1,
+            FieldType::Int64,
+        )]);
         let errs = validate_evolution(&old, &new);
         assert!(matches!(errs[0], EvolutionError::RenamedField { .. }));
     }

@@ -19,6 +19,26 @@
 //!   the paper's schema-evolution constraints: field numbers are never
 //!   reused with different types, record types are never dropped, and field
 //!   types never change incompatibly.
+//!
+//! ## Example
+//!
+//! ```
+//! use rl_message::{DescriptorPool, DynamicMessage, FieldDescriptor, FieldType, MessageDescriptor};
+//!
+//! let mut pool = DescriptorPool::new();
+//! pool.add_message(MessageDescriptor::new("Greeting", vec![
+//!     FieldDescriptor::optional("id", 1, FieldType::Int64),
+//!     FieldDescriptor::optional("text", 2, FieldType::String),
+//! ]).unwrap()).unwrap();
+//!
+//! let mut msg = DynamicMessage::new(pool.message("Greeting").unwrap());
+//! msg.set("id", 7i64).unwrap();
+//! msg.set("text", "hello").unwrap();
+//!
+//! let bytes = msg.encode();
+//! let back = DynamicMessage::decode(pool.message("Greeting").unwrap(), &pool, &bytes).unwrap();
+//! assert_eq!(msg, back);
+//! ```
 
 pub mod descriptor;
 pub mod evolution;
@@ -42,7 +62,11 @@ pub enum Error {
     /// A field name or number was not found on the message type.
     UnknownField(String),
     /// A value's type does not match the field's declared type.
-    TypeMismatch { field: String, expected: String, actual: String },
+    TypeMismatch {
+        field: String,
+        expected: String,
+        actual: String,
+    },
     /// Malformed bytes during decoding.
     Decode(String),
 }
@@ -52,8 +76,15 @@ impl std::fmt::Display for Error {
         match self {
             Error::InvalidDescriptor(m) => write!(f, "invalid descriptor: {m}"),
             Error::UnknownField(m) => write!(f, "unknown field: {m}"),
-            Error::TypeMismatch { field, expected, actual } => {
-                write!(f, "type mismatch on field {field}: expected {expected}, got {actual}")
+            Error::TypeMismatch {
+                field,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on field {field}: expected {expected}, got {actual}"
+                )
             }
             Error::Decode(m) => write!(f, "decode error: {m}"),
         }

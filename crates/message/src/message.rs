@@ -40,7 +40,11 @@ pub struct DynamicMessage {
 
 impl DynamicMessage {
     pub fn new(descriptor: Arc<MessageDescriptor>) -> Self {
-        DynamicMessage { descriptor, fields: BTreeMap::new(), unknown: Vec::new() }
+        DynamicMessage {
+            descriptor,
+            fields: BTreeMap::new(),
+            unknown: Vec::new(),
+        }
     }
 
     pub fn descriptor(&self) -> &Arc<MessageDescriptor> {
@@ -106,7 +110,11 @@ impl DynamicMessage {
             });
         }
         let number = field.number;
-        match self.fields.entry(number).or_insert_with(|| FieldValue::Repeated(Vec::new())) {
+        match self
+            .fields
+            .entry(number)
+            .or_insert_with(|| FieldValue::Repeated(Vec::new()))
+        {
             FieldValue::Repeated(v) => v.push(value),
             FieldValue::Single(_) => unreachable!("label checked above"),
         }
@@ -319,9 +327,9 @@ fn decode_value(
                 ),
                 FieldType::Bytes => Value::Bytes(payload.to_vec()),
                 FieldType::Message(type_name) => {
-                    let nested_desc = pool.message(type_name).ok_or_else(|| {
-                        Error::Decode(format!("unknown nested type {type_name}"))
-                    })?;
+                    let nested_desc = pool
+                        .message(type_name)
+                        .ok_or_else(|| Error::Decode(format!("unknown nested type {type_name}")))?;
                     Value::Message(DynamicMessage::decode(nested_desc, pool, payload)?)
                 }
                 _ => unreachable!(),
@@ -407,8 +415,14 @@ mod tests {
     fn type_mismatch_rejected() {
         let pool = example_pool();
         let mut msg = DynamicMessage::new(pool.message("Example").unwrap());
-        assert!(matches!(msg.set("id", "nope"), Err(Error::TypeMismatch { .. })));
-        assert!(matches!(msg.set("missing", 1i64), Err(Error::UnknownField(_))));
+        assert!(matches!(
+            msg.set("id", "nope"),
+            Err(Error::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            msg.set("missing", 1i64),
+            Err(Error::UnknownField(_))
+        ));
         // set on repeated / push on singular rejected.
         assert!(msg.set("elem", "x").is_err());
         assert!(msg.push("id", 1i64).is_err());
@@ -458,7 +472,8 @@ mod tests {
         let bytes = written.encode();
 
         // Old reader decodes: new field lands in unknowns.
-        let old_read = DynamicMessage::decode(old_pool.message("T").unwrap(), &old_pool, &bytes).unwrap();
+        let old_read =
+            DynamicMessage::decode(old_pool.message("T").unwrap(), &old_pool, &bytes).unwrap();
         assert_eq!(old_read.get("x").unwrap().as_i64(), Some(7));
         assert_eq!(old_read.unknown_field_count(), 1);
 
@@ -502,7 +517,10 @@ mod tests {
             DynamicMessage::decode(new_pool.message("T").unwrap(), &new_pool, &old_msg.encode())
                 .unwrap();
         assert!(!decoded.has("added"));
-        assert_eq!(decoded.get_or_default("added"), Some(Value::String(String::new())));
+        assert_eq!(
+            decoded.get_or_default("added"),
+            Some(Value::String(String::new()))
+        );
     }
 
     #[test]
@@ -557,8 +575,11 @@ mod tests {
         // Protobuf quirk: int32 negatives sign-extend to 64 bits.
         let mut pool = DescriptorPool::new();
         pool.add_message(
-            MessageDescriptor::new("N", vec![FieldDescriptor::optional("v", 1, FieldType::Int32)])
-                .unwrap(),
+            MessageDescriptor::new(
+                "N",
+                vec![FieldDescriptor::optional("v", 1, FieldType::Int32)],
+            )
+            .unwrap(),
         )
         .unwrap();
         let mut m = DynamicMessage::new(pool.message("N").unwrap());
@@ -582,7 +603,9 @@ mod tests {
         let msg = example_message(&pool);
         let bytes = msg.encode();
         let truncated = &bytes[..bytes.len() - 1];
-        assert!(DynamicMessage::decode(pool.message("Example").unwrap(), &pool, truncated).is_err());
+        assert!(
+            DynamicMessage::decode(pool.message("Example").unwrap(), &pool, truncated).is_err()
+        );
     }
 
     #[test]

@@ -24,9 +24,13 @@ impl Value {
     pub fn matches_type(&self, ty: &FieldType) -> bool {
         matches!(
             (self, ty),
-            (Value::I32(_), FieldType::Int32 | FieldType::SInt32 | FieldType::SFixed32)
-                | (Value::I64(_), FieldType::Int64 | FieldType::SInt64 | FieldType::SFixed64)
-                | (Value::U32(_), FieldType::UInt32 | FieldType::Fixed32)
+            (
+                Value::I32(_),
+                FieldType::Int32 | FieldType::SInt32 | FieldType::SFixed32
+            ) | (
+                Value::I64(_),
+                FieldType::Int64 | FieldType::SInt64 | FieldType::SFixed64
+            ) | (Value::U32(_), FieldType::UInt32 | FieldType::Fixed32)
                 | (Value::U64(_), FieldType::UInt64 | FieldType::Fixed64)
                 | (Value::F32(_), FieldType::Float)
                 | (Value::F64(_), FieldType::Double)
@@ -179,8 +183,14 @@ mod tests {
     #[test]
     fn defaults_match_proto3() {
         assert_eq!(Value::default_for(&FieldType::Int64), Some(Value::I64(0)));
-        assert_eq!(Value::default_for(&FieldType::String), Some(Value::String(String::new())));
-        assert_eq!(Value::default_for(&FieldType::Bool), Some(Value::Bool(false)));
+        assert_eq!(
+            Value::default_for(&FieldType::String),
+            Some(Value::String(String::new()))
+        );
+        assert_eq!(
+            Value::default_for(&FieldType::Bool),
+            Some(Value::Bool(false))
+        );
         assert_eq!(Value::default_for(&FieldType::Message("M".into())), None);
     }
 }

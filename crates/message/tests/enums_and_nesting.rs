@@ -2,8 +2,8 @@
 //! messages — the shapes CloudKit schemas actually use.
 
 use rl_message::{
-    DescriptorPool, DynamicMessage, EnumDescriptor, FieldDescriptor, FieldType,
-    MessageDescriptor, Value,
+    DescriptorPool, DynamicMessage, EnumDescriptor, FieldDescriptor, FieldType, MessageDescriptor,
+    Value,
 };
 
 fn pool() -> DescriptorPool {
@@ -75,12 +75,19 @@ fn three_levels_of_nesting_roundtrip() {
     root.set("middle", middle).unwrap();
     root.set("color", Value::Enum(1)).unwrap();
 
-    let back = DynamicMessage::decode(pool.message("Root").unwrap(), &pool, &root.encode()).unwrap();
+    let back =
+        DynamicMessage::decode(pool.message("Root").unwrap(), &pool, &root.encode()).unwrap();
     assert_eq!(back, root);
     let mid = back.get("middle").unwrap().as_message().unwrap();
     assert_eq!(mid.get_repeated("leaves").len(), 3);
     assert_eq!(
-        mid.get("leaf").unwrap().as_message().unwrap().get("v").unwrap().as_i64(),
+        mid.get("leaf")
+            .unwrap()
+            .as_message()
+            .unwrap()
+            .get("v")
+            .unwrap()
+            .as_i64(),
         Some(42)
     );
 }
@@ -110,7 +117,11 @@ fn enum_value_in_unknown_message_type_rejected_by_pool_validation() {
     pool.add_message(
         MessageDescriptor::new(
             "M",
-            vec![FieldDescriptor::optional("e", 1, FieldType::Enum("Ghost".into()))],
+            vec![FieldDescriptor::optional(
+                "e",
+                1,
+                FieldType::Enum("Ghost".into()),
+            )],
         )
         .unwrap(),
     )

@@ -31,8 +31,9 @@ fn main() -> record_layer::Result<()> {
     // A device syncs from scratch: legacy changes come first, in counter
     // order, then new changes in version order (the §8.1 function key
     // expression at work — no business logic in the app).
-    let (changes, token) =
-        record_layer::run(&db, |tx| ck.sync(tx, user, app, "default", &SyncToken::start(), 10))?;
+    let (changes, token) = record_layer::run(&db, |tx| {
+        ck.sync(tx, user, app, "default", &SyncToken::start(), 10)
+    })?;
     println!("initial sync ({} changes):", changes.len());
     for c in &changes {
         println!(
@@ -47,10 +48,14 @@ fn main() -> record_layer::Result<()> {
         ck.save(tx, user, app, &RecordData::new("default", "new-idea"))?;
         Ok(())
     })?;
-    let (delta, token) = record_layer::run(&db, |tx| ck.sync(tx, user, app, "default", &token, 10))?;
+    let (delta, token) =
+        record_layer::run(&db, |tx| ck.sync(tx, user, app, "default", &token, 10))?;
     println!("\nincremental sync: {} change(s)", delta.len());
     for c in &delta {
-        println!("  {}", c.primary_key.get(1).and_then(|e| e.as_str()).unwrap());
+        println!(
+            "  {}",
+            c.primary_key.get(1).and_then(|e| e.as_str()).unwrap()
+        );
     }
 
     // The user moves clusters: the incarnation bumps, so post-move writes

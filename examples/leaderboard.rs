@@ -26,7 +26,10 @@ fn main() -> record_layer::Result<()> {
     .unwrap();
     let metadata = RecordMetaDataBuilder::new(pool)
         .record_type("Player", KeyExpression::field("name"))
-        .index("Player", Index::rank("by_score", KeyExpression::field("score")))
+        .index(
+            "Player",
+            Index::rank("by_score", KeyExpression::field("score")),
+        )
         .build()?;
 
     let db = Database::new();
@@ -99,7 +102,10 @@ fn main() -> record_layer::Result<()> {
             top.get(0).and_then(|e| e.as_int()).unwrap()
         );
         let rec = store.load_record(&Tuple::from(("pip",)))?.unwrap();
-        println!("pip's record now reads {:?}", rec.message.get("score").and_then(Value::as_i64).unwrap());
+        println!(
+            "pip's record now reads {:?}",
+            rec.message.get("score").and_then(Value::as_i64).unwrap()
+        );
         Ok(())
     })?;
 

@@ -83,14 +83,20 @@ fn main() -> record_layer::Result<()> {
     // Moving a tenant to another cluster: copy the key range, bump the
     // incarnation (§1: "moving a tenant is as simple as copying the
     // appropriate range of data to another cluster").
+    // The destination cluster runs the current (evolved) schema: the moved
+    // store's header records metadata version 2, and §5 staleness checking
+    // refuses to open it with an out-of-date metadata cache.
     let other_cluster = Database::new();
-    let dest = CloudKit::new(&other_cluster, &CloudKitConfig::default());
+    let dest = CloudKit::new(&other_cluster, &evolved_config);
     let copied = ck.move_tenant(&dest, 7, "notes")?;
     println!("moved user 7 / notes: {copied} key-value pairs copied verbatim");
     record_layer::run(&other_cluster, |tx| {
         let rec = dest.load(tx, 7, "notes", "z", "rec3")?;
         assert!(rec.is_some());
-        println!("record readable on destination cluster; incarnation = {}", dest.incarnation(tx, 7)?);
+        println!(
+            "record readable on destination cluster; incarnation = {}",
+            dest.incarnation(tx, 7)?
+        );
         Ok(())
     })?;
 

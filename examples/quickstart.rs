@@ -30,7 +30,10 @@ fn main() -> record_layer::Result<()> {
     .unwrap();
     let metadata = RecordMetaDataBuilder::new(pool)
         .record_type("User", KeyExpression::field("id"))
-        .index("User", Index::value("by_city_age", KeyExpression::concat_fields("city", "age")))
+        .index(
+            "User",
+            Index::value("by_city_age", KeyExpression::concat_fields("city", "age")),
+        )
         .index("User", Index::count("user_count", KeyExpression::Empty))
         .build()?;
 
@@ -59,10 +62,12 @@ fn main() -> record_layer::Result<()> {
     })?;
 
     // 4. Declarative query: londoners older than 30, served by the index.
-    let query = RecordQuery::new().record_type("User").filter(QueryComponent::and(vec![
-        QueryComponent::field("city", Comparison::Equals("london".into())),
-        QueryComponent::field("age", Comparison::GreaterThan(30i64.into())),
-    ]));
+    let query = RecordQuery::new()
+        .record_type("User")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::field("city", Comparison::Equals("london".into())),
+            QueryComponent::field("age", Comparison::GreaterThan(30i64.into())),
+        ]));
     let planner = RecordQueryPlanner::new(&metadata);
     let plan = planner.plan(&query)?;
     println!("plan: {}", plan.describe());

@@ -26,7 +26,10 @@ fn main() -> record_layer::Result<()> {
     .unwrap();
     let metadata = RecordMetaDataBuilder::new(pool)
         .record_type("Note", KeyExpression::field("id"))
-        .index("Note", Index::text("note_text", KeyExpression::field("body")))
+        .index(
+            "Note",
+            Index::text("note_text", KeyExpression::field("body")),
+        )
         .build()?;
 
     let db = Database::new();
@@ -51,7 +54,10 @@ fn main() -> record_layer::Result<()> {
     })?;
 
     let searches: Vec<(&str, TextComparison)> = vec![
-        ("token 'whale'", TextComparison::ContainsAll(vec!["whale".into()])),
+        (
+            "token 'whale'",
+            TextComparison::ContainsAll(vec!["whale".into()]),
+        ),
         (
             "all of {white, whale}",
             TextComparison::ContainsAll(vec!["white".into(), "whale".into()]),
@@ -60,7 +66,10 @@ fn main() -> record_layer::Result<()> {
             "any of {ishmael, captain}",
             TextComparison::ContainsAny(vec!["ishmael".into(), "captain".into()]),
         ),
-        ("prefix 'sail'", TextComparison::ContainsPrefix("sail".into())),
+        (
+            "prefix 'sail'",
+            TextComparison::ContainsPrefix("sail".into()),
+        ),
         (
             "phrase 'white whale'",
             TextComparison::ContainsPhrase(vec!["white".into(), "whale".into()]),
@@ -78,17 +87,27 @@ fn main() -> record_layer::Result<()> {
         let store = RecordStore::open_or_create(tx, &space, &metadata)?;
         for (label, cmp) in &searches {
             let pks = store.text_search("note_text", cmp)?;
-            let ids: Vec<i64> = pks.iter().filter_map(|pk| pk.get(0).and_then(|e| e.as_int())).collect();
+            let ids: Vec<i64> = pks
+                .iter()
+                .filter_map(|pk| pk.get(0).and_then(|e| e.as_int()))
+                .collect();
             println!("{label:<32} -> notes {ids:?}");
         }
 
         // Updates are transactional: no background job, no stale results.
         let mut n = store.new_record("Note")?;
         n.set("id", 2i64).unwrap();
-        n.set("body", "Rewritten: nothing about large cetaceans here.").unwrap();
+        n.set("body", "Rewritten: nothing about large cetaceans here.")
+            .unwrap();
         store.save_record(n)?;
-        let pks = store.text_search("note_text", &TextComparison::ContainsAll(vec!["whale".into()]))?;
-        let ids: Vec<i64> = pks.iter().filter_map(|pk| pk.get(0).and_then(|e| e.as_int())).collect();
+        let pks = store.text_search(
+            "note_text",
+            &TextComparison::ContainsAll(vec!["whale".into()]),
+        )?;
+        let ids: Vec<i64> = pks
+            .iter()
+            .filter_map(|pk| pk.get(0).and_then(|e| e.as_int()))
+            .collect();
         println!("\nafter rewriting note 2, 'whale' matches {ids:?} (immediately consistent)");
 
         let stats = store.text_index_stats("note_text")?;

@@ -1,6 +1,17 @@
 //! Workspace root crate: re-exports the public crates so that the examples
 //! and cross-crate integration tests in this repository have a single
 //! import point. Library users should depend on the individual crates.
+//!
+//! ```
+//! use fdb_record_layer::rl_fdb::Database;
+//!
+//! let db = Database::new();
+//! let tx = db.create_transaction();
+//! tx.set(b"hello", b"world");
+//! tx.commit().unwrap();
+//! let tx = db.create_transaction();
+//! assert_eq!(tx.get(b"hello").unwrap().as_deref(), Some(&b"world"[..]));
+//! ```
 
 pub use cloudkit_sim;
 pub use record_layer;

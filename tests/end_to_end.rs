@@ -33,7 +33,10 @@ fn pool() -> DescriptorPool {
 fn metadata() -> RecordMetaData {
     RecordMetaDataBuilder::new(pool())
         .record_type("Doc", KeyExpression::field("id"))
-        .index("Doc", Index::value("by_title", KeyExpression::field("title")))
+        .index(
+            "Doc",
+            Index::value("by_title", KeyExpression::field("title")),
+        )
         .build()
         .unwrap()
 }
@@ -47,21 +50,32 @@ fn large_records_split_and_reassemble() {
 
     record_layer::run(&db, |tx| {
         // Small split size forces many chunks.
-        let store = RecordStoreBuilder::new().split_size(1_000).open_or_create(tx, &sub, &md)?;
+        let store = RecordStoreBuilder::new()
+            .split_size(1_000)
+            .open_or_create(tx, &sub, &md)?;
         let mut doc = store.new_record("Doc")?;
         doc.set("id", 1i64).unwrap();
         doc.set("title", "big").unwrap();
         doc.set("payload", payload.clone()).unwrap();
         let stored = store.save_record(doc)?;
-        assert!(stored.split_count > 40, "expected many chunks, got {}", stored.split_count);
+        assert!(
+            stored.split_count > 40,
+            "expected many chunks, got {}",
+            stored.split_count
+        );
         Ok(())
     })
     .unwrap();
 
     record_layer::run(&db, |tx| {
-        let store = RecordStoreBuilder::new().split_size(1_000).open_or_create(tx, &sub, &md)?;
+        let store = RecordStoreBuilder::new()
+            .split_size(1_000)
+            .open_or_create(tx, &sub, &md)?;
         let doc = store.load_record(&Tuple::from((1i64,)))?.unwrap();
-        assert_eq!(doc.message.get("payload").and_then(Value::as_bytes), Some(payload.as_slice()));
+        assert_eq!(
+            doc.message.get("payload").and_then(Value::as_bytes),
+            Some(payload.as_slice())
+        );
         assert!(doc.version.unwrap().is_complete());
         // Replacing with a small record clears all the old chunks.
         let mut small = store.new_record("Doc")?;
@@ -73,10 +87,15 @@ fn large_records_split_and_reassemble() {
     .unwrap();
 
     record_layer::run(&db, |tx| {
-        let store = RecordStoreBuilder::new().split_size(1_000).open_or_create(tx, &sub, &md)?;
+        let store = RecordStoreBuilder::new()
+            .split_size(1_000)
+            .open_or_create(tx, &sub, &md)?;
         let doc = store.load_record(&Tuple::from((1i64,)))?.unwrap();
         assert_eq!(doc.split_count, 1);
-        assert_eq!(doc.message.get("title").and_then(Value::as_str), Some("small"));
+        assert_eq!(
+            doc.message.get("title").and_then(Value::as_str),
+            Some("small")
+        );
         Ok(())
     })
     .unwrap();
@@ -108,7 +127,9 @@ fn serializer_chain_roundtrips_records() {
     // The raw stored bytes must not contain the plaintext title.
     let tx = db.create_transaction();
     let (begin, end) = sub.range_inclusive();
-    let kvs = tx.get_range(&begin, &end, rl_fdb::RangeOptions::default()).unwrap();
+    let kvs = tx
+        .get_range(&begin, &end, rl_fdb::RangeOptions::default())
+        .unwrap();
     assert!(kvs
         .iter()
         .all(|kv| !kv.value.windows(10).any(|w| w == b"classified")));
@@ -119,7 +140,10 @@ fn serializer_chain_roundtrips_records() {
             .serializer(serializer.clone())
             .open_or_create(tx, &sub, &md)?;
         let doc = store.load_record(&Tuple::from((7i64,)))?.unwrap();
-        assert_eq!(doc.message.get("title").and_then(Value::as_str), Some("classified"));
+        assert_eq!(
+            doc.message.get("title").and_then(Value::as_str),
+            Some("classified")
+        );
         Ok(())
     })
     .unwrap();
@@ -148,7 +172,13 @@ fn stale_metadata_cache_is_rejected() {
         Ok(())
     })
     .unwrap_err();
-    assert!(matches!(err, record_layer::Error::StaleMetaData { store_version: 2, supplied_version: 1 }));
+    assert!(matches!(
+        err,
+        record_layer::Error::StaleMetaData {
+            store_version: 2,
+            supplied_version: 1
+        }
+    ));
 }
 
 #[test]
@@ -166,7 +196,10 @@ fn dropped_index_data_is_cleared_on_catch_up() {
     })
     .unwrap();
 
-    let v2 = RecordMetaDataBuilder::from_existing(&v1).drop_index("by_title").build().unwrap();
+    let v2 = RecordMetaDataBuilder::from_existing(&v1)
+        .drop_index("by_title")
+        .build()
+        .unwrap();
     v2.validate_evolution_from(&v1).unwrap();
     record_layer::run(&db, |tx| {
         RecordStore::open_or_create(tx, &sub, &v2)?;
@@ -178,7 +211,10 @@ fn dropped_index_data_is_cleared_on_catch_up() {
     let tx = db.create_transaction();
     let index_sub = sub.child(2i64).child("by_title");
     let (begin, end) = index_sub.range_inclusive();
-    assert!(tx.get_range(&begin, &end, rl_fdb::RangeOptions::default()).unwrap().is_empty());
+    assert!(tx
+        .get_range(&begin, &end, rl_fdb::RangeOptions::default())
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -225,7 +261,10 @@ fn transaction_time_limit_forces_continuation_use() {
         assert!(transactions < 50, "scan did not make progress");
     }
     assert_eq!(collected.len(), 100);
-    assert!(transactions >= 4, "expected several transactions, got {transactions}");
+    assert!(
+        transactions >= 4,
+        "expected several transactions, got {transactions}"
+    );
     // No duplicates, in order.
     let mut dedup = collected.clone();
     dedup.dedup();
@@ -287,8 +326,11 @@ fn records_of_different_types_interleave_in_one_extent() {
         let (entries, _, _) = cursor.collect_remaining()?;
         assert_eq!(entries.len(), 2);
         // A record scan sees both types interleaved by primary key.
-        let mut cursor =
-            store.scan_records(&TupleRange::all(), &Continuation::Start, &ExecuteProperties::new())?;
+        let mut cursor = store.scan_records(
+            &TupleRange::all(),
+            &Continuation::Start,
+            &ExecuteProperties::new(),
+        )?;
         let (records, _, _) = cursor.collect_remaining()?;
         let types: Vec<&str> = records.iter().map(|r| r.record_type.as_str()).collect();
         assert_eq!(types, vec!["Doc", "Memo"]);

@@ -30,14 +30,29 @@ fn metadata() -> RecordMetaData {
     .unwrap();
     RecordMetaDataBuilder::new(pool)
         .record_type("Item", KeyExpression::field("id"))
-        .index("Item", Index::value("by_color", KeyExpression::field("color")))
-        .index("Item", Index::value("by_size", KeyExpression::field("size")))
         .index(
             "Item",
-            Index::value("by_color_size", KeyExpression::concat_fields("color", "size")),
+            Index::value("by_color", KeyExpression::field("color")),
         )
-        .index("Item", Index::value("by_name", KeyExpression::field("name")))
-        .index("Item", Index::value("by_tag", KeyExpression::field_fanout("tags")))
+        .index(
+            "Item",
+            Index::value("by_size", KeyExpression::field("size")),
+        )
+        .index(
+            "Item",
+            Index::value(
+                "by_color_size",
+                KeyExpression::concat_fields("color", "size"),
+            ),
+        )
+        .index(
+            "Item",
+            Index::value("by_name", KeyExpression::field("name")),
+        )
+        .index(
+            "Item",
+            Index::value("by_tag", KeyExpression::field_fanout("tags")),
+        )
         .index("Item", Index::text("by_body", KeyExpression::field("body")))
         .build()
         .unwrap()
@@ -54,7 +69,8 @@ fn seed(db: &Database, md: &RecordMetaData) -> Subspace {
             item.set("color", colors[(i % 3) as usize]).unwrap();
             item.set("size", i % 10).unwrap();
             item.set("name", format!("item-{i:03}")).unwrap();
-            item.set("body", format!("body text number {i} with shared words")).unwrap();
+            item.set("body", format!("body text number {i} with shared words"))
+                .unwrap();
             item.push("tags", format!("tag{}", i % 5)).unwrap();
             if i % 2 == 0 {
                 item.push("tags", "even".to_string()).unwrap();
@@ -67,7 +83,12 @@ fn seed(db: &Database, md: &RecordMetaData) -> Subspace {
     sub
 }
 
-fn run_plan(db: &Database, md: &RecordMetaData, sub: &Subspace, plan: &RecordQueryPlan) -> Vec<i64> {
+fn run_plan(
+    db: &Database,
+    md: &RecordMetaData,
+    sub: &Subspace,
+    plan: &RecordQueryPlan,
+) -> Vec<i64> {
     record_layer::run(db, |tx| {
         let store = RecordStore::open_or_create(tx, sub, md)?;
         let records = plan.execute_all(&store)?;
@@ -85,10 +106,12 @@ fn compound_index_consumes_equality_plus_range() {
     let md = metadata();
     let sub = seed(&db, &md);
     let planner = RecordQueryPlanner::new(&md);
-    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
-        QueryComponent::field("color", Comparison::Equals("red".into())),
-        QueryComponent::field("size", Comparison::GreaterThanOrEquals(5i64.into())),
-    ]));
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::field("color", Comparison::Equals("red".into())),
+            QueryComponent::field("size", Comparison::GreaterThanOrEquals(5i64.into())),
+        ]));
     let plan = planner.plan(&query).unwrap();
     assert_eq!(plan.describe(), "IndexScan(by_color_size)");
     let ids = run_plan(&db, &md, &sub, &plan);
@@ -97,8 +120,13 @@ fn compound_index_consumes_equality_plus_range() {
     record_layer::run(&db, |tx| {
         let store = RecordStore::open_or_create(tx, &sub, &md)?;
         for id in &ids {
-            let rec = store.load_record(&rl_fdb::tuple::Tuple::from((*id,)))?.unwrap();
-            assert_eq!(rec.message.get("color").and_then(Value::as_str), Some("red"));
+            let rec = store
+                .load_record(&rl_fdb::tuple::Tuple::from((*id,)))?
+                .unwrap();
+            assert_eq!(
+                rec.message.get("color").and_then(Value::as_str),
+                Some("red")
+            );
             assert!(rec.message.get("size").and_then(Value::as_i64).unwrap() >= 5);
         }
         Ok(())
@@ -115,10 +143,12 @@ fn residual_filter_applies_unconsumed_predicates() {
     let planner = RecordQueryPlanner::new(&md);
     // name has an index but the StartsWith goes to by_name; the size
     // predicate has no combined index with name → residual.
-    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
-        QueryComponent::field("name", Comparison::StartsWith("item-00".into())),
-        QueryComponent::field("size", Comparison::LessThan(5i64.into())),
-    ]));
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::field("name", Comparison::StartsWith("item-00".into())),
+            QueryComponent::field("size", Comparison::LessThan(5i64.into())),
+        ]));
     let plan = planner.plan(&query).unwrap();
     assert!(plan.describe().contains("IndexScan"), "{}", plan.describe());
     let ids = run_plan(&db, &md, &sub, &plan);
@@ -131,10 +161,12 @@ fn or_plans_as_union_without_duplicates() {
     let md = metadata();
     let sub = seed(&db, &md);
     let planner = RecordQueryPlanner::new(&md);
-    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::or(vec![
-        QueryComponent::field("color", Comparison::Equals("red".into())),
-        QueryComponent::field("size", Comparison::Equals(0i64.into())),
-    ]));
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::or(vec![
+            QueryComponent::field("color", Comparison::Equals("red".into())),
+            QueryComponent::field("size", Comparison::Equals(0i64.into())),
+        ]));
     let plan = planner.plan(&query).unwrap();
     assert!(plan.describe().starts_with("Union("), "{}", plan.describe());
     let mut ids = run_plan(&db, &md, &sub, &plan);
@@ -153,12 +185,18 @@ fn and_on_two_single_column_indexes_plans_intersection() {
     let sub = seed(&db, &md);
     let planner = RecordQueryPlanner::new(&md);
     // tags and name both have single-column indexes, but no compound one.
-    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::and(vec![
-        QueryComponent::one_of_them("tags", Comparison::Equals("even".into())),
-        QueryComponent::field("name", Comparison::Equals("item-004".into())),
-    ]));
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::one_of_them("tags", Comparison::Equals("even".into())),
+            QueryComponent::field("name", Comparison::Equals("item-004".into())),
+        ]));
     let plan = planner.plan(&query).unwrap();
-    assert!(plan.describe().starts_with("Intersection("), "{}", plan.describe());
+    assert!(
+        plan.describe().starts_with("Intersection("),
+        "{}",
+        plan.describe()
+    );
     let ids = run_plan(&db, &md, &sub, &plan);
     assert_eq!(ids, vec![4]);
 }
@@ -175,15 +213,23 @@ fn sort_served_by_index_or_rejected() {
         .record_type("Item")
         .sort(KeyExpression::field("color"), false);
     let plan = planner.plan(&query).unwrap();
-    assert!(plan.describe().contains("IndexScan(by_color"), "{}", plan.describe());
+    assert!(
+        plan.describe().contains("IndexScan(by_color"),
+        "{}",
+        plan.describe()
+    );
 
     // Sort by primary key: full scan is pk-ordered.
-    let query = RecordQuery::new().record_type("Item").sort(KeyExpression::field("id"), false);
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .sort(KeyExpression::field("id"), false);
     let plan = planner.plan(&query).unwrap();
     assert!(plan.describe().contains("FullScan"), "{}", plan.describe());
 
     // Sort by body (no index order): rejected, never sorted in memory.
-    let query = RecordQuery::new().record_type("Item").sort(KeyExpression::field("body"), false);
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .sort(KeyExpression::field("body"), false);
     assert!(matches!(
         planner.plan(&query),
         Err(record_layer::Error::UnsupportedSort(_))
@@ -198,7 +244,10 @@ fn reverse_sort_scans_index_backwards() {
     let planner = RecordQueryPlanner::new(&md);
     let query = RecordQuery::new()
         .record_type("Item")
-        .filter(QueryComponent::field("color", Comparison::Equals("red".into())))
+        .filter(QueryComponent::field(
+            "color",
+            Comparison::Equals("red".into()),
+        ))
         .sort(KeyExpression::concat_fields("color", "size"), true);
     let plan = planner.plan(&query).unwrap();
     assert!(plan.describe().contains("reverse"), "{}", plan.describe());
@@ -218,7 +267,10 @@ fn reverse_sort_scans_index_backwards() {
                     .unwrap()
             })
             .collect();
-        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "descending sizes: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "descending sizes: {sizes:?}"
+        );
         Ok(())
     })
     .unwrap();
@@ -230,10 +282,15 @@ fn text_predicate_plans_text_scan() {
     let md = metadata();
     let sub = seed(&db, &md);
     let planner = RecordQueryPlanner::new(&md);
-    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::field(
-        "body",
-        Comparison::Text(TextComparison::ContainsAll(vec!["number".into(), "7".into()])),
-    ));
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field(
+            "body",
+            Comparison::Text(TextComparison::ContainsAll(vec![
+                "number".into(),
+                "7".into(),
+            ])),
+        ));
     let plan = planner.plan(&query).unwrap();
     assert_eq!(plan.describe(), "TextScan(by_body)");
     let ids = run_plan(&db, &md, &sub, &plan);
@@ -248,7 +305,10 @@ fn plan_execution_resumes_from_continuation() {
     let planner = RecordQueryPlanner::new(&md);
     let query = RecordQuery::new()
         .record_type("Item")
-        .filter(QueryComponent::field("color", Comparison::Equals("green".into())));
+        .filter(QueryComponent::field(
+            "color",
+            Comparison::Equals("green".into()),
+        ));
     let plan = planner.plan(&query).unwrap();
 
     // First page of 5, then resume in a fresh transaction.
@@ -261,7 +321,9 @@ fn plan_execution_resumes_from_continuation() {
         )?;
         let (recs, _, cont) = cursor.collect_remaining_boxed()?;
         Ok((
-            recs.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect::<Vec<_>>(),
+            recs.iter()
+                .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+                .collect::<Vec<_>>(),
             cont,
         ))
     })
@@ -272,7 +334,10 @@ fn plan_execution_resumes_from_continuation() {
         let store = RecordStore::open_or_create(tx, &sub, &md)?;
         let mut cursor = plan.execute(&store, &continuation, &ExecuteProperties::new())?;
         let (recs, _, _) = cursor.collect_remaining_boxed()?;
-        Ok(recs.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect::<Vec<_>>())
+        Ok(recs
+            .iter()
+            .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+            .collect::<Vec<_>>())
     })
     .unwrap();
     assert_eq!(first_ids.len() + rest_ids.len(), 20);
@@ -287,10 +352,12 @@ fn union_continuation_does_not_duplicate_across_pages() {
     let md = metadata();
     let sub = seed(&db, &md);
     let planner = RecordQueryPlanner::new(&md);
-    let query = RecordQuery::new().record_type("Item").filter(QueryComponent::or(vec![
-        QueryComponent::field("color", Comparison::Equals("red".into())),
-        QueryComponent::field("size", Comparison::Equals(0i64.into())),
-    ]));
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::or(vec![
+            QueryComponent::field("color", Comparison::Equals("red".into())),
+            QueryComponent::field("size", Comparison::Equals(0i64.into())),
+        ]));
     let plan = planner.plan(&query).unwrap();
 
     let mut all_ids: Vec<i64> = Vec::new();
@@ -305,7 +372,9 @@ fn union_continuation_does_not_duplicate_across_pages() {
             )?;
             let (recs, reason, cont) = cursor.collect_remaining_boxed()?;
             Ok((
-                recs.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect::<Vec<_>>(),
+                recs.iter()
+                    .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+                    .collect::<Vec<_>>(),
                 cont,
                 reason == record_layer::cursor::NoNextReason::SourceExhausted,
             ))

@@ -1,12 +1,20 @@
-//! Property-based tests on the core invariants:
+//! Randomized property tests on the core invariants:
 //!
 //! * tuple packing is order-preserving and lossless,
 //! * protobuf wire encoding roundtrips and survives schema evolution,
 //! * the RANK skip list agrees with a sorted vector oracle,
 //! * the TEXT bunched map agrees with a BTreeMap oracle,
 //! * record save/load roundtrips arbitrary field values.
+//!
+//! These were originally written against the `proptest` crate; the tier-1
+//! build must work offline with an empty cargo registry, so they now run on
+//! the repository's own deterministic PRNG (`rl_bench::rng`). There is no
+//! shrinking — a failure reports the property name, case index, and seed,
+//! which is enough to replay it deterministically.
 
-use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rl_bench::rng::{Rng, XorShift64};
 
 use record_layer::expr::KeyExpression;
 use record_layer::index::text::BunchedMap;
@@ -14,59 +22,134 @@ use record_layer::metadata::RecordMetaDataBuilder;
 use record_layer::store::RecordStore;
 use rl_fdb::tuple::{Tuple, TupleElement};
 use rl_fdb::{Database, Subspace};
-use rl_message::{
-    DescriptorPool, DynamicMessage, FieldDescriptor, FieldType, MessageDescriptor,
-};
+use rl_message::{DescriptorPool, DynamicMessage, FieldDescriptor, FieldType, MessageDescriptor};
 
-fn arb_element() -> impl Strategy<Value = TupleElement> {
-    prop_oneof![
-        Just(TupleElement::Null),
-        any::<i64>().prop_map(TupleElement::Int),
-        any::<bool>().prop_map(TupleElement::Bool),
-        "[a-z]{0,12}".prop_map(TupleElement::String),
-        proptest::collection::vec(any::<u8>(), 0..16).prop_map(TupleElement::Bytes),
-        any::<f64>()
-            .prop_filter("NaN breaks total order", |f| !f.is_nan())
-            .prop_map(TupleElement::Double),
-    ]
+/// Fixed base seed: every run exercises the same cases. Change it (or run
+/// a failing case's reported seed directly) to explore a different stream.
+const BASE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// Run `cases` instances of a property, each with its own derived seed.
+/// On panic, re-raise with the property name, case index, and seed so the
+/// failure can be replayed without shrinking.
+fn check(name: &str, cases: u64, f: impl Fn(&mut XorShift64)) {
+    for case in 0..cases {
+        let seed = BASE_SEED.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = XorShift64::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!("property '{name}' failed at case {case}/{cases} (seed {seed:#x}): {msg}");
+        }
+    }
 }
 
-fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(arb_element(), 0..5).prop_map(Tuple::from_elements)
+// ------------------------------------------------------------ generators
+
+fn any_i64(rng: &mut XorShift64) -> i64 {
+    rng.next_u64() as i64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+fn any_f64_not_nan(rng: &mut XorShift64) -> f64 {
+    loop {
+        let f = f64::from_bits(rng.next_u64());
+        if !f.is_nan() {
+            return f;
+        }
+    }
+}
 
-    #[test]
-    fn tuple_pack_roundtrips(t in arb_tuple()) {
+fn lowercase_string(rng: &mut XorShift64, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u32) as u8) as char)
+        .collect()
+}
+
+fn printable_string(rng: &mut XorShift64, max: usize) -> String {
+    let len = rng.gen_range(0..=max);
+    (0..len)
+        .map(|_| rng.gen_range(0x20..=0x7Eu32) as u8 as char)
+        .collect()
+}
+
+fn bytes(rng: &mut XorShift64, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max);
+    (0..len).map(|_| rng.gen_u8()).collect()
+}
+
+fn arb_element(rng: &mut XorShift64) -> TupleElement {
+    match rng.gen_range(0..6u32) {
+        0 => TupleElement::Null,
+        1 => TupleElement::Int(any_i64(rng)),
+        2 => TupleElement::Bool(rng.gen_range(0..2u32) == 1),
+        3 => TupleElement::String(lowercase_string(rng, 0, 12)),
+        4 => TupleElement::Bytes(bytes(rng, 16)),
+        _ => TupleElement::Double(any_f64_not_nan(rng)),
+    }
+}
+
+fn arb_tuple(rng: &mut XorShift64) -> Tuple {
+    let len = rng.gen_range(0..5usize);
+    Tuple::from_elements((0..len).map(|_| arb_element(rng)).collect())
+}
+
+// ------------------------------------------------------------- properties
+
+#[test]
+fn tuple_pack_roundtrips() {
+    check("tuple_pack_roundtrips", 200, |rng| {
+        let t = arb_tuple(rng);
         let packed = t.pack();
         let back = Tuple::unpack(&packed).unwrap();
-        prop_assert_eq!(t, back);
-    }
+        assert_eq!(t, back);
+    });
+}
 
-    #[test]
-    fn tuple_pack_preserves_order(a in arb_tuple(), b in arb_tuple()) {
+#[test]
+fn tuple_pack_preserves_order() {
+    check("tuple_pack_preserves_order", 200, |rng| {
         // The defining property of the tuple layer (§2): binary order of
         // encodings equals semantic order of tuples.
+        let (a, b) = (arb_tuple(rng), arb_tuple(rng));
         let (pa, pb) = (a.pack(), b.pack());
-        prop_assert_eq!(a.cmp(&b), pa.cmp(&pb));
-    }
+        assert_eq!(a.cmp(&b), pa.cmp(&pb), "tuples {a:?} vs {b:?}");
+    });
+}
 
-    #[test]
-    fn tuple_prefix_packs_to_byte_prefix(t in arb_tuple(), n in 0usize..5) {
+#[test]
+fn tuple_prefix_packs_to_byte_prefix() {
+    check("tuple_prefix_packs_to_byte_prefix", 200, |rng| {
+        let t = arb_tuple(rng);
+        let n = rng.gen_range(0..5usize);
         let prefix = t.prefix(n.min(t.len()));
-        prop_assert!(t.pack().starts_with(&prefix.pack()));
-    }
+        assert!(t.pack().starts_with(&prefix.pack()));
+    });
+}
 
-    #[test]
-    fn message_wire_roundtrips(id in any::<i64>(), name in "[a-z]{0,20}", flags in proptest::collection::vec(any::<bool>(), 0..8)) {
+#[test]
+fn message_wire_roundtrips() {
+    check("message_wire_roundtrips", 200, |rng| {
+        let id = any_i64(rng);
+        let name = lowercase_string(rng, 0, 20);
+        let flags: Vec<bool> = (0..rng.gen_range(0..8usize))
+            .map(|_| rng.gen_range(0..2u32) == 1)
+            .collect();
         let mut pool = DescriptorPool::new();
-        pool.add_message(MessageDescriptor::new("M", vec![
-            FieldDescriptor::optional("id", 1, FieldType::Int64),
-            FieldDescriptor::optional("name", 2, FieldType::String),
-            FieldDescriptor::repeated("flags", 3, FieldType::Bool),
-        ]).unwrap()).unwrap();
+        pool.add_message(
+            MessageDescriptor::new(
+                "M",
+                vec![
+                    FieldDescriptor::optional("id", 1, FieldType::Int64),
+                    FieldDescriptor::optional("name", 2, FieldType::String),
+                    FieldDescriptor::repeated("flags", 3, FieldType::Bool),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
         let mut m = DynamicMessage::new(pool.message("M").unwrap());
         m.set("id", id).unwrap();
         m.set("name", name.as_str()).unwrap();
@@ -74,68 +157,106 @@ proptest! {
             m.push("flags", *f).unwrap();
         }
         let back = DynamicMessage::decode(pool.message("M").unwrap(), &pool, &m.encode()).unwrap();
-        prop_assert_eq!(m, back);
-    }
+        assert_eq!(m, back);
+    });
+}
 
-    #[test]
-    fn evolved_reader_preserves_unknown_fields(v in any::<i64>(), extra in "[a-z]{1,10}") {
+#[test]
+fn evolved_reader_preserves_unknown_fields() {
+    check("evolved_reader_preserves_unknown_fields", 200, |rng| {
+        let v = any_i64(rng);
+        let extra = lowercase_string(rng, 1, 10);
         let mut new_pool = DescriptorPool::new();
-        new_pool.add_message(MessageDescriptor::new("M", vec![
-            FieldDescriptor::optional("a", 1, FieldType::Int64),
-            FieldDescriptor::optional("b", 2, FieldType::String),
-        ]).unwrap()).unwrap();
+        new_pool
+            .add_message(
+                MessageDescriptor::new(
+                    "M",
+                    vec![
+                        FieldDescriptor::optional("a", 1, FieldType::Int64),
+                        FieldDescriptor::optional("b", 2, FieldType::String),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
         let mut old_pool = DescriptorPool::new();
-        old_pool.add_message(MessageDescriptor::new("M", vec![
-            FieldDescriptor::optional("a", 1, FieldType::Int64),
-        ]).unwrap()).unwrap();
+        old_pool
+            .add_message(
+                MessageDescriptor::new(
+                    "M",
+                    vec![FieldDescriptor::optional("a", 1, FieldType::Int64)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
 
         let mut written = DynamicMessage::new(new_pool.message("M").unwrap());
         written.set("a", v).unwrap();
         written.set("b", extra.as_str()).unwrap();
         // Old reader decodes and re-encodes; nothing may be lost.
-        let relayed = DynamicMessage::decode(old_pool.message("M").unwrap(), &old_pool, &written.encode()).unwrap();
-        let reread = DynamicMessage::decode(new_pool.message("M").unwrap(), &new_pool, &relayed.encode()).unwrap();
-        prop_assert_eq!(reread.get("b").and_then(|x| x.as_str().map(str::to_string)), Some(extra));
-    }
+        let relayed =
+            DynamicMessage::decode(old_pool.message("M").unwrap(), &old_pool, &written.encode())
+                .unwrap();
+        let reread =
+            DynamicMessage::decode(new_pool.message("M").unwrap(), &new_pool, &relayed.encode())
+                .unwrap();
+        assert_eq!(
+            reread.get("b").and_then(|x| x.as_str().map(str::to_string)),
+            Some(extra)
+        );
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ranked_set_matches_sorted_vector_oracle(ops in proptest::collection::vec((any::<bool>(), 0i64..50), 1..60)) {
+#[test]
+fn ranked_set_matches_sorted_vector_oracle() {
+    check("ranked_set_matches_sorted_vector_oracle", 24, |rng| {
+        let ops: Vec<(bool, i64)> = (0..rng.gen_range(1..60usize))
+            .map(|_| (rng.gen_range(0..2u32) == 1, rng.gen_range(0..50i64)))
+            .collect();
         let db = Database::new();
         let tx = db.create_transaction();
         let set = record_layer::index::rank::RankedSet::new(
-            &tx, Subspace::from_bytes(b"prop".to_vec()), 4);
+            &tx,
+            Subspace::from_bytes(b"prop".to_vec()),
+            4,
+        );
         let mut oracle: Vec<i64> = Vec::new();
         for (insert, v) in ops {
             let t = Tuple::from((v,));
             if insert {
                 let added = set.insert(&t).unwrap();
-                prop_assert_eq!(added, !oracle.contains(&v));
+                assert_eq!(added, !oracle.contains(&v));
                 if added {
                     oracle.push(v);
                     oracle.sort_unstable();
                 }
             } else {
                 let removed = set.erase(&t).unwrap();
-                prop_assert_eq!(removed, oracle.contains(&v));
+                assert_eq!(removed, oracle.contains(&v));
                 oracle.retain(|&x| x != v);
             }
         }
-        prop_assert_eq!(set.len().unwrap(), oracle.len() as i64);
+        assert_eq!(set.len().unwrap(), oracle.len() as i64);
         for (rank, v) in oracle.iter().enumerate() {
-            prop_assert_eq!(set.rank(&Tuple::from((*v,))).unwrap(), Some(rank as i64));
-            prop_assert_eq!(set.select(rank as i64).unwrap(), Some(Tuple::from((*v,))));
+            assert_eq!(set.rank(&Tuple::from((*v,))).unwrap(), Some(rank as i64));
+            assert_eq!(set.select(rank as i64).unwrap(), Some(Tuple::from((*v,))));
         }
-    }
+    });
+}
 
-    #[test]
-    fn bunched_map_matches_btreemap_oracle(
-        ops in proptest::collection::vec((any::<bool>(), 0i64..30, 0i64..5), 1..80),
-        bunch in 1usize..6,
-    ) {
+#[test]
+fn bunched_map_matches_btreemap_oracle() {
+    check("bunched_map_matches_btreemap_oracle", 24, |rng| {
+        let ops: Vec<(bool, i64, i64)> = (0..rng.gen_range(1..80usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..2u32) == 1,
+                    rng.gen_range(0..30i64),
+                    rng.gen_range(0..5i64),
+                )
+            })
+            .collect();
+        let bunch = rng.gen_range(1..6usize);
         let db = Database::new();
         let tx = db.create_transaction();
         let map = BunchedMap::new(&tx, Subspace::from_bytes(b"bm".to_vec()), bunch);
@@ -153,20 +274,31 @@ proptest! {
                 .into_iter()
                 .map(|(pk, offs)| (pk.get(0).unwrap().as_int().unwrap(), offs))
                 .collect();
-            let want: Vec<(i64, Vec<i64>)> =
-                oracle.iter().map(|(k, v)| (*k, v.clone())).collect();
-            prop_assert_eq!(got, want);
+            let want: Vec<(i64, Vec<i64>)> = oracle.iter().map(|(k, v)| (*k, v.clone())).collect();
+            assert_eq!(got, want);
         }
-    }
+    });
+}
 
-    #[test]
-    fn record_save_load_roundtrips(id in any::<i64>(), title in "[ -~]{0,40}", blob in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn record_save_load_roundtrips() {
+    check("record_save_load_roundtrips", 24, |rng| {
+        let id = any_i64(rng);
+        let title = printable_string(rng, 40);
+        let blob = bytes(rng, 256);
         let mut pool = DescriptorPool::new();
-        pool.add_message(MessageDescriptor::new("R", vec![
-            FieldDescriptor::optional("id", 1, FieldType::Int64),
-            FieldDescriptor::optional("title", 2, FieldType::String),
-            FieldDescriptor::optional("blob", 3, FieldType::Bytes),
-        ]).unwrap()).unwrap();
+        pool.add_message(
+            MessageDescriptor::new(
+                "R",
+                vec![
+                    FieldDescriptor::optional("id", 1, FieldType::Int64),
+                    FieldDescriptor::optional("title", 2, FieldType::String),
+                    FieldDescriptor::optional("blob", 3, FieldType::Bytes),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
         let md = RecordMetaDataBuilder::new(pool)
             .record_type("R", KeyExpression::field("id"))
             .build()
@@ -181,13 +313,25 @@ proptest! {
             r.set("blob", blob.clone()).unwrap();
             store.save_record(r)?;
             Ok(())
-        }).unwrap();
+        })
+        .unwrap();
         record_layer::run(&db, |tx| {
             let store = RecordStore::open_or_create(tx, &sub, &md)?;
             let rec = store.load_record(&Tuple::from((id,)))?.unwrap();
-            assert_eq!(rec.message.get("title").and_then(|v| v.as_str().map(str::to_string)), Some(title.clone()));
-            assert_eq!(rec.message.get("blob").and_then(|v| v.as_bytes().map(<[u8]>::to_vec)), Some(blob.clone()));
+            assert_eq!(
+                rec.message
+                    .get("title")
+                    .and_then(|v| v.as_str().map(str::to_string)),
+                Some(title.clone())
+            );
+            assert_eq!(
+                rec.message
+                    .get("blob")
+                    .and_then(|v| v.as_bytes().map(<[u8]>::to_vec)),
+                Some(blob.clone())
+            );
             Ok(())
-        }).unwrap();
-    }
+        })
+        .unwrap();
+    });
 }

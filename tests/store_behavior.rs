@@ -107,7 +107,10 @@ fn reverse_scan_returns_descending_and_resumes() {
             &ExecuteProperties::new(),
         )?;
         let (records, _, _) = cursor.collect_remaining()?;
-        let ids: Vec<i64> = records.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect();
+        let ids: Vec<i64> = records
+            .iter()
+            .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(ids, (0..10).rev().collect::<Vec<_>>());
         Ok(())
     })
@@ -133,7 +136,10 @@ fn reverse_scan_returns_descending_and_resumes() {
             store.scan_records_reverse(&TupleRange::all(), &cont, &ExecuteProperties::new())?;
         let (records, _, _) = cursor.collect_remaining()?;
         assert!(!records.is_empty());
-        let ids: Vec<i64> = records.iter().map(|r| r.primary_key.get(0).unwrap().as_int().unwrap()).collect();
+        let ids: Vec<i64> = records
+            .iter()
+            .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert!(ids.windows(2).all(|w| w[0] > w[1]));
         Ok(())
     })
@@ -220,7 +226,13 @@ fn write_only_index_is_maintained_but_not_scannable() {
     record_layer::run(&db, |tx| {
         let store = RecordStore::open_or_create(tx, &sub, &md)?;
         // Scanning fails...
-        match store.scan_index("by_v", &TupleRange::all(), &Continuation::Start, false, &ExecuteProperties::new()) {
+        match store.scan_index(
+            "by_v",
+            &TupleRange::all(),
+            &Continuation::Start,
+            false,
+            &ExecuteProperties::new(),
+        ) {
             Err(record_layer::Error::IndexNotReadable { .. }) => {}
             Err(other) => panic!("unexpected error: {other}"),
             Ok(_) => panic!("scan of write-only index must fail"),
@@ -249,7 +261,11 @@ fn write_only_index_is_maintained_but_not_scannable() {
             &ExecuteProperties::new(),
         )?;
         let (entries, _, _) = cursor.collect_remaining()?;
-        assert_eq!(entries.len(), 1, "write-only maintenance must have happened");
+        assert_eq!(
+            entries.len(),
+            1,
+            "write-only maintenance must have happened"
+        );
         Ok(())
     })
     .unwrap();
@@ -282,7 +298,9 @@ fn scan_limit_prevents_partial_record_emission() {
         .unwrap();
     let _ = md;
     record_layer::run(&db, |tx| {
-        let store = RecordStoreBuilder::new().split_size(100).open_or_create(tx, &sub, &md_big)?;
+        let store = RecordStoreBuilder::new()
+            .split_size(100)
+            .open_or_create(tx, &sub, &md_big)?;
         for i in 0..4i64 {
             let mut r = store.new_record("T")?;
             r.set("id", i).unwrap();
@@ -300,10 +318,14 @@ fn scan_limit_prevents_partial_record_emission() {
     let mut rounds = 0;
     loop {
         rounds += 1;
-        assert!(rounds < 32, "scan-limited pagination failed to make progress");
+        assert!(
+            rounds < 32,
+            "scan-limited pagination failed to make progress"
+        );
         let (count, reason, cont) = record_layer::run(&db, |tx| {
-            let store =
-                RecordStoreBuilder::new().split_size(100).open_or_create(tx, &sub, &md_big)?;
+            let store = RecordStoreBuilder::new()
+                .split_size(100)
+                .open_or_create(tx, &sub, &md_big)?;
             let mut cursor = store.scan_records(
                 &TupleRange::all(),
                 &continuation,
@@ -313,7 +335,10 @@ fn scan_limit_prevents_partial_record_emission() {
             for r in &records {
                 // Every emitted record must be complete.
                 assert_eq!(
-                    r.message.get("blob").and_then(Value::as_bytes).map(<[u8]>::len),
+                    r.message
+                        .get("blob")
+                        .and_then(Value::as_bytes)
+                        .map(<[u8]>::len),
                     Some(450)
                 );
             }
