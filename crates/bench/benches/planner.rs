@@ -1,5 +1,6 @@
 //! Query planning + execution: index-satisfiable predicates vs full scans
-//! with residual filters (Appendix C).
+//! with residual filters (Appendix C), plus the cost-based planner paths
+//! (statistics-driven planning and covering scans).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use record_layer::plan::RecordQueryPlanner;
@@ -61,6 +62,41 @@ fn bench_planner(c: &mut Criterion) {
         let planner = RecordQueryPlanner::new(&metadata);
         let plan = planner.plan(&unindexed_query).unwrap();
         assert!(plan.describe().contains("FullScan"), "{}", plan.describe());
+        b.iter(|| {
+            record_layer::run(&db, |tx| {
+                let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                plan.execute_all(&store)
+            })
+            .unwrap()
+        });
+    });
+    g.bench_function("plan_with_statistics", |b| {
+        // Statistics-backed planning adds snapshot reads of the entry
+        // counters; this measures that overhead against plan_only.
+        b.iter(|| {
+            record_layer::run(&db, |tx| {
+                let store = RecordStore::open_or_create(tx, &sub, &metadata)?;
+                let planner = RecordQueryPlanner::new(&metadata).with_statistics(&store);
+                planner.plan(&indexed_query)
+            })
+            .unwrap()
+        });
+    });
+    g.bench_function("execute_covering_scan", |b| {
+        let planner = RecordQueryPlanner::new(&metadata);
+        let covered = RecordQuery::new()
+            .record_type("Item")
+            .filter(QueryComponent::field(
+                "group",
+                Comparison::Equals("g7".into()),
+            ))
+            .require_fields(&["id", "group"]);
+        let plan = planner.plan(&covered).unwrap();
+        assert!(
+            plan.describe().starts_with("Covering("),
+            "{}",
+            plan.describe()
+        );
         b.iter(|| {
             record_layer::run(&db, |tx| {
                 let store = RecordStore::open_or_create(tx, &sub, &metadata)?;

@@ -62,7 +62,7 @@ fn main() {
         let mut written = 0usize;
         let mut id = 0i64;
         while written < target {
-            let chunk = (target - written).min(8_192).max(1);
+            let chunk = (target - written).clamp(1, 8_192);
             let payload: Vec<u8> = (0..chunk).map(|_| r.gen_u8()).collect();
             record_layer::run(&db, |tx| {
                 let store = RecordStoreBuilder::new().open_or_create(tx, &sub, &metadata)?;
@@ -110,9 +110,9 @@ fn main() {
     );
     let mut cdf_stores = 0.0;
     let mut cdf_bytes = 0.0;
-    for b in 0..=32 {
+    for (b, &bucket_bytes) in bytes_hist.iter().enumerate() {
         let fs = stores_hist.buckets[b] as f64 / total_stores;
-        let fb = bytes_hist[b] as f64 / total_bytes as f64;
+        let fb = bucket_bytes as f64 / total_bytes as f64;
         if fs == 0.0 && fb == 0.0 {
             continue;
         }

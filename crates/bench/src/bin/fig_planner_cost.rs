@@ -1,0 +1,276 @@
+//! FIG_PLANNER — cost-based planner experiments.
+//!
+//! Two comparisons seeded by the planner rewrite:
+//!
+//! 1. **Covered vs fetching index scan.** A query whose required fields
+//!    are covered by the index key plus the primary key synthesizes
+//!    records straight from index entries (zero record-subspace reads);
+//!    the same filter without a projection performs the primary fetch per
+//!    entry.
+//! 2. **Buffered vs streaming intersection.** The pre-rewrite executor
+//!    buffered all-but-one branch of an intersection into a set (and
+//!    could not resume across scan limits); the streaming executor
+//!    merge-joins branches ordered by primary key.
+//!
+//! Emits `BENCH_planner.json` with latency percentiles and prints the
+//! cost-annotated plans (`explain_with` against live statistics).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use record_layer::cursor::{Continuation, CursorResult, ExecuteProperties, RecordCursor};
+use record_layer::expr::KeyExpression;
+use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
+use record_layer::plan::{
+    BoxedCursorExt, CostModel, RecordQueryPlan, RecordQueryPlanner, ScanBounds,
+};
+use record_layer::query::{Comparison, QueryComponent, RecordQuery};
+use record_layer::store::{RecordStore, TupleRange};
+use rl_bench::{experiment_pool, percentile};
+use rl_fdb::tuple::Tuple;
+use rl_fdb::{Database, Subspace};
+
+const N_RECORDS: i64 = 4000;
+const ITERS: usize = 40;
+
+fn metadata() -> RecordMetaData {
+    RecordMetaDataBuilder::new(experiment_pool())
+        .record_type("Item", KeyExpression::field("id"))
+        .index(
+            "Item",
+            Index::value("by_group", KeyExpression::field("group")),
+        )
+        .index(
+            "Item",
+            Index::value("by_score", KeyExpression::field("score")),
+        )
+        .index(
+            "Item",
+            Index::value(
+                "by_group_score",
+                KeyExpression::concat_fields("group", "score"),
+            ),
+        )
+        .store_record_versions(false)
+        .build()
+        .unwrap()
+}
+
+fn seed(db: &Database, md: &RecordMetaData, sub: &Subspace) {
+    for chunk in (0..N_RECORDS).collect::<Vec<_>>().chunks(200) {
+        record_layer::run(db, |tx| {
+            let store = RecordStore::open_or_create(tx, sub, md)?;
+            for &i in chunk {
+                let mut item = store.new_record("Item")?;
+                item.set("id", i).unwrap();
+                item.set("group", format!("g{}", i % 20)).unwrap();
+                item.set("score", i % 100).unwrap();
+                item.set("body", format!("payload body {i}")).unwrap();
+                store.save_record(item)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+/// Run one plan to completion in a fresh transaction, returning (rows, µs).
+fn time_plan(
+    db: &Database,
+    md: &RecordMetaData,
+    sub: &Subspace,
+    plan: &RecordQueryPlan,
+) -> (usize, f64) {
+    let start = Instant::now();
+    let rows = record_layer::run(db, |tx| {
+        let store = RecordStore::open_or_create(tx, sub, md)?;
+        Ok(plan.execute_all(&store)?.len())
+    })
+    .unwrap();
+    (rows, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// The pre-rewrite intersection strategy, reproduced for comparison:
+/// buffer every branch but the last into a primary-key set, then stream
+/// the last branch filtered by membership.
+fn time_buffered_intersection(
+    db: &Database,
+    md: &RecordMetaData,
+    sub: &Subspace,
+    children: &[RecordQueryPlan],
+) -> (usize, f64) {
+    let start = Instant::now();
+    let rows = record_layer::run(db, |tx| {
+        let store = RecordStore::open_or_create(tx, sub, md)?;
+        let props = ExecuteProperties::new();
+        let mut pk_sets: Vec<BTreeSet<Vec<u8>>> = Vec::new();
+        for child in &children[..children.len() - 1] {
+            let mut cursor = child.execute(&store, &Continuation::Start, &props)?;
+            let (records, _, _) = cursor.collect_remaining_boxed()?;
+            pk_sets.push(records.iter().map(|r| r.primary_key.pack()).collect());
+        }
+        let mut cursor = children
+            .last()
+            .unwrap()
+            .execute(&store, &Continuation::Start, &props)?;
+        let mut rows = 0usize;
+        while let CursorResult::Next { value, .. } = cursor.next()? {
+            let pk = value.primary_key.pack();
+            if pk_sets.iter().all(|s| s.contains(&pk)) {
+                rows += 1;
+            }
+        }
+        Ok(rows)
+    })
+    .unwrap();
+    (rows, start.elapsed().as_secs_f64() * 1e6)
+}
+
+fn stats(mut samples: Vec<f64>) -> (f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (percentile(&samples, 0.5), percentile(&samples, 0.95))
+}
+
+fn main() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = Subspace::from_bytes(b"figP".to_vec());
+    seed(&db, &md, &sub);
+
+    let planner = RecordQueryPlanner::new(&md);
+    let covered_query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field(
+            "group",
+            Comparison::Equals("g7".into()),
+        ))
+        .require_fields(&["id", "group", "score"]);
+    let covered_plan = planner.plan(&covered_query).unwrap();
+    assert!(
+        covered_plan.describe().starts_with("Covering("),
+        "expected a covering plan, got {}",
+        covered_plan.describe()
+    );
+    let fetching_query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field(
+            "group",
+            Comparison::Equals("g7".into()),
+        ));
+    let fetching_plan = planner.plan(&fetching_query).unwrap();
+    assert!(
+        !fetching_plan.describe().starts_with("Covering("),
+        "unexpected covering plan {}",
+        fetching_plan.describe()
+    );
+
+    // The intersection is an executor benchmark, so build the IR directly
+    // (the cost-based planner would rightly pick by_group_score here).
+    let types: BTreeSet<String> = ["Item".to_string()].into_iter().collect();
+    let eq_child =
+        |index_name: &str, value: rl_fdb::tuple::TupleElement| RecordQueryPlan::IndexScan {
+            index_name: index_name.to_string(),
+            bounds: ScanBounds::Range(TupleRange::prefix(Tuple::new().push(value))),
+            reverse: false,
+            record_types: Some(types.clone()),
+            residual: None,
+        };
+    // group g7 ∩ score 47: ids ≡ 47 (mod 100), and 47 % 20 == 7.
+    let children = vec![
+        eq_child("by_group", "g7".into()),
+        eq_child("by_score", 47i64.into()),
+    ];
+    let streaming_plan = RecordQueryPlan::Intersection {
+        children: children.clone(),
+    };
+
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let model = CostModel::with_statistics(&store);
+        println!("# cost-annotated plans (live statistics)");
+        println!("covered:\n{}", covered_plan.explain_with(&model));
+        println!("fetching:\n{}", fetching_plan.explain_with(&model));
+        println!("intersection:\n{}", streaming_plan.explain_with(&model));
+        Ok(())
+    })
+    .unwrap();
+
+    let mut covered_us = Vec::new();
+    let mut fetching_us = Vec::new();
+    let mut streaming_us = Vec::new();
+    let mut buffered_us = Vec::new();
+    let mut covered_rows = 0;
+    let mut fetching_rows = 0;
+    let mut streaming_rows = 0;
+    let mut buffered_rows = 0;
+    for _ in 0..ITERS {
+        let (r, us) = time_plan(&db, &md, &sub, &covered_plan);
+        covered_rows = r;
+        covered_us.push(us);
+        let (r, us) = time_plan(&db, &md, &sub, &fetching_plan);
+        fetching_rows = r;
+        fetching_us.push(us);
+        let (r, us) = time_plan(&db, &md, &sub, &streaming_plan);
+        streaming_rows = r;
+        streaming_us.push(us);
+        let (r, us) = time_buffered_intersection(&db, &md, &sub, &children);
+        buffered_rows = r;
+        buffered_us.push(us);
+    }
+    assert_eq!(
+        covered_rows, fetching_rows,
+        "projection must not change rows"
+    );
+    assert_eq!(
+        streaming_rows, buffered_rows,
+        "streaming and buffered intersections must agree"
+    );
+
+    let (cov_p50, cov_p95) = stats(covered_us);
+    let (fet_p50, fet_p95) = stats(fetching_us);
+    let (str_p50, str_p95) = stats(streaming_us);
+    let (buf_p50, buf_p95) = stats(buffered_us);
+
+    println!("# FIG_PLANNER: n={N_RECORDS} records, {ITERS} iterations");
+    println!(
+        "{:>28} {:>8} {:>12} {:>12}",
+        "experiment", "rows", "p50_us", "p95_us"
+    );
+    for (name, rows, p50, p95) in [
+        ("covered_index_scan", covered_rows, cov_p50, cov_p95),
+        ("fetching_index_scan", fetching_rows, fet_p50, fet_p95),
+        ("streaming_intersection", streaming_rows, str_p50, str_p95),
+        ("buffered_intersection", buffered_rows, buf_p50, buf_p95),
+    ] {
+        println!("{name:>28} {rows:>8} {p50:>12.1} {p95:>12.1}");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"n_records\": {},\n",
+            "  \"iterations\": {},\n",
+            "  \"covered_index_scan\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n",
+            "  \"fetching_index_scan\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n",
+            "  \"streaming_intersection\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n",
+            "  \"buffered_intersection\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}}\n",
+            "}}\n"
+        ),
+        N_RECORDS,
+        ITERS,
+        covered_rows,
+        cov_p50,
+        cov_p95,
+        fetching_rows,
+        fet_p50,
+        fet_p95,
+        streaming_rows,
+        str_p50,
+        str_p95,
+        buffered_rows,
+        buf_p50,
+        buf_p95,
+    );
+    std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
+    println!("\nwrote BENCH_planner.json");
+}

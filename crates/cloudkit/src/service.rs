@@ -322,9 +322,8 @@ impl CloudKit {
         let sub = self.store_subspace(user, application);
         let (begin, end) = sub.range_inclusive();
         let kvs = record_layer::run(&self.db, |tx| {
-            Ok(tx
-                .get_range(&begin, &end, rl_fdb::RangeOptions::default())
-                .map_err(record_layer::Error::Fdb)?)
+            tx.get_range(&begin, &end, rl_fdb::RangeOptions::default())
+                .map_err(record_layer::Error::Fdb)
         })?;
         let count = kvs.len();
         record_layer::run(&dest.db, |tx| {

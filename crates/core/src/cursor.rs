@@ -161,6 +161,11 @@ pub struct ExecuteProperties {
     pub byte_limit: Option<usize>,
     /// Use snapshot isolation for reads (no read conflicts).
     pub snapshot: bool,
+    /// A limiter already shared by an enclosing plan execution. When set,
+    /// [`ExecuteProperties::limiter`] hands out clones of this limiter so
+    /// every cursor spawned by one plan draws from a single scan budget;
+    /// when unset, each call mints a fresh budget from the limits above.
+    pub(crate) shared_limiter: Option<ScanLimiter>,
 }
 
 impl ExecuteProperties {
@@ -189,7 +194,18 @@ impl ExecuteProperties {
     }
 
     pub fn limiter(&self) -> ScanLimiter {
-        ScanLimiter::new(self.scan_limit, self.byte_limit)
+        match &self.shared_limiter {
+            Some(l) => l.clone(),
+            None => ScanLimiter::new(self.scan_limit, self.byte_limit),
+        }
+    }
+
+    /// Install a single shared scan budget: all subsequent `limiter()`
+    /// calls on (clones of) these properties charge the same budget.
+    pub(crate) fn share_limiter(&mut self) {
+        if self.shared_limiter.is_none() {
+            self.shared_limiter = Some(ScanLimiter::new(self.scan_limit, self.byte_limit));
+        }
     }
 }
 

@@ -68,7 +68,7 @@ impl IndexMaintainer for AtomicIndexMaintainer {
         ctx: &IndexContext<'_>,
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
-    ) -> Result<()> {
+    ) -> Result<i64> {
         let old_tuples = old
             .map(|r| evaluate_index_expr(ctx.index, r))
             .transpose()?
@@ -166,7 +166,8 @@ impl IndexMaintainer for AtomicIndexMaintainer {
             }
             other => unreachable!("non-atomic type {other:?}"),
         }
-        Ok(())
+        // One key per group: entry count is not a scan-cost signal.
+        Ok(0)
     }
 }
 

@@ -14,7 +14,7 @@ use rl_fdb::Database;
 use crate::cursor::{Continuation, CursorResult, ExecuteProperties, RecordCursor};
 use crate::error::Result;
 use crate::index::IndexState;
-use crate::metadata::RecordMetaData;
+use crate::metadata::{IndexType, RecordMetaData};
 use crate::store::{RecordStore, RecordStoreBuilder, TupleRange};
 
 /// Builds one index of one record store across multiple transactions.
@@ -130,9 +130,24 @@ impl<'m> OnlineIndexBuilder<'m> {
             }
         }
 
-        // Phase 3: flip to readable and drop the progress marker.
+        // Phase 3: flip to readable and drop the progress marker. For
+        // key-per-entry index types, rebuild the entry-count statistic
+        // exactly: records written while the backfill raced them were
+        // maintained by both paths and double-counted in the additive
+        // counter. (A single range read suffices in the simulator; a real
+        // deployment would batch the recount like the backfill itself.)
         crate::run(&self.db, |tx| {
             let store = self.open(tx)?;
+            let index = self.metadata.index(&self.index_name)?;
+            if matches!(index.index_type, IndexType::Value | IndexType::Version) {
+                let data = store.index_subspace(index);
+                let (begin, end) = data.range_inclusive();
+                let count = tx
+                    .get_range_snapshot(&begin, &end, rl_fdb::RangeOptions::default())
+                    .map_err(crate::Error::Fdb)?
+                    .len() as u64;
+                store.set_index_entry_count(&self.index_name, count)?;
+            }
             let progress_key = self.progress_key(&store)?;
             tx.clear(&progress_key);
             store.set_index_state(&self.index_name, IndexState::Readable)?;

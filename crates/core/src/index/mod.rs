@@ -85,12 +85,18 @@ pub struct IndexContext<'a> {
 pub trait IndexMaintainer: Send + Sync {
     /// Apply the index delta for a record change: `old == None` is an
     /// insert, `new == None` a delete, both `Some` an update.
+    ///
+    /// Returns the net change in the number of scannable index entries,
+    /// which the store folds into the index's persistent entry-count
+    /// statistic (read by the cost-based planner). Aggregate indexes that
+    /// keep one key per group report 0: their size is not a function of
+    /// scan work.
     fn update(
         &self,
         ctx: &IndexContext<'_>,
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
-    ) -> Result<()>;
+    ) -> Result<i64>;
 }
 
 /// Evaluate an index's key expression against a record, yielding the raw

@@ -79,7 +79,7 @@ impl<'a> RankedSet<'a> {
         let h = hasher.finish();
         let mut level = 0;
         let mut threshold = FAN;
-        while level + 1 < self.nlevels && h % threshold == 0 {
+        while level + 1 < self.nlevels && h.is_multiple_of(threshold) {
             level += 1;
             threshold = threshold.saturating_mul(FAN);
         }
@@ -257,11 +257,9 @@ impl<'a> RankedSet<'a> {
                 cur = self.translate_level(&cur, level + 1, level)?;
             }
             let (_, level_end) = self.level_subspace(level).range_inclusive();
-            loop {
-                let count = match self.read_count(&cur)? {
-                    Some(c) => c,
-                    None => break, // empty set
-                };
+            // Walk right along this level until the finger covers `rank`,
+            // then descend; a missing count means the set is empty.
+            while let Some(count) = self.read_count(&cur)? {
                 if remaining < count {
                     break; // descend
                 }
@@ -304,7 +302,7 @@ impl IndexMaintainer for RankIndexMaintainer {
         ctx: &IndexContext<'_>,
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
-    ) -> Result<()> {
+    ) -> Result<i64> {
         let nlevels = ctx.index.options.rank_levels;
         let entries_sub = ctx.subspace.child(ENTRIES);
         let set = RankedSet::new(ctx.tx, ctx.subspace.child(LEVELS), nlevels);
@@ -324,6 +322,7 @@ impl IndexMaintainer for RankIndexMaintainer {
             .transpose()?
             .unwrap_or_default();
 
+        let mut delta = 0i64;
         for e in &old_entries {
             if new_entries.contains(e) {
                 continue;
@@ -331,6 +330,7 @@ impl IndexMaintainer for RankIndexMaintainer {
             let full = e.key.clone().concat(&e.primary_key);
             ctx.tx.clear(&entries_sub.pack(&full));
             set.erase(&full)?;
+            delta -= 1;
         }
         for e in &new_entries {
             if old_entries.contains(e) {
@@ -339,8 +339,9 @@ impl IndexMaintainer for RankIndexMaintainer {
             let full = e.key.clone().concat(&e.primary_key);
             ctx.tx.try_set(&entries_sub.pack(&full), &[])?;
             set.insert(&full)?;
+            delta += 1;
         }
-        Ok(())
+        Ok(delta)
     }
 }
 

@@ -166,13 +166,7 @@ impl<'a> BunchedMap<'a> {
         }
         let mut out = vec![(key_pk, element_to_offsets(&els[0])?)];
         let mut i = 1;
-        while i + 1 < els.len() + 1 {
-            if i + 1 >= els.len() + 1 {
-                break;
-            }
-            if i >= els.len() {
-                break;
-            }
+        while i < els.len() {
             let pk = els[i]
                 .as_tuple()
                 .ok_or_else(|| Error::Serialization("bad pk element in bunch".into()))?
@@ -299,7 +293,7 @@ impl<'a> BunchedMap<'a> {
                 // token is new): absorb the following bunch when it fits.
                 let mut postings = vec![(pk.clone(), offsets.to_vec())];
                 if let Some((next_pk, next_postings)) = self.bunch_after(token, pk)? {
-                    if 1 + next_postings.len() <= self.bunch_size {
+                    if next_postings.len() < self.bunch_size {
                         self.tx.clear(&self.entry_key(token, &next_pk));
                         postings.extend(next_postings);
                     }
@@ -369,8 +363,10 @@ impl<'a> BunchedMap<'a> {
     pub fn stats(&self) -> Result<TextIndexStats> {
         let (begin, end) = self.subspace.range_inclusive();
         let kvs = self.tx.get_range(&begin, &end, RangeOptions::default())?;
-        let mut stats = TextIndexStats::default();
-        stats.index_keys = kvs.len();
+        let mut stats = TextIndexStats {
+            index_keys: kvs.len(),
+            ..Default::default()
+        };
         for kv in &kvs {
             stats.key_bytes += kv.key.len();
             stats.value_bytes += kv.value.len();
@@ -429,7 +425,7 @@ impl IndexMaintainer for TextIndexMaintainer {
         ctx: &IndexContext<'_>,
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
-    ) -> Result<()> {
+    ) -> Result<i64> {
         let tokenizer = tokenizer_for(ctx.index);
         let map = BunchedMap::new(
             ctx.tx,
@@ -440,20 +436,24 @@ impl IndexMaintainer for TextIndexMaintainer {
         let old_text = old.map(|r| text_of(ctx.index, r)).transpose()?.flatten();
         let new_text = new.map(|r| text_of(ctx.index, r)).transpose()?.flatten();
         if old.is_some() && new.is_some() && old_text == new_text {
-            return Ok(()); // unchanged text: no index work (§6 optimization)
+            return Ok(0); // unchanged text: no index work (§6 optimization)
         }
 
+        // Entry count for TEXT = number of (token, record) postings.
+        let mut delta = 0i64;
         if let (Some(old_rec), Some(text)) = (old, &old_text) {
             for token in token_positions(tokenizer.as_ref(), text).keys() {
                 map.remove(token, &old_rec.primary_key)?;
+                delta -= 1;
             }
         }
         if let (Some(new_rec), Some(text)) = (new, &new_text) {
             for (token, offsets) in token_positions(tokenizer.as_ref(), text) {
                 map.insert(&token, &new_rec.primary_key, &offsets)?;
+                delta += 1;
             }
         }
-        Ok(())
+        Ok(delta)
     }
 }
 

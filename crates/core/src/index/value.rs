@@ -27,7 +27,7 @@ impl IndexMaintainer for ValueIndexMaintainer {
         ctx: &IndexContext<'_>,
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
-    ) -> Result<()> {
+    ) -> Result<i64> {
         let old_entries = old
             .map(|r| entries_for(ctx, r))
             .transpose()?
@@ -36,6 +36,7 @@ impl IndexMaintainer for ValueIndexMaintainer {
             .map(|r| entries_for(ctx, r))
             .transpose()?
             .unwrap_or_default();
+        let mut delta = 0i64;
 
         // Remove entries no longer produced.
         for entry in &old_entries {
@@ -44,6 +45,7 @@ impl IndexMaintainer for ValueIndexMaintainer {
                     .subspace
                     .pack(&entry.key.clone().concat(&entry.primary_key));
                 ctx.tx.clear(&key);
+                delta -= 1;
             }
         }
         // Insert fresh entries.
@@ -77,8 +79,9 @@ impl IndexMaintainer for ValueIndexMaintainer {
                 entry.value.pack()
             };
             ctx.tx.try_set(&key, &value)?;
+            delta += 1;
         }
-        Ok(())
+        Ok(delta)
     }
 }
 

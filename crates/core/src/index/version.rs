@@ -31,7 +31,8 @@ impl IndexMaintainer for VersionIndexMaintainer {
         ctx: &IndexContext<'_>,
         old: Option<&StoredRecord>,
         new: Option<&StoredRecord>,
-    ) -> Result<()> {
+    ) -> Result<i64> {
+        let mut delta = 0i64;
         if let Some(old) = old {
             let tuples = evaluate_index_expr(ctx.index, old)?;
             for entry in to_index_entries(ctx.index, tuples, &old.primary_key) {
@@ -39,6 +40,7 @@ impl IndexMaintainer for VersionIndexMaintainer {
                 // is fully known and can be cleared directly.
                 let key = ctx.subspace.pack(&entry.key.concat(&entry.primary_key));
                 ctx.tx.clear(&key);
+                delta -= 1;
             }
         }
         if let Some(new) = new {
@@ -60,9 +62,10 @@ impl IndexMaintainer for VersionIndexMaintainer {
                 } else {
                     ctx.tx.try_set(&ctx.subspace.pack(&full), &value)?;
                 }
+                delta += 1;
             }
         }
-        Ok(())
+        Ok(delta)
     }
 }
 

@@ -119,6 +119,7 @@ impl KeySpacePath {
     }
 
     /// Descend into a named child directory.
+    #[allow(clippy::should_implement_trait)] // KeySpacePath API name from the paper
     pub fn add(mut self, name: &str) -> Result<Self> {
         let (current, _) = self.segments.last().unwrap();
         let child = current

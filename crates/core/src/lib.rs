@@ -23,9 +23,12 @@
 //! * [`cursor`] — streaming cursors with continuations and enforced scan
 //!   limits (§8.2): every operation can be paused and resumed across
 //!   transactions, keeping the layer stateless.
-//! * [`query`] / [`plan`] — the declarative query API and the heuristic
-//!   planner that turns filters into index scans, unions, intersections,
-//!   and residual filters (Appendix C).
+//! * [`query`] / [`plan`] — the declarative query API and the cost-based
+//!   planner that turns filters into index scans, covering scans, unions,
+//!   streaming intersections, and residual filters (Appendix C). Plan
+//!   choice is driven by persistent per-index statistics the store's
+//!   write path maintains; `RecordQueryPlan::explain()` renders the plan
+//!   tree with estimated costs.
 //! * [`keyspace`] — the KeySpace API for carving up the global keyspace
 //!   like a filesystem (§4).
 //!
@@ -117,6 +120,9 @@ pub mod prelude {
     pub use crate::index::IndexState;
     pub use crate::metadata::{
         Index, IndexType, RecordMetaData, RecordMetaDataBuilder, RecordType,
+    };
+    pub use crate::plan::{
+        BoxedCursorExt, CostModel, RecordQueryPlan, RecordQueryPlanner, StatisticsSource,
     };
     pub use crate::query::{Comparison, QueryComponent, RecordQuery, TextComparison};
     pub use crate::store::{RecordStore, StoredRecord};

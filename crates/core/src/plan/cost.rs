@@ -1,0 +1,357 @@
+//! The cardinality-based cost model.
+//!
+//! The paper's shipped planner ranks candidates with ad-hoc scores; its
+//! "future directions" call for a cost-based rewrite engine. This module
+//! is the first half of that move: every plan node gets a cost estimate
+//! derived from *actual* per-index entry counts — persistent statistics
+//! the store's write path maintains with conflict-free atomic ADD
+//! mutations — falling back to fixed defaults when a store handle (and
+//! thus statistics) is not available at planning time.
+//!
+//! Units are abstract "key visits": scanning one index entry costs
+//! [`ENTRY_SCAN_COST`]; fetching one record by primary key costs
+//! [`RECORD_FETCH_COST`] on top (a record is a separate range read of
+//! version + payload chunks); a full-scan row costs [`RECORD_SCAN_COST`]
+//! (payload read without an index hop). Covering scans pay only the entry
+//! visit, which is exactly why the planner prefers them when an index
+//! covers the query's required fields.
+
+use crate::store::RecordStore;
+
+use super::ir::{RecordQueryPlan, ScanBounds};
+
+/// Fraction of an index assumed to survive one equality column when no
+/// finer statistics exist.
+pub const EQ_SELECTIVITY: f64 = 0.1;
+/// Fraction assumed to survive a range comparison on the next column.
+pub const RANGE_SELECTIVITY: f64 = 0.3;
+/// Fraction assumed to survive a string-prefix comparison (tighter than a
+/// range, looser than equality).
+pub const PREFIX_SELECTIVITY: f64 = 0.15;
+/// Fraction of a TEXT index's postings assumed to match a text predicate.
+pub const TEXT_SELECTIVITY: f64 = 0.05;
+
+/// Cost of visiting one index entry.
+pub const ENTRY_SCAN_COST: f64 = 1.0;
+/// Additional cost of fetching the record an index entry points at.
+pub const RECORD_FETCH_COST: f64 = 4.0;
+/// Cost of streaming one record out of the record extent directly.
+pub const RECORD_SCAN_COST: f64 = 2.0;
+/// Per-row overhead of union deduplication.
+pub const DEDUP_COST: f64 = 0.1;
+
+/// Entry/record count assumed when no statistics are available.
+pub const DEFAULT_CARDINALITY: f64 = 1000.0;
+
+/// A source of table and index cardinalities. [`RecordStore`] implements
+/// this by reading the persistent statistics subspace at snapshot
+/// isolation (advisory reads must not create conflicts on hot counters).
+pub trait StatisticsSource {
+    /// Number of entries in the named index, if known.
+    fn index_entry_count(&self, index_name: &str) -> Option<u64>;
+    /// Number of records in the store, if known.
+    fn record_count(&self) -> Option<u64>;
+}
+
+impl StatisticsSource for RecordStore<'_> {
+    fn index_entry_count(&self, index_name: &str) -> Option<u64> {
+        RecordStore::index_entry_count(self, index_name)
+            .ok()
+            .flatten()
+    }
+
+    fn record_count(&self) -> Option<u64> {
+        self.record_count_estimate().ok().flatten()
+    }
+}
+
+/// The estimated work a plan performs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Rows the plan is expected to produce (before residual filtering).
+    pub rows: f64,
+    /// Index entries visited.
+    pub entries_scanned: f64,
+    /// Records fetched from the record subspace.
+    pub records_fetched: f64,
+    /// Total abstract cost; the planner minimizes this.
+    pub cost: f64,
+}
+
+/// Estimates plan costs from statistics (or defaults).
+#[derive(Clone, Copy, Default)]
+pub struct CostModel<'a> {
+    stats: Option<&'a dyn StatisticsSource>,
+}
+
+impl<'a> CostModel<'a> {
+    /// A model with no statistics: every index and table is assumed to
+    /// hold [`DEFAULT_CARDINALITY`] entries.
+    pub fn new() -> Self {
+        CostModel { stats: None }
+    }
+
+    /// A model backed by live statistics (typically a [`RecordStore`]).
+    pub fn with_statistics(stats: &'a dyn StatisticsSource) -> Self {
+        CostModel { stats: Some(stats) }
+    }
+
+    fn index_entries(&self, index_name: &str) -> f64 {
+        self.stats
+            .and_then(|s| s.index_entry_count(index_name))
+            .map(|n| n as f64)
+            .unwrap_or(DEFAULT_CARDINALITY)
+    }
+
+    fn records(&self) -> f64 {
+        self.stats
+            .and_then(|s| s.record_count())
+            .map(|n| n as f64)
+            .unwrap_or(DEFAULT_CARDINALITY)
+    }
+
+    /// Fraction of an index expected to fall inside `bounds`.
+    pub fn selectivity(bounds: &ScanBounds) -> f64 {
+        match bounds {
+            ScanBounds::StringPrefix { prefix_cols, .. } => {
+                EQ_SELECTIVITY.powi(prefix_cols.len() as i32) * PREFIX_SELECTIVITY
+            }
+            ScanBounds::Range(r) => match (&r.low, &r.high) {
+                (None, None) => 1.0,
+                (Some((lo, _)), Some((hi, _))) => {
+                    if lo == hi {
+                        EQ_SELECTIVITY.powi(lo.len() as i32)
+                    } else {
+                        let eq_cols = lo
+                            .elements()
+                            .iter()
+                            .zip(hi.elements())
+                            .take_while(|(a, b)| a == b)
+                            .count();
+                        EQ_SELECTIVITY.powi(eq_cols as i32) * RANGE_SELECTIVITY
+                    }
+                }
+                (Some((t, _)), None) | (None, Some((t, _))) => {
+                    EQ_SELECTIVITY.powi(t.len().saturating_sub(1) as i32) * RANGE_SELECTIVITY
+                }
+            },
+        }
+    }
+
+    /// Estimate the work a plan performs.
+    pub fn estimate(&self, plan: &RecordQueryPlan) -> CostEstimate {
+        match plan {
+            RecordQueryPlan::FullScan { .. } => {
+                let n = self.records();
+                CostEstimate {
+                    rows: n,
+                    entries_scanned: 0.0,
+                    records_fetched: n,
+                    cost: n * RECORD_SCAN_COST,
+                }
+            }
+            RecordQueryPlan::IndexScan {
+                index_name, bounds, ..
+            } => {
+                let entries = self.index_entries(index_name) * Self::selectivity(bounds);
+                CostEstimate {
+                    rows: entries,
+                    entries_scanned: entries,
+                    records_fetched: entries,
+                    cost: entries * (ENTRY_SCAN_COST + RECORD_FETCH_COST),
+                }
+            }
+            RecordQueryPlan::CoveringIndexScan {
+                index_name, bounds, ..
+            } => {
+                let entries = self.index_entries(index_name) * Self::selectivity(bounds);
+                CostEstimate {
+                    rows: entries,
+                    entries_scanned: entries,
+                    records_fetched: 0.0,
+                    cost: entries * ENTRY_SCAN_COST,
+                }
+            }
+            RecordQueryPlan::TextScan { index_name, .. } => {
+                let entries = self.index_entries(index_name) * TEXT_SELECTIVITY;
+                CostEstimate {
+                    rows: entries,
+                    entries_scanned: entries,
+                    records_fetched: entries,
+                    cost: entries * (ENTRY_SCAN_COST + RECORD_FETCH_COST),
+                }
+            }
+            RecordQueryPlan::Union { children } => {
+                let mut out = CostEstimate {
+                    rows: 0.0,
+                    entries_scanned: 0.0,
+                    records_fetched: 0.0,
+                    cost: 0.0,
+                };
+                for child in children {
+                    let c = self.estimate(child);
+                    out.rows += c.rows;
+                    out.entries_scanned += c.entries_scanned;
+                    out.records_fetched += c.records_fetched;
+                    out.cost += c.cost + c.rows * DEDUP_COST;
+                }
+                out
+            }
+            RecordQueryPlan::Intersection { children } => {
+                // The streaming merge-join visits every child's entries but
+                // fetches only the primary keys all children agree on;
+                // assume independent predicates for the match rate.
+                let estimates: Vec<CostEstimate> =
+                    children.iter().map(|c| self.estimate(c)).collect();
+                let n = self.records().max(1.0);
+                let mut rows = n;
+                let mut entries = 0.0;
+                for e in &estimates {
+                    rows *= (e.rows / n).min(1.0);
+                    entries += e.entries_scanned.max(e.rows);
+                }
+                CostEstimate {
+                    rows,
+                    entries_scanned: entries,
+                    records_fetched: rows,
+                    cost: entries * ENTRY_SCAN_COST + rows * RECORD_FETCH_COST,
+                }
+            }
+        }
+    }
+
+    /// Render the plan tree with per-node row/cost annotations.
+    pub fn explain(&self, plan: &RecordQueryPlan) -> String {
+        let mut out = String::new();
+        self.explain_into(plan, 0, &mut out);
+        out.truncate(out.trim_end().len());
+        out
+    }
+
+    fn explain_into(&self, plan: &RecordQueryPlan, depth: usize, out: &mut String) {
+        let est = self.estimate(plan);
+        let label = match plan {
+            RecordQueryPlan::Union { .. } => "Union".to_string(),
+            RecordQueryPlan::Intersection { .. } => "Intersection".to_string(),
+            leaf => leaf.describe(),
+        };
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!(
+            "{label} [rows~{:.1}, cost~{:.1}]\n",
+            est.rows, est.cost
+        ));
+        for child in plan.children() {
+            self.explain_into(child, depth + 1, out);
+        }
+    }
+}
+
+impl std::fmt::Debug for CostModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostModel")
+            .field("has_statistics", &self.stats.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TupleRange;
+    use rl_fdb::tuple::Tuple;
+
+    #[test]
+    fn selectivity_orders_bound_shapes() {
+        let eq = ScanBounds::Range(TupleRange::prefix(Tuple::new().push("x")));
+        let eq2 = ScanBounds::Range(TupleRange::prefix(Tuple::new().push("x").push(1i64)));
+        let open = ScanBounds::Range(TupleRange::all());
+        let range = ScanBounds::Range(TupleRange {
+            low: Some((Tuple::new().push(5i64), true)),
+            high: None,
+        });
+        let prefix = ScanBounds::StringPrefix {
+            prefix_cols: Tuple::new(),
+            prefix: "ab".into(),
+        };
+        let s = CostModel::selectivity;
+        assert!(s(&eq2) < s(&eq));
+        assert!(s(&eq) < s(&prefix));
+        assert!(s(&prefix) < s(&range));
+        assert!(s(&range) < s(&open));
+        assert_eq!(s(&open), 1.0);
+    }
+
+    #[test]
+    fn covering_scan_is_cheaper_than_fetching_scan() {
+        let bounds = ScanBounds::Range(TupleRange::prefix(Tuple::new().push("x")));
+        let model = CostModel::new();
+        let fetching = model.estimate(&RecordQueryPlan::IndexScan {
+            index_name: "i".into(),
+            bounds: bounds.clone(),
+            reverse: false,
+            record_types: None,
+            residual: None,
+        });
+        let covering = model.estimate(&RecordQueryPlan::CoveringIndexScan {
+            index_name: "i".into(),
+            bounds,
+            reverse: false,
+            record_type: "T".into(),
+            fields: Vec::new(),
+        });
+        assert!(covering.cost < fetching.cost);
+        assert_eq!(covering.records_fetched, 0.0);
+        assert_eq!(covering.rows, fetching.rows);
+    }
+
+    #[test]
+    fn statistics_scale_estimates() {
+        struct Fixed;
+        impl StatisticsSource for Fixed {
+            fn index_entry_count(&self, _: &str) -> Option<u64> {
+                Some(10)
+            }
+            fn record_count(&self) -> Option<u64> {
+                Some(10)
+            }
+        }
+        let plan = RecordQueryPlan::IndexScan {
+            index_name: "i".into(),
+            bounds: ScanBounds::Range(TupleRange::prefix(Tuple::new().push("x"))),
+            reverse: false,
+            record_types: None,
+            residual: None,
+        };
+        let small = CostModel::with_statistics(&Fixed).estimate(&plan);
+        let default = CostModel::new().estimate(&plan);
+        assert!(small.cost < default.cost);
+    }
+
+    #[test]
+    fn explain_annotates_tree() {
+        let plan = RecordQueryPlan::Intersection {
+            children: vec![
+                RecordQueryPlan::IndexScan {
+                    index_name: "a".into(),
+                    bounds: ScanBounds::Range(TupleRange::prefix(Tuple::new().push(1i64))),
+                    reverse: false,
+                    record_types: None,
+                    residual: None,
+                },
+                RecordQueryPlan::IndexScan {
+                    index_name: "b".into(),
+                    bounds: ScanBounds::Range(TupleRange::prefix(Tuple::new().push(2i64))),
+                    reverse: false,
+                    record_types: None,
+                    residual: None,
+                },
+            ],
+        };
+        let text = plan.explain();
+        assert!(text.starts_with("Intersection [rows~"), "{text}");
+        assert!(text.contains("\n  IndexScan(a) [rows~"), "{text}");
+        assert!(text.contains("\n  IndexScan(b) [rows~"), "{text}");
+    }
+}

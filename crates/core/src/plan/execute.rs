@@ -1,0 +1,161 @@
+//! Plan execution: turn a [`RecordQueryPlan`] into a tree of streaming
+//! cursors, resuming from a continuation and honoring scan/byte limits.
+//!
+//! All cursors spawned by one plan share a single scan budget (installed
+//! via [`ExecuteProperties`]), so a limit bounds the *total* work of the
+//! plan, not the work of each branch separately.
+
+use crate::cursor::{Continuation, ExecuteProperties, KeyValueCursor};
+use crate::error::Result;
+use crate::store::{RecordStore, StoredRecord, TupleRange};
+
+use super::cursors::{
+    BoxedCursorExt, CoveringScanCursor, FilteredRecordCursor, IndexFetchCursor, IntersectionCursor,
+    PlanCursor, UnionCursor,
+};
+use super::ir::RecordQueryPlan;
+
+impl RecordQueryPlan {
+    /// Execute against a store, resuming from `continuation`. The
+    /// `return_limit` in `props` is enforced at the top of the plan; scan
+    /// and byte limits are shared by every cursor the plan spawns.
+    pub fn execute<'a>(
+        &self,
+        store: &RecordStore<'a>,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<PlanCursor<'a>> {
+        let mut inner_props = props.clone();
+        inner_props.return_limit = None;
+        inner_props.share_limiter();
+        let cursor = self.execute_inner(store, continuation, &inner_props)?;
+        Ok(match props.return_limit {
+            Some(n) => Box::new(crate::cursor::TakeCursor::new(cursor, n)),
+            None => cursor,
+        })
+    }
+
+    pub(crate) fn execute_inner<'a>(
+        &self,
+        store: &RecordStore<'a>,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+    ) -> Result<PlanCursor<'a>> {
+        match self {
+            RecordQueryPlan::FullScan {
+                record_types,
+                residual,
+                reverse,
+            } => {
+                let scan = if *reverse {
+                    store.scan_records_reverse(&TupleRange::all(), continuation, props)?
+                } else {
+                    store.scan_records(&TupleRange::all(), continuation, props)?
+                };
+                Ok(Box::new(FilteredRecordCursor {
+                    inner: Box::new(scan),
+                    record_types: record_types.clone(),
+                    residual: residual.clone(),
+                }))
+            }
+            RecordQueryPlan::IndexScan {
+                index_name,
+                bounds,
+                reverse,
+                record_types,
+                residual,
+            } => {
+                let index = store.require_readable(index_name)?;
+                let subspace = store.index_subspace(index);
+                let (begin, end) = bounds.to_byte_range(&subspace);
+                // Scan the index subspace's byte range, fetching records by
+                // the primary key carried in each entry.
+                let kv = KeyValueCursor::new(
+                    store.transaction(),
+                    begin,
+                    end,
+                    *reverse,
+                    props.snapshot,
+                    props.limiter(),
+                    continuation,
+                )?;
+                Ok(Box::new(IndexFetchCursor {
+                    store: store.clone_handle(),
+                    kv,
+                    subspace,
+                    key_columns: index.key_expression.key_column_count(),
+                    record_types: record_types.clone(),
+                    residual: residual.clone(),
+                }))
+            }
+            RecordQueryPlan::CoveringIndexScan {
+                index_name,
+                bounds,
+                reverse,
+                record_type,
+                fields,
+            } => {
+                let index = store.require_readable(index_name)?;
+                let subspace = store.index_subspace(index);
+                let (begin, end) = bounds.to_byte_range(&subspace);
+                let kv = KeyValueCursor::new(
+                    store.transaction(),
+                    begin,
+                    end,
+                    *reverse,
+                    props.snapshot,
+                    props.limiter(),
+                    continuation,
+                )?;
+                Ok(Box::new(CoveringScanCursor {
+                    kv,
+                    subspace,
+                    key_columns: index.key_expression.key_column_count(),
+                    metadata: store.metadata_ref(),
+                    record_type: record_type.clone(),
+                    fields: fields.clone(),
+                }))
+            }
+            RecordQueryPlan::TextScan {
+                index_name,
+                comparison,
+                record_types,
+                residual,
+            } => {
+                let pks = store.text_search(index_name, comparison)?;
+                let mut records = Vec::new();
+                for pk in pks {
+                    if let Some(rec) = store.load_record(&pk)? {
+                        let type_ok = record_types
+                            .as_ref()
+                            .is_none_or(|ts| ts.contains(&rec.record_type));
+                        let residual_ok = match residual {
+                            Some(r) => r.eval(&rec.record_type, &rec.message)?,
+                            None => true,
+                        };
+                        if type_ok && residual_ok {
+                            records.push(rec);
+                        }
+                    }
+                }
+                Ok(Box::new(crate::cursor::ListCursor::new(
+                    records,
+                    continuation,
+                )?))
+            }
+            RecordQueryPlan::Union { children } => {
+                UnionCursor::create(children, store, continuation, props)
+            }
+            RecordQueryPlan::Intersection { children } => {
+                IntersectionCursor::create(children, store, continuation, props)
+            }
+        }
+    }
+
+    /// Execute and collect all records (convenience for tests/examples).
+    pub fn execute_all(&self, store: &RecordStore<'_>) -> Result<Vec<StoredRecord>> {
+        let mut cursor = self.execute(store, &Continuation::Start, &ExecuteProperties::new())?;
+        let (records, _, _) = cursor.collect_remaining_boxed()?;
+        Ok(records)
+    }
+}

@@ -253,6 +253,12 @@ pub struct RecordQuery {
     /// key (§3.1: no in-memory sorts).
     pub sort: Option<crate::expr::KeyExpression>,
     pub sort_reverse: bool,
+    /// The fields the caller will actually read from result records.
+    /// Empty = all fields. When an index's key (plus the primary key)
+    /// covers every required field, the planner produces a covering index
+    /// scan that synthesizes partial records straight from index entries,
+    /// skipping the record fetch entirely (§4 "covering indexes").
+    pub required_fields: Vec<String>,
 }
 
 impl RecordQuery {
@@ -273,6 +279,13 @@ impl RecordQuery {
     pub fn sort(mut self, sort: crate::expr::KeyExpression, reverse: bool) -> Self {
         self.sort = Some(sort);
         self.sort_reverse = reverse;
+        self
+    }
+
+    /// Declare the projection: only these fields will be read from the
+    /// results, making the query eligible for covering index scans.
+    pub fn require_fields(mut self, fields: &[&str]) -> Self {
+        self.required_fields = fields.iter().map(|s| s.to_string()).collect();
         self
     }
 }

@@ -74,12 +74,12 @@ fn rle_compress(data: &[u8]) -> Vec<u8> {
 }
 
 fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return Err(Error::Serialization("corrupt RLE stream".into()));
     }
     let mut out = Vec::new();
     for pair in data.chunks(2) {
-        out.extend(std::iter::repeat(pair[1]).take(pair[0] as usize));
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
     }
     Ok(out)
 }

@@ -12,9 +12,16 @@
 //! | `S(2, index_name, …)`             | index entries / structures        |
 //! | `S(3, index_name)`                | index state byte                  |
 //! | `S(4, index_name, …)`             | online-build progress (RangeSet)  |
+//! | `S(5, 0)`                         | record count (LE i64, atomic ADD) |
+//! | `S(5, 1, index_name)`             | index entry count (LE i64, ADD)   |
 //!
 //! The version split `-1` immediately precedes the record's payload keys so
 //! both are fetched with a single range read (§4).
+//!
+//! The `S(5)` statistics subspace is maintained by the write path with
+//! conflict-free atomic `ADD` mutations, so concurrent writers never abort
+//! each other over a counter. The cost-based planner reads these counts
+//! (at snapshot isolation) to estimate scan costs instead of guessing.
 
 use std::sync::Arc;
 
@@ -39,6 +46,12 @@ const RECORDS: i64 = 1;
 const INDEXES: i64 = 2;
 const INDEX_STATE: i64 = 3;
 const INDEX_RANGES: i64 = 4;
+const INDEX_STATS: i64 = 5;
+
+/// Key under `S(5)` holding the store-wide record count.
+const STAT_RECORDS: i64 = 0;
+/// Prefix under `S(5)` holding per-index entry counts.
+const STAT_INDEX_ENTRIES: i64 = 1;
 
 /// Current on-disk format version written to store headers.
 pub const FORMAT_VERSION: i64 = 1;
@@ -167,6 +180,7 @@ pub struct RecordStoreBuilder {
     serializer: Arc<dyn RecordSerializer>,
     registry: Arc<IndexRegistry>,
     split_size: usize,
+    metrics: Option<rl_fdb::metrics::SharedMetrics>,
 }
 
 impl Default for RecordStoreBuilder {
@@ -175,6 +189,7 @@ impl Default for RecordStoreBuilder {
             serializer: Arc::new(PlainSerializer),
             registry: Arc::new(IndexRegistry::default()),
             split_size: DEFAULT_SPLIT_SIZE,
+            metrics: None,
         }
     }
 }
@@ -201,6 +216,14 @@ impl RecordStoreBuilder {
         self
     }
 
+    /// Metrics block this store reports into (record fetches and friends).
+    /// Defaults to the database-wide block reachable from the transaction;
+    /// supply a dedicated block to isolate one store's counts.
+    pub fn metrics(mut self, metrics: rl_fdb::metrics::SharedMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Open the store, creating it or catching it up to `metadata` as
     /// needed (§5 metadata management).
     pub fn open_or_create<'a>(
@@ -216,6 +239,7 @@ impl RecordStoreBuilder {
             serializer: self.serializer,
             registry: self.registry,
             split_size: self.split_size,
+            metrics: self.metrics.unwrap_or_else(|| tx.metrics().clone()),
         };
         store.check_version()?;
         Ok(store)
@@ -231,6 +255,7 @@ pub struct RecordStore<'a> {
     serializer: Arc<dyn RecordSerializer>,
     registry: Arc<IndexRegistry>,
     split_size: usize,
+    metrics: rl_fdb::metrics::SharedMetrics,
 }
 
 impl<'a> RecordStore<'a> {
@@ -265,6 +290,28 @@ impl<'a> RecordStore<'a> {
         &self.registry
     }
 
+    /// The metrics block this store reports logical events into (record
+    /// fetches, in particular — covering index scans perform none).
+    pub fn metrics(&self) -> &rl_fdb::metrics::SharedMetrics {
+        &self.metrics
+    }
+
+    /// Cheap copy of this handle for cursors that outlive the store
+    /// value: shares the transaction, subspace, metadata, serializer,
+    /// registry, and metrics, and skips the open-time version check the
+    /// original already performed.
+    pub fn clone_handle(&self) -> RecordStore<'a> {
+        RecordStore {
+            tx: self.tx,
+            subspace: self.subspace.clone(),
+            metadata: self.metadata,
+            serializer: self.serializer.clone(),
+            registry: self.registry.clone(),
+            split_size: self.split_size,
+            metrics: self.metrics.clone(),
+        }
+    }
+
     fn header_key(&self) -> Vec<u8> {
         self.subspace.pack(&Tuple::new().push(HEADER))
     }
@@ -287,6 +334,70 @@ impl<'a> RecordStore<'a> {
     /// Subspace recording online-build progress for an index.
     pub fn index_range_subspace(&self, index: &Index) -> Subspace {
         self.subspace.child(INDEX_RANGES).child(index.name.as_str())
+    }
+
+    /// Subspace holding persistent statistics (record and index entry
+    /// counts, maintained with atomic ADD mutations).
+    fn stats_subspace(&self) -> Subspace {
+        self.subspace.child(INDEX_STATS)
+    }
+
+    fn record_count_key(&self) -> Vec<u8> {
+        self.stats_subspace().pack(&Tuple::new().push(STAT_RECORDS))
+    }
+
+    fn index_entry_count_key(&self, index_name: &str) -> Vec<u8> {
+        self.stats_subspace()
+            .pack(&Tuple::new().push(STAT_INDEX_ENTRIES).push(index_name))
+    }
+
+    /// Fold a delta into a statistics counter with a conflict-free atomic
+    /// ADD (little-endian i64 operand).
+    fn bump_stat(&self, key: &[u8], delta: i64) -> Result<()> {
+        if delta != 0 {
+            self.tx
+                .mutate(MutationType::Add, key, &delta.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn read_stat(&self, key: &[u8]) -> Result<Option<u64>> {
+        // Snapshot read: statistics are advisory, and planning must not
+        // add read conflicts on hot counter keys.
+        match self.tx.get_snapshot(key)? {
+            None => Ok(None),
+            Some(bytes) => {
+                let mut buf = [0u8; 8];
+                let n = bytes.len().min(8);
+                buf[..n].copy_from_slice(&bytes[..n]);
+                Ok(Some(i64::from_le_bytes(buf).max(0) as u64))
+            }
+        }
+    }
+
+    /// The maintained count of records in this store, if statistics exist
+    /// (stores written before statistics were introduced report `None`).
+    pub fn record_count_estimate(&self) -> Result<Option<u64>> {
+        self.read_stat(&self.record_count_key())
+    }
+
+    /// The maintained count of entries in an index, if statistics exist.
+    pub fn index_entry_count(&self, index_name: &str) -> Result<Option<u64>> {
+        self.metadata.index(index_name)?;
+        self.read_stat(&self.index_entry_count_key(index_name))
+    }
+
+    /// Overwrite an index's entry-count statistic with an exact value
+    /// (the online index builder recounts after a backfill, since writes
+    /// racing the build can double-count in the additive counter).
+    pub fn set_index_entry_count(&self, index_name: &str, count: u64) -> Result<()> {
+        self.metadata.index(index_name)?;
+        self.tx
+            .try_set(
+                &self.index_entry_count_key(index_name),
+                &(count as i64).to_le_bytes(),
+            )
+            .map_err(Error::Fdb)
     }
 
     // ------------------------------------------------------------- header
@@ -377,6 +488,7 @@ impl<'a> RecordStore<'a> {
                 let range_sub = self.subspace.child(INDEX_RANGES).child(name);
                 let (rb, re) = range_sub.range_inclusive();
                 self.tx.clear_range(&rb, &re);
+                self.tx.clear(&self.index_entry_count_key(name));
                 self.tx.clear(&kv.key);
             }
         }
@@ -467,6 +579,9 @@ impl<'a> RecordStore<'a> {
         };
 
         self.update_indexes(old.as_ref(), Some(&new))?;
+        if old.is_none() {
+            self.bump_stat(&self.record_count_key(), 1)?;
+        }
 
         // Replace the old payload: a range clear is necessary since the old
         // record may have been split across multiple keys (§6).
@@ -551,6 +666,9 @@ impl<'a> RecordStore<'a> {
             return Ok(None);
         }
         let (record_type, message) = self.deserialize_record(&payload)?;
+        // Every record materialized from the record subspace counts as a
+        // fetch; covering index scans bypass this path entirely.
+        self.metrics.add_record_fetch();
         Ok(Some(StoredRecord {
             primary_key: primary_key.clone(),
             record_type,
@@ -567,6 +685,7 @@ impl<'a> RecordStore<'a> {
             return Ok(false);
         };
         self.update_indexes(Some(&old), None)?;
+        self.bump_stat(&self.record_count_key(), -1)?;
         let rec_sub = self.records_subspace().subspace(primary_key);
         let (begin, end) = rec_sub.range_inclusive();
         self.tx.clear_range(&begin, &end);
@@ -580,6 +699,7 @@ impl<'a> RecordStore<'a> {
             self.records_subspace(),
             self.subspace.child(INDEXES),
             self.subspace.child(INDEX_RANGES),
+            self.stats_subspace(),
         ] {
             let (begin, end) = sub.range_inclusive();
             self.tx.clear_range(&begin, &end);
@@ -619,9 +739,11 @@ impl<'a> RecordStore<'a> {
                 subspace: self.index_subspace(index),
                 metadata: self.metadata,
             };
-            self.registry
+            let delta = self
+                .registry
                 .maintainer(index)?
                 .update(&ctx, old_in, new_in)?;
+            self.bump_stat(&self.index_entry_count_key(&index.name), delta)?;
         }
         Ok(())
     }
@@ -635,9 +757,11 @@ impl<'a> RecordStore<'a> {
             subspace: self.index_subspace(index),
             metadata: self.metadata,
         };
-        self.registry
+        let delta = self
+            .registry
             .maintainer(index)?
-            .update(&ctx, None, Some(record))
+            .update(&ctx, None, Some(record))?;
+        self.bump_stat(&self.index_entry_count_key(&index.name), delta)
     }
 
     /// Clear one index's data (before a rebuild).
@@ -648,6 +772,7 @@ impl<'a> RecordStore<'a> {
         let ranges = self.index_range_subspace(index);
         let (begin, end) = ranges.range_inclusive();
         self.tx.clear_range(&begin, &end);
+        self.tx.clear(&self.index_entry_count_key(&index.name));
         Ok(())
     }
 
@@ -785,6 +910,7 @@ struct RecordStoreRef<'a> {
     serializer: Arc<dyn RecordSerializer>,
     registry: Arc<IndexRegistry>,
     split_size: usize,
+    metrics: rl_fdb::metrics::SharedMetrics,
 }
 
 impl<'a> RecordStoreRef<'a> {
@@ -796,6 +922,7 @@ impl<'a> RecordStoreRef<'a> {
             serializer: store.serializer.clone(),
             registry: store.registry.clone(),
             split_size: store.split_size,
+            metrics: store.metrics.clone(),
         }
     }
 
@@ -807,6 +934,7 @@ impl<'a> RecordStoreRef<'a> {
             serializer: self.serializer.clone(),
             registry: self.registry.clone(),
             split_size: self.split_size,
+            metrics: self.metrics.clone(),
         }
     }
 }

@@ -405,7 +405,7 @@ impl ReadVersionCache {
     pub fn observe(&self, db: &Database, version: u64) {
         let now = db.clock_ms();
         let mut st = lock(&self.state);
-        if st.map_or(true, |(v, _)| version >= v) {
+        if st.is_none_or(|(v, _)| version >= v) {
             *st = Some((version, now));
         }
     }

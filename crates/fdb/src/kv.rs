@@ -68,6 +68,7 @@ impl KeySelector {
     }
 
     /// Shift this selector by `n` keys (positive = later keys).
+    #[allow(clippy::should_implement_trait)] // FDB binding API name
     pub fn add(mut self, n: i32) -> Self {
         self.offset += n;
         self

@@ -30,6 +30,9 @@ pub struct Metrics {
     pub commits_succeeded: AtomicU64,
     /// Commits rejected with a conflict (error 1020).
     pub conflicts: AtomicU64,
+    /// Record fetches: reads that load record payloads from a record
+    /// store's record subspace (covering index scans perform zero).
+    pub record_fetches: AtomicU64,
 }
 
 /// Shared handle to a metrics block.
@@ -58,6 +61,12 @@ impl Metrics {
         self.range_clears.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one record fetch (a read of record payload keys). Incremented
+    /// by the record layer, not by the key-value substrate itself.
+    pub fn add_record_fetch(&self) {
+        self.record_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn record_commit(&self, succeeded: bool, conflicted: bool) {
         self.commits_attempted.fetch_add(1, Ordering::Relaxed);
         if succeeded {
@@ -80,6 +89,7 @@ impl Metrics {
             commits_attempted: self.commits_attempted.load(Ordering::Relaxed),
             commits_succeeded: self.commits_succeeded.load(Ordering::Relaxed),
             conflicts: self.conflicts.load(Ordering::Relaxed),
+            record_fetches: self.record_fetches.load(Ordering::Relaxed),
         }
     }
 
@@ -94,6 +104,7 @@ impl Metrics {
         self.commits_attempted.store(0, Ordering::Relaxed);
         self.commits_succeeded.store(0, Ordering::Relaxed);
         self.conflicts.store(0, Ordering::Relaxed);
+        self.record_fetches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -109,6 +120,7 @@ pub struct MetricsSnapshot {
     pub commits_attempted: u64,
     pub commits_succeeded: u64,
     pub conflicts: u64,
+    pub record_fetches: u64,
 }
 
 impl MetricsSnapshot {
@@ -124,6 +136,7 @@ impl MetricsSnapshot {
             commits_attempted: self.commits_attempted - earlier.commits_attempted,
             commits_succeeded: self.commits_succeeded - earlier.commits_succeeded,
             conflicts: self.conflicts - earlier.conflicts,
+            record_fetches: self.record_fetches - earlier.record_fetches,
         }
     }
 }

@@ -33,7 +33,7 @@ impl VersionedStore {
     /// in nondecreasing order, which the commit pipeline guarantees.
     pub fn write(&mut self, key: Vec<u8>, value: Option<Vec<u8>>, version: u64) {
         let versions = self.map.entry(key).or_default();
-        debug_assert!(versions.last().map_or(true, |v| v.version <= version));
+        debug_assert!(versions.last().is_none_or(|v| v.version <= version));
         if let Some(last) = versions.last_mut() {
             if last.version == version {
                 last.value = value;

@@ -139,6 +139,13 @@ impl Transaction {
         self.read_version
     }
 
+    /// The database-wide instrumentation counters, so layers above the
+    /// key-value substrate can report logical events (e.g. record fetches)
+    /// into the same metrics block the substrate tallies key traffic into.
+    pub fn metrics(&self) -> &crate::metrics::SharedMetrics {
+        self.db.metrics()
+    }
+
     /// The commit version, available after a successful commit.
     pub fn committed_version(&self) -> Option<u64> {
         self.state.lock().unwrap().commit_version

@@ -402,7 +402,7 @@ fn encode_int(i: i64, out: &mut Vec<u8>) {
         return;
     }
     if i > 0 {
-        let n = (64 - i.leading_zeros() as usize + 7) / 8;
+        let n = (64 - i.leading_zeros() as usize).div_ceil(8);
         out.push(INT_ZERO_CODE + n as u8);
         out.extend_from_slice(&i.to_be_bytes()[8 - n..]);
     } else {
@@ -413,7 +413,7 @@ fn encode_int(i: i64, out: &mut Vec<u8>) {
         } else {
             (-i) as u64
         };
-        let n = ((64 - mag.leading_zeros() as usize) + 7) / 8;
+        let n = (64 - mag.leading_zeros() as usize).div_ceil(8);
         let max_v = if n == 8 {
             u64::MAX
         } else {

@@ -1,8 +1,8 @@
-//! Planner behaviour across the stack: index selection, unions,
-//! intersections, sort rules, text scans, and continuation-resumable plan
-//! execution.
+//! Planner behaviour across the stack: cost-based index selection, covering
+//! scans, unions, streaming intersections, sort rules, text scans, and
+//! continuation-resumable plan execution.
 
-use record_layer::cursor::{Continuation, ExecuteProperties};
+use record_layer::cursor::{Continuation, CursorResult, ExecuteProperties, NoNextReason};
 use record_layer::expr::KeyExpression;
 use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
 use record_layer::plan::{BoxedCursorExt, RecordQueryPlan, RecordQueryPlanner};
@@ -344,6 +344,373 @@ fn plan_execution_resumes_from_continuation() {
     for id in &first_ids {
         assert!(!rest_ids.contains(id), "resumed page must not repeat {id}");
     }
+}
+
+/// Regression for the pre-cost-model heuristic (`children.len() * 2`):
+/// with equality conjuncts on color, size, and name, the old planner
+/// scored a 3-way intersection (6) above the compound by_color_size scan
+/// (4) and buffered three whole index branches. The cost model knows the
+/// compound index's equality prefix narrows the scan far more than the
+/// union of three broad single-column scans, and picks the compound scan
+/// with the name predicate as residual.
+#[test]
+fn cost_model_prefers_compound_index_over_intersection() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::field("color", Comparison::Equals("red".into())),
+            QueryComponent::field("size", Comparison::Equals(6i64.into())),
+            QueryComponent::field("name", Comparison::Equals("item-006".into())),
+        ]));
+
+    // Without statistics (default cardinalities) …
+    let planner = RecordQueryPlanner::new(&md);
+    let plan = planner.plan(&query).unwrap();
+    assert_eq!(plan.describe(), "Filter(IndexScan(by_color_size))");
+
+    // … and with live statistics read from the store.
+    let plan_with_stats = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        let planner = RecordQueryPlanner::new(&md).with_statistics(&store);
+        planner.plan(&query)
+    })
+    .unwrap();
+    assert_eq!(
+        plan_with_stats.describe(),
+        "Filter(IndexScan(by_color_size))"
+    );
+
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(ids, vec![6]);
+}
+
+/// Conflicting or redundant bounds on one column: the scan keeps the first
+/// sargable bound per slot and re-checks the rest as residual. (A later
+/// bound used to silently replace an earlier *consumed* one, returning
+/// rows that failed the dropped predicate.)
+#[test]
+fn redundant_range_conjuncts_stay_in_residual() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+
+    // size > 8 first, then the looser size > 5: the loose bound must not
+    // widen the scan without being re-checked.
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::field("size", Comparison::GreaterThan(8i64.into())),
+            QueryComponent::field("size", Comparison::GreaterThan(5i64.into())),
+        ]));
+    let plan = planner.plan(&query).unwrap();
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(ids, vec![9, 19, 29, 39, 49, 59], "only size == 9 matches");
+
+    // A string prefix mixed with a range on the same column: one becomes
+    // the bounds, the other stays residual.
+    let query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::and(vec![
+            QueryComponent::field("name", Comparison::StartsWith("item-0".into())),
+            QueryComponent::field(
+                "name",
+                Comparison::GreaterThanOrEquals("item-03".to_string().into()),
+            ),
+        ]));
+    let plan = planner.plan(&query).unwrap();
+    let ids = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(ids, (30..60).collect::<Vec<i64>>());
+}
+
+/// The store's write path maintains per-index entry counts and a record
+/// count with atomic ADD mutations; the planner reads them as statistics.
+#[test]
+fn persistent_statistics_track_writes() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        assert_eq!(store.record_count_estimate()?, Some(60));
+        assert_eq!(store.index_entry_count("by_color")?, Some(60));
+        // by_tag fans out: one entry per tag (60 base + 30 "even").
+        assert_eq!(store.index_entry_count("by_tag")?, Some(90));
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        store.delete_record(&rl_fdb::tuple::Tuple::from((0i64,)))?;
+        Ok(())
+    })
+    .unwrap();
+    record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        assert_eq!(store.record_count_estimate()?, Some(59));
+        assert_eq!(store.index_entry_count("by_color")?, Some(59));
+        // Record 0 carried "tag0" and "even".
+        assert_eq!(store.index_entry_count("by_tag")?, Some(88));
+        Ok(())
+    })
+    .unwrap();
+}
+
+/// A query whose required fields are covered by the index key plus the
+/// primary key executes with zero record-subspace reads.
+#[test]
+fn covering_scan_performs_zero_record_fetches() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+
+    let covered_query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field(
+            "color",
+            Comparison::Equals("red".into()),
+        ))
+        .require_fields(&["id", "color"]);
+    let covering = planner.plan(&covered_query).unwrap();
+    assert_eq!(covering.describe(), "Covering(IndexScan(by_color))");
+
+    let before = db.metrics().snapshot();
+    let records = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        covering.execute_all(&store)
+    })
+    .unwrap();
+    let delta = db.metrics().snapshot().delta(&before);
+    assert_eq!(
+        delta.record_fetches, 0,
+        "covering scan must not read the record subspace"
+    );
+    assert_eq!(records.len(), 20);
+    for rec in &records {
+        assert_eq!(
+            rec.message.get("color").and_then(Value::as_str),
+            Some("red")
+        );
+        let id = rec.message.get("id").and_then(Value::as_i64).unwrap();
+        assert_eq!(id % 3, 0, "red items have id % 3 == 0");
+        assert_eq!(rec.primary_key.get(0).unwrap().as_int(), Some(id));
+    }
+
+    // The same filter without a projection fetches every record.
+    let fetching_query = RecordQuery::new()
+        .record_type("Item")
+        .filter(QueryComponent::field(
+            "color",
+            Comparison::Equals("red".into()),
+        ));
+    let fetching = planner.plan(&fetching_query).unwrap();
+    assert_eq!(fetching.describe(), "IndexScan(by_color)");
+    let before = db.metrics().snapshot();
+    let fetched = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        fetching.execute_all(&store)
+    })
+    .unwrap();
+    let delta = db.metrics().snapshot().delta(&before);
+    assert_eq!(fetched.len(), 20);
+    assert!(delta.record_fetches >= 20, "index fetch reads every record");
+}
+
+/// Step a plan one record at a time capturing each continuation, then
+/// re-execute from every one of them and check the tail completes the
+/// exact one-shot result — no duplicated and no dropped primary keys.
+fn assert_resumable_everywhere(
+    db: &Database,
+    md: &RecordMetaData,
+    sub: &Subspace,
+    plan: &RecordQueryPlan,
+) {
+    let stepped: Vec<(i64, Continuation)> = record_layer::run(db, |tx| {
+        let store = RecordStore::open_or_create(tx, sub, md)?;
+        let mut cursor = plan.execute(&store, &Continuation::Start, &ExecuteProperties::new())?;
+        let mut out = Vec::new();
+        loop {
+            match cursor.next()? {
+                CursorResult::Next {
+                    value,
+                    continuation,
+                } => out.push((
+                    value.primary_key.get(0).unwrap().as_int().unwrap(),
+                    continuation,
+                )),
+                CursorResult::NoNext { .. } => break,
+            }
+        }
+        Ok(out)
+    })
+    .unwrap();
+    let full: Vec<i64> = stepped.iter().map(|(id, _)| *id).collect();
+    assert!(!full.is_empty());
+
+    for (k, (_, cont)) in stepped.iter().enumerate() {
+        let rest = record_layer::run(db, |tx| {
+            let store = RecordStore::open_or_create(tx, sub, md)?;
+            let mut cursor = plan.execute(&store, cont, &ExecuteProperties::new())?;
+            let (recs, _, _) = cursor.collect_remaining_boxed()?;
+            Ok(recs
+                .iter()
+                .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+                .collect::<Vec<i64>>())
+        })
+        .unwrap();
+        let mut combined = full[..=k].to_vec();
+        combined.extend(&rest);
+        assert_eq!(
+            combined, full,
+            "resume after row {k} must complete the stream exactly"
+        );
+    }
+}
+
+#[test]
+fn union_resumes_at_every_intermediate_continuation() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let plan = planner
+        .plan(
+            &RecordQuery::new()
+                .record_type("Item")
+                .filter(QueryComponent::or(vec![
+                    QueryComponent::field("color", Comparison::Equals("red".into())),
+                    QueryComponent::field("size", Comparison::Equals(0i64.into())),
+                ])),
+        )
+        .unwrap();
+    assert!(plan.describe().starts_with("Union("), "{}", plan.describe());
+    assert_resumable_everywhere(&db, &md, &sub, &plan);
+}
+
+#[test]
+fn intersection_resumes_at_every_intermediate_continuation() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let plan = planner
+        .plan(
+            &RecordQuery::new()
+                .record_type("Item")
+                .filter(QueryComponent::and(vec![
+                    QueryComponent::one_of_them("tags", Comparison::Equals("even".into())),
+                    QueryComponent::field("color", Comparison::Equals("red".into())),
+                ])),
+        )
+        .unwrap();
+    assert!(
+        plan.describe().starts_with("Intersection("),
+        "{}",
+        plan.describe()
+    );
+    // red (id % 3 == 0) ∩ even (id % 2 == 0) = id % 6 == 0 → 10 ids.
+    assert_resumable_everywhere(&db, &md, &sub, &plan);
+}
+
+/// The paper's resumability contract: a scan limit interrupting an
+/// intersection produces a continuation, not an error (the old buffered
+/// execution returned `Error::Unplannable` here), and resuming page by
+/// page reproduces the one-shot result exactly.
+#[test]
+fn intersection_interrupted_by_scan_limit_resumes_and_completes() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let plan = planner
+        .plan(
+            &RecordQuery::new()
+                .record_type("Item")
+                .filter(QueryComponent::and(vec![
+                    QueryComponent::one_of_them("tags", Comparison::Equals("even".into())),
+                    QueryComponent::field("color", Comparison::Equals("red".into())),
+                ])),
+        )
+        .unwrap();
+    let one_shot = run_plan(&db, &md, &sub, &plan);
+    assert_eq!(one_shot.len(), 10);
+
+    let mut paged: Vec<i64> = Vec::new();
+    let mut continuation = Continuation::Start;
+    let mut limited_pages = 0usize;
+    loop {
+        let (ids, reason, cont) = record_layer::run(&db, |tx| {
+            let store = RecordStore::open_or_create(tx, &sub, &md)?;
+            let mut cursor = plan.execute(
+                &store,
+                &continuation,
+                &ExecuteProperties::new().with_scan_limit(7),
+            )?;
+            let (recs, reason, cont) = cursor.collect_remaining_boxed()?;
+            Ok((
+                recs.iter()
+                    .map(|r| r.primary_key.get(0).unwrap().as_int().unwrap())
+                    .collect::<Vec<i64>>(),
+                reason,
+                cont,
+            ))
+        })
+        .unwrap();
+        paged.extend(ids);
+        match reason {
+            NoNextReason::SourceExhausted => break,
+            NoNextReason::ScanLimitReached => {
+                limited_pages += 1;
+                continuation = cont;
+            }
+            other => panic!("unexpected stop reason {other:?}"),
+        }
+        assert!(limited_pages < 1000, "no forward progress across pages");
+    }
+    assert!(limited_pages > 0, "scan limit never fired; weak test");
+    assert_eq!(paged, one_shot);
+}
+
+/// explain() renders the plan tree annotated with estimated costs, and a
+/// statistics-backed model produces different (actual-cardinality) numbers.
+#[test]
+fn explain_annotates_costs_from_statistics() {
+    let db = Database::new();
+    let md = metadata();
+    let sub = seed(&db, &md);
+    let planner = RecordQueryPlanner::new(&md);
+    let plan = planner
+        .plan(
+            &RecordQuery::new()
+                .record_type("Item")
+                .filter(QueryComponent::and(vec![
+                    QueryComponent::one_of_them("tags", Comparison::Equals("even".into())),
+                    QueryComponent::field("name", Comparison::Equals("item-004".into())),
+                ])),
+        )
+        .unwrap();
+    let default_explain = plan.explain();
+    assert!(
+        default_explain.starts_with("Intersection [rows~"),
+        "{default_explain}"
+    );
+    assert!(default_explain.contains("IndexScan("), "{default_explain}");
+
+    let stats_explain = record_layer::run(&db, |tx| {
+        let store = RecordStore::open_or_create(tx, &sub, &md)?;
+        Ok(plan.explain_with(&record_layer::plan::CostModel::with_statistics(&store)))
+    })
+    .unwrap();
+    assert_ne!(
+        default_explain, stats_explain,
+        "statistics must change the estimates"
+    );
+    // describe() survives unchanged for terse assertions.
+    assert!(plan.describe().starts_with("Intersection("));
 }
 
 #[test]
