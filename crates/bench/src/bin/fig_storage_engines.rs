@@ -1,0 +1,205 @@
+//! FIG_STORAGE — disk-backed storage engine experiments.
+//!
+//! Three measurements over the paged engine (buffer pool + CoW B-tree +
+//! WAL), with the in-memory engine as the speed-of-light baseline:
+//!
+//! 1. **Cold vs warm full scans.** A freshly opened engine pulls every
+//!    page from disk; the second scan runs out of the buffer pool (when
+//!    it fits).
+//! 2. **Zipfian point-get throughput** per eviction policy (LRU, Clock,
+//!    SIEVE) at several pool sizes, reporting ops/s.
+//! 3. **Buffer-pool hit rate** for the same runs — the figure that
+//!    separates the policies once the pool is smaller than the hot set.
+//!
+//! Emits `BENCH_storage.json` and prints a table.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rl_bench::rng::XorShift64;
+use rl_bench::Zipf;
+use rl_storage::{
+    EvictionPolicy, IoCounters, MemoryEngine, PagedEngine, SharedIoCounters, StorageEngine,
+};
+
+const N_KEYS: usize = 20_000;
+const VALUE_BYTES: usize = 100;
+const POINT_GETS: usize = 30_000;
+const ZIPF_S: f64 = 1.1;
+const POOL_SIZES: [usize; 3] = [64, 256, 4096];
+const VERSION: u64 = 10;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key-{i:06}").into_bytes()
+}
+
+fn value(i: usize) -> Vec<u8> {
+    let mut v = format!("value-{i:06}-").into_bytes();
+    v.resize(VALUE_BYTES, b'x');
+    v
+}
+
+/// Populate an engine with the benchmark dataset in committed batches.
+fn load(engine: &mut dyn StorageEngine) {
+    for chunk in (0..N_KEYS).collect::<Vec<_>>().chunks(500) {
+        for &i in chunk {
+            engine.write(key(i), Some(value(i)), VERSION);
+        }
+        engine.commit_batch();
+    }
+    engine.flush();
+}
+
+fn full_scan(engine: &mut dyn StorageEngine) -> (usize, f64) {
+    let start = Instant::now();
+    let rows = engine.range(b"", &[0xFF], VERSION, false).len();
+    (rows, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Zipfian point gets; returns (ops/s, buffer-pool hit rate).
+fn point_gets(engine: &mut dyn StorageEngine, io: &SharedIoCounters) -> (f64, f64) {
+    let zipf = Zipf::new(N_KEYS, ZIPF_S);
+    let mut rng = XorShift64::seed_from_u64(0xF165_0000 ^ 0x5707_A6E5);
+    // Warm-up pass so the pool reflects the steady-state working set.
+    for _ in 0..POINT_GETS / 4 {
+        let i = zipf.sample(&mut rng) - 1;
+        assert!(engine.get(&key(i), VERSION).is_some());
+    }
+    let before = io.snapshot();
+    let start = Instant::now();
+    for _ in 0..POINT_GETS {
+        let i = zipf.sample(&mut rng) - 1;
+        assert!(engine.get(&key(i), VERSION).is_some());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let delta = io.snapshot().delta(&before);
+    (POINT_GETS as f64 / elapsed, delta.hit_rate())
+}
+
+struct PagedRun {
+    policy: &'static str,
+    pool_pages: usize,
+    cold_scan_ms: f64,
+    warm_scan_ms: f64,
+    gets_per_s: f64,
+    hit_rate: f64,
+    file_pages: u32,
+}
+
+fn bench_paged(dir: &PathBuf, pool_pages: usize, policy: EvictionPolicy) -> PagedRun {
+    let _ = std::fs::remove_dir_all(dir);
+    let io = IoCounters::new_shared();
+    {
+        let mut engine = PagedEngine::open(dir, pool_pages, policy, io.clone()).unwrap();
+        load(&mut engine);
+    } // drop checkpoints; reopening below starts with an empty (cold) pool
+
+    let mut engine = PagedEngine::open(dir, pool_pages, policy, io.clone()).unwrap();
+    let (rows, cold_scan_ms) = full_scan(&mut engine);
+    assert_eq!(rows, N_KEYS);
+    let (rows, warm_scan_ms) = full_scan(&mut engine);
+    assert_eq!(rows, N_KEYS);
+    let (gets_per_s, hit_rate) = point_gets(&mut engine, &io);
+    let file_pages = {
+        // `describe()` is the diagnostic surface; parse the page count out.
+        let desc = engine.describe();
+        desc.split("file_pages=")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    };
+    drop(engine);
+    let _ = std::fs::remove_dir_all(dir);
+    PagedRun {
+        policy: policy.name(),
+        pool_pages,
+        cold_scan_ms,
+        warm_scan_ms,
+        gets_per_s,
+        hit_rate,
+        file_pages,
+    }
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("rl-bench-storage-{}", std::process::id()));
+
+    // Baseline: the in-memory engine on the same workload.
+    let mut memory = MemoryEngine::new();
+    load(&mut memory);
+    let io_mem = IoCounters::new_shared();
+    let (_, mem_scan_ms) = full_scan(&mut memory);
+    let (mem_gets_per_s, _) = point_gets(&mut memory, &io_mem);
+
+    let mut runs: Vec<PagedRun> = Vec::new();
+    for policy in EvictionPolicy::ALL {
+        for pool_pages in POOL_SIZES {
+            let dir = base.join(format!("{}-{pool_pages}", policy.name()));
+            runs.push(bench_paged(&dir, pool_pages, policy));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!(
+        "# FIG_STORAGE: {N_KEYS} keys x {VALUE_BYTES} B, zipf(s={ZIPF_S}) x {POINT_GETS} gets"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>13} {:>13} {:>12} {:>10}",
+        "policy",
+        "pool_pages",
+        "cold_scan_ms",
+        "warm_scan_ms",
+        "gets_per_s",
+        "hit_rate",
+        "file_pages"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>13} {:>13.0} {:>12} {:>10}",
+        "memory",
+        "-",
+        "-",
+        format!("{mem_scan_ms:.1}"),
+        mem_gets_per_s,
+        "-",
+        "-"
+    );
+    for r in &runs {
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>13.1} {:>13.0} {:>12.4} {:>10}",
+            r.policy,
+            r.pool_pages,
+            r.cold_scan_ms,
+            r.warm_scan_ms,
+            r.gets_per_s,
+            r.hit_rate,
+            r.file_pages
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"n_keys\": {N_KEYS},\n  \"value_bytes\": {VALUE_BYTES},\n  \"point_gets\": {POINT_GETS},\n  \"zipf_s\": {ZIPF_S},\n"
+    ));
+    json.push_str(&format!(
+        "  \"memory\": {{\"scan_ms\": {mem_scan_ms:.2}, \"gets_per_s\": {mem_gets_per_s:.0}}},\n"
+    ));
+    json.push_str("  \"paged\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"pool_pages\": {}, \"cold_scan_ms\": {:.2}, \"warm_scan_ms\": {:.2}, \"gets_per_s\": {:.0}, \"hit_rate\": {:.4}, \"file_pages\": {}}}{}\n",
+            r.policy,
+            r.pool_pages,
+            r.cold_scan_ms,
+            r.warm_scan_ms,
+            r.gets_per_s,
+            r.hit_rate,
+            r.file_pages,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    println!("\nwrote BENCH_storage.json");
+}

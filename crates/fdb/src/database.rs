@@ -2,13 +2,16 @@
 //! management, logical clock, and read-version caching.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use rl_storage::SharedIoCounters;
 
 use crate::atomic;
 use crate::error::{Error, Result};
 use crate::metrics::{Metrics, SharedMetrics};
-use crate::storage::VersionedStore;
+use crate::storage::{EvictionPolicy, MemoryEngine, PagedEngine, StorageEngine};
 use crate::transaction::{Command, Transaction};
 
 /// FoundationDB's documented key size limit (10 kB).
@@ -22,6 +25,46 @@ pub const TRANSACTION_TIME_LIMIT_MS: u64 = 5_000;
 /// FoundationDB advances ~1,000,000 versions per second of wall time.
 pub const VERSIONS_PER_MS: u64 = 1_000;
 
+/// Which storage engine backs the simulated cluster.
+#[derive(Debug, Clone, Default)]
+pub enum EngineKind {
+    /// The original ordered in-memory multi-version map.
+    #[default]
+    InMemory,
+    /// Disk-backed engine: buffer pool + copy-on-write B-tree + WAL.
+    Paged(PagedConfig),
+}
+
+/// Configuration for the disk-backed engine.
+#[derive(Debug, Clone)]
+pub struct PagedConfig {
+    /// Directory holding the page file and WAL (created if missing).
+    pub path: PathBuf,
+    /// Buffer pool capacity in 4 kB pages (minimum 4).
+    pub pool_pages: usize,
+    /// Buffer-pool eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Delete `path` when the database is dropped. Set for the ephemeral
+    /// engines `RL_ENGINE=paged` conjures under the OS temp directory;
+    /// leave unset to keep a database across processes.
+    pub remove_dir_on_drop: bool,
+}
+
+impl PagedConfig {
+    /// An ephemeral on-disk engine under the OS temp directory, removed
+    /// when the database is dropped. Each call gets a distinct directory.
+    pub fn ephemeral(eviction: EvictionPolicy) -> PagedConfig {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        PagedConfig {
+            path: std::env::temp_dir().join(format!("rl-paged-{}-{n}", std::process::id())),
+            pool_pages: 256,
+            eviction,
+            remove_dir_on_drop: true,
+        }
+    }
+}
+
 /// Tunable limits; defaults match FoundationDB's production limits.
 #[derive(Debug, Clone)]
 pub struct DatabaseOptions {
@@ -32,6 +75,11 @@ pub struct DatabaseOptions {
     pub mvcc_window_versions: u64,
     /// Compact shadowed MVCC versions every N commits.
     pub compaction_interval: u64,
+    /// Storage engine. The default honours the `RL_ENGINE` environment
+    /// variable (`memory`, `paged`, or `paged:<lru|clock|sieve>`; the
+    /// paged forms use an ephemeral temp directory), so the whole test
+    /// suite can be re-run against the disk engine without code changes.
+    pub engine: EngineKind,
 }
 
 impl Default for DatabaseOptions {
@@ -41,6 +89,42 @@ impl Default for DatabaseOptions {
             transaction_time_limit_ms: TRANSACTION_TIME_LIMIT_MS,
             mvcc_window_versions: 5_000 * VERSIONS_PER_MS,
             compaction_interval: 256,
+            engine: engine_from_env(),
+        }
+    }
+}
+
+/// Resolve `RL_ENGINE` into an engine selection (default: in-memory).
+fn engine_from_env() -> EngineKind {
+    let Ok(value) = std::env::var("RL_ENGINE") else {
+        return EngineKind::InMemory;
+    };
+    let mut parts = value.splitn(2, ':');
+    match parts.next() {
+        Some("paged") => {
+            let eviction = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .unwrap_or_default();
+            EngineKind::Paged(PagedConfig::ephemeral(eviction))
+        }
+        _ => EngineKind::InMemory,
+    }
+}
+
+/// Instantiate the engine an [`EngineKind`] describes, reporting I/O into
+/// `io`. Returns the directory to delete on drop, when ephemeral.
+fn build_engine(
+    kind: &EngineKind,
+    io: SharedIoCounters,
+) -> (Box<dyn StorageEngine>, Option<PathBuf>) {
+    match kind {
+        EngineKind::InMemory => (Box::new(MemoryEngine::new()), None),
+        EngineKind::Paged(cfg) => {
+            let engine = PagedEngine::open(&cfg.path, cfg.pool_pages, cfg.eviction, io)
+                .unwrap_or_else(|e| panic!("open paged engine at {}: {e}", cfg.path.display()));
+            let cleanup = cfg.remove_dir_on_drop.then(|| cfg.path.clone());
+            (Box::new(engine), cleanup)
         }
     }
 }
@@ -55,12 +139,26 @@ struct CommittedWrites {
 
 #[derive(Debug)]
 struct Inner {
-    store: VersionedStore,
+    store: Box<dyn StorageEngine>,
     window: VecDeque<CommittedWrites>,
     last_commit_version: u64,
     /// Read versions below this fail with `transaction_too_old`.
     oldest_version: u64,
     commits_since_compaction: u64,
+    /// Directory to delete once the engine has shut down (ephemeral paged
+    /// engines only).
+    cleanup_dir: Option<PathBuf>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(dir) = self.cleanup_dir.take() {
+            // Shut the engine down first so its final checkpoint lands
+            // before the directory disappears.
+            self.store = Box::new(MemoryEngine::new());
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 /// Handle to a simulated FoundationDB cluster. Clone freely; all clones
@@ -83,19 +181,27 @@ impl Database {
     }
 
     pub fn with_options(options: DatabaseOptions) -> Self {
+        let metrics = Metrics::new_shared();
+        let (store, cleanup_dir) = build_engine(&options.engine, metrics.io_counters().clone());
         Database {
             inner: Arc::new(Mutex::new(Inner {
-                store: VersionedStore::new(),
+                store,
                 window: VecDeque::new(),
                 last_commit_version: 0,
                 oldest_version: 0,
                 commits_since_compaction: 0,
+                cleanup_dir,
             })),
             options: Arc::new(options),
             clock_ms: Arc::new(AtomicU64::new(0)),
-            metrics: Metrics::new_shared(),
+            metrics,
             grv_calls: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Short description of the storage engine backing this database.
+    pub fn engine_description(&self) -> String {
+        lock(&self.inner).store.describe()
     }
 
     pub fn options(&self) -> &DatabaseOptions {
@@ -182,7 +288,7 @@ impl Database {
     // (crate-internal: used by Transaction for snapshot reads)
 
     pub(crate) fn storage_get(&self, key: &[u8], read_version: u64) -> Result<Option<Vec<u8>>> {
-        let inner = lock(&self.inner);
+        let mut inner = lock(&self.inner);
         if read_version < inner.oldest_version {
             return Err(Error::TransactionTooOld);
         }
@@ -195,7 +301,7 @@ impl Database {
         end: &[u8],
         read_version: u64,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let inner = lock(&self.inner);
+        let mut inner = lock(&self.inner);
         if read_version < inner.oldest_version {
             return Err(Error::TransactionTooOld);
         }
@@ -296,6 +402,10 @@ impl Database {
             }
         }
 
+        // Seal the batch: a crash-safe engine persists everything above
+        // atomically; a crash before this point loses the whole batch.
+        inner.store.commit_batch();
+
         // Record our write conflict ranges for future validations.
         if !write_conflicts.is_empty() {
             inner.window.push_back(CommittedWrites {
@@ -325,8 +435,9 @@ impl Database {
 
     /// Diagnostic: number of live keys at the latest version.
     pub fn live_key_count(&self) -> usize {
-        let inner = lock(&self.inner);
-        inner.store.live_key_count(inner.last_commit_version)
+        let mut inner = lock(&self.inner);
+        let version = inner.last_commit_version;
+        inner.store.live_key_count(version)
     }
 
     /// Diagnostic: latest commit version without counting as a GRV call.
@@ -345,6 +456,7 @@ impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = lock(&self.inner);
         f.debug_struct("Database")
+            .field("engine", &inner.store.describe())
             .field("last_commit_version", &inner.last_commit_version)
             .field("oldest_version", &inner.oldest_version)
             .field("window_len", &inner.window.len())
@@ -596,8 +708,10 @@ mod tests {
 
     #[test]
     fn clock_drives_versions_and_expiry() {
-        let mut opts = DatabaseOptions::default();
-        opts.mvcc_window_versions = 5_000 * VERSIONS_PER_MS;
+        let opts = DatabaseOptions {
+            mvcc_window_versions: 5_000 * VERSIONS_PER_MS,
+            ..DatabaseOptions::default()
+        };
         let db = Database::with_options(opts);
 
         let t_old = db.create_transaction();
@@ -620,8 +734,10 @@ mod tests {
 
     #[test]
     fn transaction_size_limit_enforced() {
-        let mut opts = DatabaseOptions::default();
-        opts.transaction_size_limit = 1_000;
+        let opts = DatabaseOptions {
+            transaction_size_limit: 1_000,
+            ..DatabaseOptions::default()
+        };
         let db = Database::with_options(opts);
         let tx = db.create_transaction();
         for i in 0..20u32 {

@@ -50,10 +50,11 @@ pub mod transaction;
 pub mod tuple;
 pub mod version;
 
-pub use database::{Database, DatabaseOptions};
+pub use database::{Database, DatabaseOptions, EngineKind, PagedConfig};
 pub use error::{Error, Result};
 pub use kv::{KeySelector, KeyValue};
 pub use range::{RangeOptions, StreamingMode};
+pub use storage::{EvictionPolicy, StorageEngine};
 pub use subspace::Subspace;
 pub use transaction::Transaction;
 pub use version::Versionstamp;

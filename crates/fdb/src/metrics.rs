@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use rl_storage::SharedIoCounters;
+
 /// Monotonic counters describing database traffic at the key level.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -33,6 +35,9 @@ pub struct Metrics {
     /// Record fetches: reads that load record payloads from a record
     /// store's record subspace (covering index scans perform zero).
     pub record_fetches: AtomicU64,
+    /// Storage-engine I/O counters (buffer-pool traffic, WAL appends).
+    /// Shared with the engine; stays at zero for the in-memory engine.
+    pub io: SharedIoCounters,
 }
 
 /// Shared handle to a metrics block.
@@ -41,6 +46,11 @@ pub type SharedMetrics = Arc<Metrics>;
 impl Metrics {
     pub fn new_shared() -> SharedMetrics {
         Arc::new(Metrics::default())
+    }
+
+    /// The I/O counter block a storage engine should report into.
+    pub fn io_counters(&self) -> &SharedIoCounters {
+        &self.io
     }
 
     pub fn add_keys_read(&self, n: u64, bytes: u64) {
@@ -90,6 +100,11 @@ impl Metrics {
             commits_succeeded: self.commits_succeeded.load(Ordering::Relaxed),
             conflicts: self.conflicts.load(Ordering::Relaxed),
             record_fetches: self.record_fetches.load(Ordering::Relaxed),
+            page_hits: self.io.page_hits.load(Ordering::Relaxed),
+            page_misses: self.io.page_misses.load(Ordering::Relaxed),
+            page_evictions: self.io.page_evictions.load(Ordering::Relaxed),
+            page_flushes: self.io.page_flushes.load(Ordering::Relaxed),
+            log_appends: self.io.log_appends.load(Ordering::Relaxed),
         }
     }
 
@@ -105,6 +120,7 @@ impl Metrics {
         self.commits_succeeded.store(0, Ordering::Relaxed);
         self.conflicts.store(0, Ordering::Relaxed);
         self.record_fetches.store(0, Ordering::Relaxed);
+        self.io.reset();
     }
 }
 
@@ -121,6 +137,16 @@ pub struct MetricsSnapshot {
     pub commits_succeeded: u64,
     pub conflicts: u64,
     pub record_fetches: u64,
+    /// Buffer-pool requests served from memory (paged engine only).
+    pub page_hits: u64,
+    /// Buffer-pool requests that read the page file.
+    pub page_misses: u64,
+    /// Frames evicted to make room for another page.
+    pub page_evictions: u64,
+    /// Dirty pages written back (evictions + checkpoints).
+    pub page_flushes: u64,
+    /// Committed batch frames appended to the write-ahead log.
+    pub log_appends: u64,
 }
 
 impl MetricsSnapshot {
@@ -137,6 +163,11 @@ impl MetricsSnapshot {
             commits_succeeded: self.commits_succeeded - earlier.commits_succeeded,
             conflicts: self.conflicts - earlier.conflicts,
             record_fetches: self.record_fetches - earlier.record_fetches,
+            page_hits: self.page_hits - earlier.page_hits,
+            page_misses: self.page_misses - earlier.page_misses,
+            page_evictions: self.page_evictions - earlier.page_evictions,
+            page_flushes: self.page_flushes - earlier.page_flushes,
+            log_appends: self.log_appends - earlier.log_appends,
         }
     }
 }

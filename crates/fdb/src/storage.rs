@@ -1,275 +1,13 @@
 //! Multi-version ordered storage: the MVCC heart of the simulator.
 //!
-//! Every committed write is recorded under its commit version; reads at a
-//! read version `v` observe, for each key, the newest write with version
-//! `<= v`. Old versions are garbage-collected once they fall out of the
-//! MVCC window (FoundationDB keeps ~5 seconds of versions; a transaction
-//! whose read version has been collected gets `transaction_too_old`).
+//! The implementation moved to the `rl_storage` crate, which defines the
+//! [`StorageEngine`] trait plus two engines: the original in-memory ordered
+//! map ([`MemoryEngine`], re-exported here under its historical name
+//! `VersionedStore`) and the disk-backed [`PagedEngine`] (buffer pool +
+//! copy-on-write B-tree + write-ahead log). [`crate::DatabaseOptions`]
+//! selects between them.
 
-use std::collections::BTreeMap;
-use std::ops::Bound;
+pub use rl_storage::{EvictionPolicy, MemoryEngine, PagedEngine, StorageEngine};
 
-/// One versioned write to a key: `None` is a tombstone (clear).
-#[derive(Debug, Clone)]
-struct VersionedValue {
-    version: u64,
-    value: Option<Vec<u8>>,
-}
-
-/// Ordered multi-version key-value storage.
-#[derive(Debug, Default)]
-pub struct VersionedStore {
-    map: BTreeMap<Vec<u8>, Vec<VersionedValue>>,
-}
-
-impl VersionedStore {
-    pub fn new() -> Self {
-        VersionedStore {
-            map: BTreeMap::new(),
-        }
-    }
-
-    /// Record a write (set or clear) at `version`. Versions must be applied
-    /// in nondecreasing order, which the commit pipeline guarantees.
-    pub fn write(&mut self, key: Vec<u8>, value: Option<Vec<u8>>, version: u64) {
-        let versions = self.map.entry(key).or_default();
-        debug_assert!(versions.last().is_none_or(|v| v.version <= version));
-        if let Some(last) = versions.last_mut() {
-            if last.version == version {
-                last.value = value;
-                return;
-            }
-        }
-        versions.push(VersionedValue { version, value });
-    }
-
-    /// Clear every key in `[begin, end)` at `version` by writing tombstones.
-    ///
-    /// Tombstoning key-by-key (rather than tracking range tombstones) keeps
-    /// reads simple; the cost is proportional to the number of live keys in
-    /// the range, which matches FDB's own storage-server behaviour closely
-    /// enough for the experiments in this repository.
-    pub fn clear_range(&mut self, begin: &[u8], end: &[u8], version: u64) {
-        let keys: Vec<Vec<u8>> = self
-            .map
-            .range::<[u8], _>((Bound::Included(begin), Bound::Excluded(end)))
-            .filter(|(_, vs)| vs.last().is_some_and(|v| v.value.is_some()))
-            .map(|(k, _)| k.clone())
-            .collect();
-        for k in keys {
-            self.write(k, None, version);
-        }
-    }
-
-    /// Read the value of `key` visible at `read_version`.
-    pub fn get(&self, key: &[u8], read_version: u64) -> Option<Vec<u8>> {
-        let versions = self.map.get(key)?;
-        versions
-            .iter()
-            .rev()
-            .find(|v| v.version <= read_version)
-            .and_then(|v| v.value.clone())
-    }
-
-    /// Iterate keys in `[begin, end)` visible at `read_version`, in order.
-    /// `reverse` walks from the end of the range backwards.
-    pub fn range(
-        &self,
-        begin: &[u8],
-        end: &[u8],
-        read_version: u64,
-        reverse: bool,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let iter = self
-            .map
-            .range::<[u8], _>((Bound::Included(begin), Bound::Excluded(end)));
-        let visible = iter.filter_map(move |(k, versions)| {
-            versions
-                .iter()
-                .rev()
-                .find(|v| v.version <= read_version)
-                .and_then(|v| v.value.as_ref())
-                .map(|val| (k.clone(), val.clone()))
-        });
-        if reverse {
-            let mut v: Vec<_> = visible.collect();
-            v.reverse();
-            v
-        } else {
-            visible.collect()
-        }
-    }
-
-    /// The last key `< key` (or `<= key` with `or_equal`) visible at
-    /// `read_version`. Used for key-selector resolution.
-    pub fn last_less(&self, key: &[u8], or_equal: bool, read_version: u64) -> Option<Vec<u8>> {
-        let bound = if or_equal {
-            Bound::Included(key)
-        } else {
-            Bound::Excluded(key)
-        };
-        self.map
-            .range::<[u8], _>((Bound::Unbounded, bound))
-            .rev()
-            .find(|(_, versions)| {
-                versions
-                    .iter()
-                    .rev()
-                    .find(|v| v.version <= read_version)
-                    .is_some_and(|v| v.value.is_some())
-            })
-            .map(|(k, _)| k.clone())
-    }
-
-    /// The `n`-th visible key strictly after `anchor` (n >= 1), if any.
-    pub fn nth_after(&self, anchor: Option<&[u8]>, n: usize, read_version: u64) -> Option<Vec<u8>> {
-        let lower = match anchor {
-            Some(a) => Bound::Excluded(a),
-            None => Bound::Unbounded,
-        };
-        self.map
-            .range::<[u8], _>((lower, Bound::Unbounded))
-            .filter(|(_, versions)| {
-                versions
-                    .iter()
-                    .rev()
-                    .find(|v| v.version <= read_version)
-                    .is_some_and(|v| v.value.is_some())
-            })
-            .nth(n - 1)
-            .map(|(k, _)| k.clone())
-    }
-
-    /// Drop versions that are no longer visible to any read version
-    /// `>= oldest_version`, and empty entries.
-    pub fn compact(&mut self, oldest_version: u64) {
-        self.map.retain(|_, versions| {
-            // Keep the newest version <= oldest_version (still the visible
-            // base for readers at the horizon) plus everything newer.
-            let split = versions
-                .iter()
-                .rposition(|v| v.version <= oldest_version)
-                .unwrap_or(0);
-            if split > 0 {
-                versions.drain(..split);
-            }
-            // Entry can go entirely once only tombstones at/below the
-            // horizon remain.
-            !(versions.len() == 1
-                && versions[0].value.is_none()
-                && versions[0].version <= oldest_version)
-        });
-    }
-
-    /// Number of live keys at `read_version` (test/diagnostic helper).
-    pub fn live_key_count(&self, read_version: u64) -> usize {
-        self.map
-            .values()
-            .filter(|versions| {
-                versions
-                    .iter()
-                    .rev()
-                    .find(|v| v.version <= read_version)
-                    .is_some_and(|v| v.value.is_some())
-            })
-            .count()
-    }
-
-    /// Total number of (key, version) entries retained (diagnostic).
-    pub fn total_version_entries(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn read_your_version() {
-        let mut s = VersionedStore::new();
-        s.write(b"k".to_vec(), Some(b"v1".to_vec()), 10);
-        s.write(b"k".to_vec(), Some(b"v2".to_vec()), 20);
-        assert_eq!(s.get(b"k", 5), None);
-        assert_eq!(s.get(b"k", 10), Some(b"v1".to_vec()));
-        assert_eq!(s.get(b"k", 15), Some(b"v1".to_vec()));
-        assert_eq!(s.get(b"k", 20), Some(b"v2".to_vec()));
-        assert_eq!(s.get(b"k", 100), Some(b"v2".to_vec()));
-    }
-
-    #[test]
-    fn tombstones_hide_values() {
-        let mut s = VersionedStore::new();
-        s.write(b"k".to_vec(), Some(b"v".to_vec()), 10);
-        s.write(b"k".to_vec(), None, 20);
-        assert_eq!(s.get(b"k", 15), Some(b"v".to_vec()));
-        assert_eq!(s.get(b"k", 25), None);
-    }
-
-    #[test]
-    fn range_respects_versions_and_order() {
-        let mut s = VersionedStore::new();
-        s.write(b"a".to_vec(), Some(b"1".to_vec()), 10);
-        s.write(b"b".to_vec(), Some(b"2".to_vec()), 20);
-        s.write(b"c".to_vec(), Some(b"3".to_vec()), 10);
-        let r = s.range(b"a", b"z", 15, false);
-        assert_eq!(r.len(), 2);
-        assert_eq!(r[0].0, b"a");
-        assert_eq!(r[1].0, b"c");
-        let r = s.range(b"a", b"z", 25, true);
-        assert_eq!(r.len(), 3);
-        assert_eq!(r[0].0, b"c");
-        assert_eq!(r[2].0, b"a");
-    }
-
-    #[test]
-    fn clear_range_tombstones_only_inside() {
-        let mut s = VersionedStore::new();
-        for k in [b"a", b"b", b"c", b"d"] {
-            s.write(k.to_vec(), Some(b"v".to_vec()), 10);
-        }
-        s.clear_range(b"b", b"d", 20);
-        let r = s.range(b"a", b"z", 25, false);
-        let keys: Vec<_> = r.iter().map(|(k, _)| k.clone()).collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"d".to_vec()]);
-        // Old readers still see everything.
-        assert_eq!(s.range(b"a", b"z", 15, false).len(), 4);
-    }
-
-    #[test]
-    fn last_less_and_nth_after() {
-        let mut s = VersionedStore::new();
-        for k in [b"b", b"d", b"f"] {
-            s.write(k.to_vec(), Some(b"v".to_vec()), 10);
-        }
-        assert_eq!(s.last_less(b"d", false, 20), Some(b"b".to_vec()));
-        assert_eq!(s.last_less(b"d", true, 20), Some(b"d".to_vec()));
-        assert_eq!(s.last_less(b"a", false, 20), None);
-        assert_eq!(s.nth_after(Some(b"b"), 1, 20), Some(b"d".to_vec()));
-        assert_eq!(s.nth_after(Some(b"b"), 2, 20), Some(b"f".to_vec()));
-        assert_eq!(s.nth_after(None, 1, 20), Some(b"b".to_vec()));
-        assert_eq!(s.nth_after(Some(b"f"), 1, 20), None);
-    }
-
-    #[test]
-    fn compact_drops_shadowed_versions() {
-        let mut s = VersionedStore::new();
-        s.write(b"k".to_vec(), Some(b"v1".to_vec()), 10);
-        s.write(b"k".to_vec(), Some(b"v2".to_vec()), 20);
-        s.write(b"k".to_vec(), Some(b"v3".to_vec()), 30);
-        assert_eq!(s.total_version_entries(), 3);
-        s.compact(25);
-        assert_eq!(s.total_version_entries(), 2);
-        assert_eq!(s.get(b"k", 25), Some(b"v2".to_vec()));
-        assert_eq!(s.get(b"k", 35), Some(b"v3".to_vec()));
-    }
-
-    #[test]
-    fn compact_removes_dead_tombstones() {
-        let mut s = VersionedStore::new();
-        s.write(b"k".to_vec(), Some(b"v".to_vec()), 10);
-        s.write(b"k".to_vec(), None, 20);
-        s.compact(30);
-        assert_eq!(s.total_version_entries(), 0);
-    }
-}
+/// Historical name for the in-memory engine, kept for existing callers.
+pub type VersionedStore = MemoryEngine;

@@ -8,9 +8,11 @@ use rl_fdb::{Database, Error, KeySelector, RangeOptions};
 
 #[test]
 fn mvcc_history_compacts_but_recent_readers_still_work() {
-    let mut opts = DatabaseOptions::default();
-    opts.compaction_interval = 8;
-    opts.mvcc_window_versions = 1_000 * VERSIONS_PER_MS;
+    let opts = DatabaseOptions {
+        compaction_interval: 8,
+        mvcc_window_versions: 1_000 * VERSIONS_PER_MS,
+        ..DatabaseOptions::default()
+    };
     let db = Database::with_options(opts);
 
     for round in 0..100u32 {

@@ -169,7 +169,8 @@ mod tests {
     #[test]
     fn tag_field_zero_rejected() {
         let mut buf = Vec::new();
-        put_varint(&mut buf, 0 << 3 | 0);
+        // Field number 0, wire type VARINT — the tag value is just 0.
+        put_varint(&mut buf, 0);
         assert!(get_tag(&buf).is_err());
     }
 

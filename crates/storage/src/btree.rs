@@ -1,0 +1,1022 @@
+//! Copy-on-write disk B-tree keyed on raw (tuple-encoded) bytes.
+//!
+//! Leaf entries map a key to its *version chain* — the same
+//! `Vec<(version, Option<value>)>` the in-memory engine keeps — so MVCC
+//! visibility is resolved identically in both engines. Keys and chains are
+//! stored as [`Blob`]s: inline in the node payload when small, spilled to a
+//! chain of overflow pages otherwise (FDB permits 10 kB keys and 100 kB
+//! values, both far beyond one 4 kB page).
+//!
+//! All structural updates go through [`BufferPool::write_cow`], so the tree
+//! rooted at the last checkpoint's meta slot is never damaged in place:
+//! an update copies the modified leaf and its ancestor path to fresh pages
+//! and moves the in-memory root. There is no rebalancing on delete — keys
+//! only disappear during MVCC compaction, and empty leaves are simply
+//! skipped by cursors (the next compaction-triggered split/merge churn is
+//! accepted; the simulator favours simplicity over tail-packing).
+//!
+//! Internal separators use shortest-prefix truncation, so even pathological
+//! shared-prefix keys keep internal nodes wide.
+
+use std::cmp::Ordering;
+use std::io;
+
+use crate::page::{PageId, MAX_PAYLOAD, NO_PAGE};
+use crate::pool::BufferPool;
+
+/// A key's version chain, ascending by version. `None` is a tombstone.
+pub type Chain = Vec<(u64, Option<Vec<u8>>)>;
+
+/// The newest chain entry visible at `read_version`, if any.
+pub fn chain_visible_at(chain: &[(u64, Option<Vec<u8>>)], read_version: u64) -> Option<&[u8]> {
+    chain
+        .iter()
+        .rev()
+        .find(|(v, _)| *v <= read_version)
+        .and_then(|(_, val)| val.as_deref())
+}
+
+/// Apply one write to a chain (versions arrive in nondecreasing order).
+pub fn chain_push(chain: &mut Chain, version: u64, value: Option<Vec<u8>>) {
+    debug_assert!(chain.last().is_none_or(|(v, _)| *v <= version));
+    if let Some(last) = chain.last_mut() {
+        if last.0 == version {
+            last.1 = value;
+            return;
+        }
+    }
+    chain.push((version, value));
+}
+
+/// Prune a chain at the MVCC horizon: drop entries shadowed at
+/// `oldest_version`. Returns `None` when the whole entry is dead (only a
+/// tombstone at or below the horizon remains).
+pub fn chain_prune(chain: &[(u64, Option<Vec<u8>>)], oldest_version: u64) -> Option<Chain> {
+    let split = chain
+        .iter()
+        .rposition(|(v, _)| *v <= oldest_version)
+        .unwrap_or(0);
+    let pruned: Chain = chain[split..].to_vec();
+    if pruned.len() == 1 && pruned[0].1.is_none() && pruned[0].0 <= oldest_version {
+        return None;
+    }
+    Some(pruned)
+}
+
+// ------------------------------------------------------------------ blobs
+
+/// Keys over this length are spilled to overflow pages.
+const INLINE_KEY_MAX: usize = 128;
+/// Chains over this encoded length are spilled to overflow pages.
+const INLINE_CHAIN_MAX: usize = 512;
+/// Overflow page payload: type byte + next pointer + length prefix.
+const OVERFLOW_HEADER: usize = 1 + 4 + 2;
+const OVERFLOW_CAP: usize = MAX_PAYLOAD - OVERFLOW_HEADER;
+
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+const TAG_OVERFLOW: u8 = 3;
+
+/// Bytes stored either inline in a node or in an overflow page chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Blob {
+    Inline(Vec<u8>),
+    Overflow { head: PageId, len: u32 },
+}
+
+impl Blob {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Blob::Inline(b) => 1 + 4 + b.len(),
+            Blob::Overflow { .. } => 1 + 4 + 4,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Blob::Inline(b) => {
+                out.push(0);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Blob::Overflow { head, len } => {
+                out.push(1);
+                out.extend_from_slice(&head.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Store `bytes` as a blob, spilling to overflow pages beyond `inline_max`.
+fn make_blob(pool: &mut BufferPool, bytes: &[u8], inline_max: usize) -> io::Result<Blob> {
+    if bytes.len() <= inline_max {
+        return Ok(Blob::Inline(bytes.to_vec()));
+    }
+    // Build the chain back to front so each page knows its successor.
+    let mut next = NO_PAGE;
+    let chunks: Vec<&[u8]> = bytes.chunks(OVERFLOW_CAP).collect();
+    for chunk in chunks.iter().rev() {
+        let mut payload = Vec::with_capacity(OVERFLOW_HEADER + chunk.len());
+        payload.push(TAG_OVERFLOW);
+        payload.extend_from_slice(&next.to_le_bytes());
+        payload.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+        payload.extend_from_slice(chunk);
+        next = pool.allocate(payload)?;
+    }
+    Ok(Blob::Overflow {
+        head: next,
+        len: bytes.len() as u32,
+    })
+}
+
+/// Materialize a blob's bytes.
+fn blob_bytes(pool: &mut BufferPool, blob: &Blob) -> io::Result<Vec<u8>> {
+    match blob {
+        Blob::Inline(b) => Ok(b.clone()),
+        Blob::Overflow { head, len } => {
+            let mut out = Vec::with_capacity(*len as usize);
+            let mut id = *head;
+            while id != NO_PAGE {
+                let payload = pool.read(id)?;
+                let (next, data) = decode_overflow(payload, id)?;
+                out.extend_from_slice(data);
+                id = next;
+            }
+            if out.len() != *len as usize {
+                return Err(corrupt(format!(
+                    "overflow chain at page {head}: expected {len} bytes, got {}",
+                    out.len()
+                )));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Release a blob's overflow pages (no-op for inline).
+fn free_blob(pool: &mut BufferPool, blob: &Blob) -> io::Result<()> {
+    if let Blob::Overflow { head, .. } = blob {
+        let mut id = *head;
+        while id != NO_PAGE {
+            let payload = pool.read(id)?;
+            let (next, _) = decode_overflow(payload, id)?;
+            pool.free(id);
+            id = next;
+        }
+    }
+    Ok(())
+}
+
+/// Compare a stored key blob against a probe key.
+fn blob_cmp(pool: &mut BufferPool, blob: &Blob, key: &[u8]) -> io::Result<Ordering> {
+    match blob {
+        Blob::Inline(b) => Ok(b.as_slice().cmp(key)),
+        Blob::Overflow { .. } => Ok(blob_bytes(pool, blob)?.as_slice().cmp(key)),
+    }
+}
+
+fn decode_overflow(payload: &[u8], id: PageId) -> io::Result<(PageId, &[u8])> {
+    if payload.len() < OVERFLOW_HEADER || payload[0] != TAG_OVERFLOW {
+        return Err(corrupt(format!("page {id} is not an overflow page")));
+    }
+    let next = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+    let len = u16::from_le_bytes(payload[5..7].try_into().unwrap()) as usize;
+    payload
+        .get(OVERFLOW_HEADER..OVERFLOW_HEADER + len)
+        .map(|d| (next, d))
+        .ok_or_else(|| corrupt(format!("overflow page {id} truncated")))
+}
+
+fn corrupt(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ------------------------------------------------------------------ nodes
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// `children.len() == seps.len() + 1`; child `i` holds keys in
+    /// `[seps[i-1], seps[i])` (with open outer bounds).
+    Internal {
+        seps: Vec<Blob>,
+        children: Vec<PageId>,
+    },
+    /// Sorted `(key, encoded chain)` entries.
+    Leaf { entries: Vec<(Blob, Blob)> },
+}
+
+fn encode_node(node: &Node) -> Vec<u8> {
+    let mut out = Vec::with_capacity(node_size(node));
+    match node {
+        Node::Internal { seps, children } => {
+            out.push(TAG_INTERNAL);
+            out.extend_from_slice(&(seps.len() as u16).to_le_bytes());
+            out.extend_from_slice(&children[0].to_le_bytes());
+            for (sep, child) in seps.iter().zip(&children[1..]) {
+                sep.encode(&mut out);
+                out.extend_from_slice(&child.to_le_bytes());
+            }
+        }
+        Node::Leaf { entries } => {
+            out.push(TAG_LEAF);
+            out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+            for (key, chain) in entries {
+                key.encode(&mut out);
+                chain.encode(&mut out);
+            }
+        }
+    }
+    out
+}
+
+fn node_size(node: &Node) -> usize {
+    match node {
+        Node::Internal { seps, children } => {
+            1 + 2 + 4 * children.len() + seps.iter().map(Blob::encoded_len).sum::<usize>()
+        }
+        Node::Leaf { entries } => {
+            1 + 2
+                + entries
+                    .iter()
+                    .map(|(k, c)| k.encoded_len() + c.encoded_len())
+                    .sum::<usize>()
+        }
+    }
+}
+
+fn decode_node(payload: &[u8], id: PageId) -> io::Result<Node> {
+    let mut p = payload;
+    let tag = *take(&mut p, 1, id)?.first().unwrap();
+    let count = u16::from_le_bytes(take(&mut p, 2, id)?.try_into().unwrap()) as usize;
+    match tag {
+        TAG_INTERNAL => {
+            let mut children = Vec::with_capacity(count + 1);
+            let mut seps = Vec::with_capacity(count);
+            children.push(u32::from_le_bytes(take(&mut p, 4, id)?.try_into().unwrap()));
+            for _ in 0..count {
+                seps.push(decode_blob(&mut p, id)?);
+                children.push(u32::from_le_bytes(take(&mut p, 4, id)?.try_into().unwrap()));
+            }
+            Ok(Node::Internal { seps, children })
+        }
+        TAG_LEAF => {
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = decode_blob(&mut p, id)?;
+                let chain = decode_blob(&mut p, id)?;
+                entries.push((key, chain));
+            }
+            Ok(Node::Leaf { entries })
+        }
+        other => Err(corrupt(format!("page {id}: unknown node tag {other}"))),
+    }
+}
+
+fn decode_blob(p: &mut &[u8], id: PageId) -> io::Result<Blob> {
+    let flag = *take(p, 1, id)?.first().unwrap();
+    match flag {
+        0 => {
+            let len = u32::from_le_bytes(take(p, 4, id)?.try_into().unwrap()) as usize;
+            Ok(Blob::Inline(take(p, len, id)?.to_vec()))
+        }
+        1 => {
+            let head = u32::from_le_bytes(take(p, 4, id)?.try_into().unwrap());
+            let len = u32::from_le_bytes(take(p, 4, id)?.try_into().unwrap());
+            Ok(Blob::Overflow { head, len })
+        }
+        other => Err(corrupt(format!("page {id}: unknown blob flag {other}"))),
+    }
+}
+
+fn take<'a>(p: &mut &'a [u8], n: usize, id: PageId) -> io::Result<&'a [u8]> {
+    if p.len() < n {
+        return Err(corrupt(format!("page {id}: truncated node")));
+    }
+    let (head, tail) = p.split_at(n);
+    *p = tail;
+    Ok(head)
+}
+
+fn read_node(pool: &mut BufferPool, id: PageId) -> io::Result<Node> {
+    let payload = pool.read(id)?.to_vec();
+    decode_node(&payload, id)
+}
+
+// ------------------------------------------------------------ chain codec
+
+pub fn encode_chain(chain: &[(u64, Option<Vec<u8>>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(chain.len() as u32).to_le_bytes());
+    for (version, value) in chain {
+        out.extend_from_slice(&version.to_le_bytes());
+        match value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+pub fn decode_chain(mut p: &[u8]) -> io::Result<Chain> {
+    let err = || corrupt("truncated version chain".to_string());
+    if p.len() < 4 {
+        return Err(err());
+    }
+    let count = u32::from_le_bytes(p[0..4].try_into().unwrap()) as usize;
+    p = &p[4..];
+    let mut chain = Vec::with_capacity(count);
+    for _ in 0..count {
+        if p.len() < 9 {
+            return Err(err());
+        }
+        let version = u64::from_le_bytes(p[0..8].try_into().unwrap());
+        let flag = p[8];
+        p = &p[9..];
+        let value = if flag == 1 {
+            if p.len() < 4 {
+                return Err(err());
+            }
+            let len = u32::from_le_bytes(p[0..4].try_into().unwrap()) as usize;
+            if p.len() < 4 + len {
+                return Err(err());
+            }
+            let v = p[4..4 + len].to_vec();
+            p = &p[4 + len..];
+            Some(v)
+        } else {
+            None
+        };
+        chain.push((version, value));
+    }
+    Ok(chain)
+}
+
+// -------------------------------------------------------------- mutations
+
+/// The shortest separator `s` with `left_max < s <= right_min`.
+fn shortest_separator(left_max: &[u8], right_min: &[u8]) -> Vec<u8> {
+    debug_assert!(left_max < right_min);
+    for i in 0..right_min.len() {
+        if i >= left_max.len() || right_min[i] != left_max[i] {
+            return right_min[..=i].to_vec();
+        }
+    }
+    right_min.to_vec()
+}
+
+/// Routing: the child index for `key` (`#(seps <= key)`).
+fn child_index(pool: &mut BufferPool, seps: &[Blob], key: &[u8]) -> io::Result<usize> {
+    let (mut lo, mut hi) = (0usize, seps.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if blob_cmp(pool, &seps[mid], key)? == Ordering::Greater {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// Binary search a leaf's entries: `Ok(i)` exact match, `Err(i)` insertion.
+fn search_entries(
+    pool: &mut BufferPool,
+    entries: &[(Blob, Blob)],
+    key: &[u8],
+) -> io::Result<Result<usize, usize>> {
+    let (mut lo, mut hi) = (0usize, entries.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match blob_cmp(pool, &entries[mid].0, key)? {
+            Ordering::Less => lo = mid + 1,
+            Ordering::Greater => hi = mid,
+            Ordering::Equal => return Ok(Ok(mid)),
+        }
+    }
+    Ok(Err(lo))
+}
+
+/// Read the version chain stored under `key`, if any.
+pub fn get_chain(pool: &mut BufferPool, key: &[u8]) -> io::Result<Option<Chain>> {
+    let mut id = pool.root();
+    if id == NO_PAGE {
+        return Ok(None);
+    }
+    loop {
+        match read_node(pool, id)? {
+            Node::Internal { seps, children } => {
+                id = children[child_index(pool, &seps, key)?];
+            }
+            Node::Leaf { entries } => {
+                return match search_entries(pool, &entries, key)? {
+                    Ok(i) => {
+                        let bytes = blob_bytes(pool, &entries[i].1)?;
+                        Ok(Some(decode_chain(&bytes)?))
+                    }
+                    Err(_) => Ok(None),
+                };
+            }
+        }
+    }
+}
+
+/// Insert or replace the chain stored under `key`.
+pub fn put_chain(
+    pool: &mut BufferPool,
+    key: &[u8],
+    chain: &[(u64, Option<Vec<u8>>)],
+) -> io::Result<()> {
+    let root = pool.root();
+    if root == NO_PAGE {
+        let key_blob = make_blob(pool, key, INLINE_KEY_MAX)?;
+        let chain_blob = make_blob(pool, &encode_chain(chain), INLINE_CHAIN_MAX)?;
+        let id = pool.allocate(encode_node(&Node::Leaf {
+            entries: vec![(key_blob, chain_blob)],
+        }))?;
+        pool.set_root(id);
+        return Ok(());
+    }
+    let (new_root, split) = put_rec(pool, root, key, chain)?;
+    let final_root = match split {
+        None => new_root,
+        Some((sep, right)) => pool.allocate(encode_node(&Node::Internal {
+            seps: vec![sep],
+            children: vec![new_root, right],
+        }))?,
+    };
+    pool.set_root(final_root);
+    Ok(())
+}
+
+/// Recursive insert; returns the node's (possibly new) page id plus a
+/// `(separator, right sibling)` when the node split.
+fn put_rec(
+    pool: &mut BufferPool,
+    id: PageId,
+    key: &[u8],
+    chain: &[(u64, Option<Vec<u8>>)],
+) -> io::Result<(PageId, Option<(Blob, PageId)>)> {
+    match read_node(pool, id)? {
+        Node::Leaf { mut entries } => {
+            let chain_blob = make_blob(pool, &encode_chain(chain), INLINE_CHAIN_MAX)?;
+            match search_entries(pool, &entries, key)? {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut entries[i].1, chain_blob);
+                    free_blob(pool, &old)?;
+                }
+                Err(i) => {
+                    let key_blob = make_blob(pool, key, INLINE_KEY_MAX)?;
+                    entries.insert(i, (key_blob, chain_blob));
+                }
+            }
+            write_leaf(pool, id, entries)
+        }
+        Node::Internal {
+            mut seps,
+            mut children,
+        } => {
+            let idx = child_index(pool, &seps, key)?;
+            let (new_child, split) = put_rec(pool, children[idx], key, chain)?;
+            children[idx] = new_child;
+            if let Some((sep, right)) = split {
+                seps.insert(idx, sep);
+                children.insert(idx + 1, right);
+            }
+            write_internal(pool, id, seps, children)
+        }
+    }
+}
+
+/// Write a leaf back (CoW), splitting by byte weight when oversized.
+fn write_leaf(
+    pool: &mut BufferPool,
+    id: PageId,
+    entries: Vec<(Blob, Blob)>,
+) -> io::Result<(PageId, Option<(Blob, PageId)>)> {
+    let node = Node::Leaf { entries };
+    if node_size(&node) <= MAX_PAYLOAD {
+        let new_id = pool.write_cow(id, encode_node(&node))?;
+        return Ok((new_id, None));
+    }
+    let Node::Leaf { entries } = node else {
+        unreachable!()
+    };
+    // Split at the byte-weight midpoint, keeping both sides non-empty.
+    let total: usize = entries
+        .iter()
+        .map(|(k, c)| k.encoded_len() + c.encoded_len())
+        .sum();
+    let mut acc = 0usize;
+    let mut cut = entries.len() - 1;
+    for (i, (k, c)) in entries.iter().enumerate() {
+        acc += k.encoded_len() + c.encoded_len();
+        if acc >= total / 2 && i + 1 < entries.len() {
+            cut = i + 1;
+            break;
+        }
+    }
+    let cut = cut.max(1);
+    let mut left = entries;
+    let right = left.split_off(cut);
+    let left_max = blob_bytes(pool, &left.last().unwrap().0)?;
+    let right_min = blob_bytes(pool, &right.first().unwrap().0)?;
+    let sep_bytes = shortest_separator(&left_max, &right_min);
+    let sep = make_blob(pool, &sep_bytes, INLINE_KEY_MAX)?;
+    let left_id = pool.write_cow(id, encode_node(&Node::Leaf { entries: left }))?;
+    let right_id = pool.allocate(encode_node(&Node::Leaf { entries: right }))?;
+    Ok((left_id, Some((sep, right_id))))
+}
+
+/// Write an internal node back (CoW), splitting when oversized.
+fn write_internal(
+    pool: &mut BufferPool,
+    id: PageId,
+    seps: Vec<Blob>,
+    children: Vec<PageId>,
+) -> io::Result<(PageId, Option<(Blob, PageId)>)> {
+    let node = Node::Internal { seps, children };
+    if node_size(&node) <= MAX_PAYLOAD {
+        let new_id = pool.write_cow(id, encode_node(&node))?;
+        return Ok((new_id, None));
+    }
+    let Node::Internal { mut seps, children } = node else {
+        unreachable!()
+    };
+    // Promote the middle separator; each side keeps >= 1 separator.
+    let mid = (seps.len() / 2).clamp(1, seps.len() - 2).max(1);
+    let right_seps = seps.split_off(mid + 1);
+    let promoted = seps.pop().unwrap();
+    let mut left_children = children;
+    let right_children = left_children.split_off(mid + 1);
+    let left_id = pool.write_cow(
+        id,
+        encode_node(&Node::Internal {
+            seps,
+            children: left_children,
+        }),
+    )?;
+    let right_id = pool.allocate(encode_node(&Node::Internal {
+        seps: right_seps,
+        children: right_children,
+    }))?;
+    Ok((left_id, Some((promoted, right_id))))
+}
+
+/// Remove `key` and its chain entirely (MVCC compaction of a dead entry).
+/// Leaves are not rebalanced; an emptied leaf stays in place and cursors
+/// skip it. Returns whether the key existed.
+pub fn remove_key(pool: &mut BufferPool, key: &[u8]) -> io::Result<bool> {
+    let root = pool.root();
+    if root == NO_PAGE {
+        return Ok(false);
+    }
+    let (new_root, removed) = remove_rec(pool, root, key)?;
+    pool.set_root(new_root);
+    Ok(removed)
+}
+
+fn remove_rec(pool: &mut BufferPool, id: PageId, key: &[u8]) -> io::Result<(PageId, bool)> {
+    match read_node(pool, id)? {
+        Node::Leaf { mut entries } => match search_entries(pool, &entries, key)? {
+            Ok(i) => {
+                let (key_blob, chain_blob) = entries.remove(i);
+                free_blob(pool, &key_blob)?;
+                free_blob(pool, &chain_blob)?;
+                let new_id = pool.write_cow(id, encode_node(&Node::Leaf { entries }))?;
+                Ok((new_id, true))
+            }
+            Err(_) => Ok((id, false)),
+        },
+        Node::Internal { seps, mut children } => {
+            let idx = child_index(pool, &seps, key)?;
+            let (new_child, removed) = remove_rec(pool, children[idx], key)?;
+            if !removed {
+                return Ok((id, false));
+            }
+            children[idx] = new_child;
+            let new_id = pool.write_cow(id, encode_node(&Node::Internal { seps, children }))?;
+            Ok((new_id, true))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- cursors
+
+/// A streaming tree cursor (forward or backward). Valid only while no
+/// mutation runs — exactly the discipline the engine's `&mut self` methods
+/// already enforce.
+#[derive(Debug)]
+pub struct Cursor {
+    /// Internal-node trail: (page id, child index descended into).
+    stack: Vec<(PageId, usize)>,
+    /// Current leaf's entries with keys materialized.
+    leaf: Vec<(Vec<u8>, Blob)>,
+    /// Forward: next index to yield. Backward: one past the next index.
+    pos: usize,
+    forward: bool,
+    done: bool,
+}
+
+impl Cursor {
+    /// Position a forward cursor at the first key `>= begin`.
+    pub fn forward_from(pool: &mut BufferPool, begin: &[u8]) -> io::Result<Cursor> {
+        let mut cursor = Cursor {
+            stack: Vec::new(),
+            leaf: Vec::new(),
+            pos: 0,
+            forward: true,
+            done: false,
+        };
+        let mut id = pool.root();
+        if id == NO_PAGE {
+            cursor.done = true;
+            return Ok(cursor);
+        }
+        loop {
+            match read_node(pool, id)? {
+                Node::Internal { seps, children } => {
+                    let idx = child_index(pool, &seps, begin)?;
+                    cursor.stack.push((id, idx));
+                    id = children[idx];
+                }
+                Node::Leaf { entries } => {
+                    cursor.load_leaf(pool, entries)?;
+                    cursor.pos = cursor.leaf.partition_point(|(k, _)| k.as_slice() < begin);
+                    return Ok(cursor);
+                }
+            }
+        }
+    }
+
+    /// Position a backward cursor just past the last key `< end`.
+    pub fn backward_from(pool: &mut BufferPool, end: &[u8]) -> io::Result<Cursor> {
+        let mut cursor = Cursor {
+            stack: Vec::new(),
+            leaf: Vec::new(),
+            pos: 0,
+            forward: false,
+            done: false,
+        };
+        let mut id = pool.root();
+        if id == NO_PAGE {
+            cursor.done = true;
+            return Ok(cursor);
+        }
+        loop {
+            match read_node(pool, id)? {
+                Node::Internal { seps, children } => {
+                    let idx = child_index(pool, &seps, end)?;
+                    cursor.stack.push((id, idx));
+                    id = children[idx];
+                }
+                Node::Leaf { entries } => {
+                    cursor.load_leaf(pool, entries)?;
+                    cursor.pos = cursor.leaf.partition_point(|(k, _)| k.as_slice() < end);
+                    return Ok(cursor);
+                }
+            }
+        }
+    }
+
+    fn load_leaf(&mut self, pool: &mut BufferPool, entries: Vec<(Blob, Blob)>) -> io::Result<()> {
+        self.leaf.clear();
+        for (key, chain) in entries {
+            self.leaf.push((blob_bytes(pool, &key)?, chain));
+        }
+        Ok(())
+    }
+
+    /// Yield the next `(key, chain)` in cursor direction, or `None`.
+    pub fn next(&mut self, pool: &mut BufferPool) -> io::Result<Option<(Vec<u8>, Chain)>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.forward {
+                if self.pos < self.leaf.len() {
+                    let (key, chain_blob) =
+                        (self.leaf[self.pos].0.clone(), self.leaf[self.pos].1.clone());
+                    self.pos += 1;
+                    let bytes = blob_bytes(pool, &chain_blob)?;
+                    return Ok(Some((key, decode_chain(&bytes)?)));
+                }
+                if !self.advance_leaf(pool)? {
+                    self.done = true;
+                }
+            } else {
+                if self.pos > 0 {
+                    self.pos -= 1;
+                    let (key, chain_blob) =
+                        (self.leaf[self.pos].0.clone(), self.leaf[self.pos].1.clone());
+                    let bytes = blob_bytes(pool, &chain_blob)?;
+                    return Ok(Some((key, decode_chain(&bytes)?)));
+                }
+                if !self.retreat_leaf(pool)? {
+                    self.done = true;
+                }
+            }
+        }
+    }
+
+    /// Move to the leftmost leaf of the next subtree to the right.
+    fn advance_leaf(&mut self, pool: &mut BufferPool) -> io::Result<bool> {
+        while let Some((pid, idx)) = self.stack.pop() {
+            let Node::Internal { children, .. } = read_node(pool, pid)? else {
+                return Err(corrupt(format!(
+                    "page {pid}: cursor stack expected internal"
+                )));
+            };
+            if idx + 1 < children.len() {
+                self.stack.push((pid, idx + 1));
+                let mut id = children[idx + 1];
+                loop {
+                    match read_node(pool, id)? {
+                        Node::Internal { children, .. } => {
+                            self.stack.push((id, 0));
+                            id = children[0];
+                        }
+                        Node::Leaf { entries } => {
+                            self.load_leaf(pool, entries)?;
+                            self.pos = 0;
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Move to the rightmost leaf of the next subtree to the left.
+    fn retreat_leaf(&mut self, pool: &mut BufferPool) -> io::Result<bool> {
+        while let Some((pid, idx)) = self.stack.pop() {
+            let Node::Internal { children, .. } = read_node(pool, pid)? else {
+                return Err(corrupt(format!(
+                    "page {pid}: cursor stack expected internal"
+                )));
+            };
+            if idx > 0 {
+                self.stack.push((pid, idx - 1));
+                let mut id = children[idx - 1];
+                loop {
+                    match read_node(pool, id)? {
+                        Node::Internal { children, .. } => {
+                            let last = children.len() - 1;
+                            self.stack.push((id, last));
+                            id = children[last];
+                        }
+                        Node::Leaf { entries } => {
+                            self.load_leaf(pool, entries)?;
+                            self.pos = self.leaf.len();
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+// ------------------------------------------------------------ diagnostics
+
+/// Walk the whole tree verifying structure: child counts, separator and
+/// key ordering, bounds implied by separators, blob/chain decodability,
+/// and ascending versions within chains. Returns the number of keys.
+pub fn check_consistency(pool: &mut BufferPool) -> io::Result<usize> {
+    let root = pool.root();
+    if root == NO_PAGE {
+        return Ok(0);
+    }
+    check_rec(pool, root, None, None)
+}
+
+fn check_rec(
+    pool: &mut BufferPool,
+    id: PageId,
+    lower: Option<&[u8]>,
+    upper: Option<&[u8]>,
+) -> io::Result<usize> {
+    match read_node(pool, id)? {
+        Node::Leaf { entries } => {
+            let mut prev: Option<Vec<u8>> = None;
+            for (key_blob, chain_blob) in &entries {
+                let key = blob_bytes(pool, key_blob)?;
+                if let Some(lo) = lower {
+                    if key.as_slice() < lo {
+                        return Err(corrupt(format!("leaf {id}: key below lower bound")));
+                    }
+                }
+                if let Some(hi) = upper {
+                    if key.as_slice() >= hi {
+                        return Err(corrupt(format!("leaf {id}: key above upper bound")));
+                    }
+                }
+                if let Some(p) = &prev {
+                    if p >= &key {
+                        return Err(corrupt(format!("leaf {id}: keys out of order")));
+                    }
+                }
+                let chain = decode_chain(&blob_bytes(pool, chain_blob)?)?;
+                if chain.windows(2).any(|w| w[0].0 > w[1].0) {
+                    return Err(corrupt(format!("leaf {id}: chain versions out of order")));
+                }
+                prev = Some(key);
+            }
+            Ok(entries.len())
+        }
+        Node::Internal { seps, children } => {
+            if children.len() != seps.len() + 1 {
+                return Err(corrupt(format!("internal {id}: child/separator mismatch")));
+            }
+            let sep_bytes: Vec<Vec<u8>> = seps
+                .iter()
+                .map(|s| blob_bytes(pool, s))
+                .collect::<io::Result<_>>()?;
+            if sep_bytes.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt(format!("internal {id}: separators out of order")));
+            }
+            let mut count = 0usize;
+            for (i, &child) in children.iter().enumerate() {
+                let lo = if i == 0 {
+                    lower
+                } else {
+                    Some(sep_bytes[i - 1].as_slice())
+                };
+                let hi = if i == children.len() - 1 {
+                    upper
+                } else {
+                    Some(sep_bytes[i].as_slice())
+                };
+                count += check_rec(pool, child, lo, hi)?;
+            }
+            Ok(count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EvictionPolicy;
+    use crate::IoCounters;
+
+    fn pool(name: &str, pages: usize) -> (BufferPool, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("rl-storage-btree-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = BufferPool::open(
+            &dir.join("pages.db"),
+            pages,
+            EvictionPolicy::Lru,
+            IoCounters::new_shared(),
+        )
+        .unwrap();
+        (p, dir)
+    }
+
+    fn chain_of(version: u64, value: &[u8]) -> Chain {
+        vec![(version, Some(value.to_vec()))]
+    }
+
+    #[test]
+    fn put_get_many_keys_with_splits() {
+        let (mut pool, dir) = pool("splits", 64);
+        // Insert in a shuffled-ish order to exercise splits on both sides.
+        let mut keys: Vec<u32> = (0..500).collect();
+        keys.reverse();
+        for &i in &keys {
+            let key = format!("key-{i:05}").into_bytes();
+            put_chain(
+                &mut pool,
+                &key,
+                &chain_of(10, format!("val-{i}").as_bytes()),
+            )
+            .unwrap();
+        }
+        assert_eq!(check_consistency(&mut pool).unwrap(), 500);
+        for i in (0..500).step_by(17) {
+            let key = format!("key-{i:05}").into_bytes();
+            let chain = get_chain(&mut pool, &key).unwrap().unwrap();
+            assert_eq!(
+                chain_visible_at(&chain, 10),
+                Some(format!("val-{i}").as_bytes())
+            );
+        }
+        assert!(get_chain(&mut pool, b"missing").unwrap().is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn big_values_spill_to_overflow() {
+        let (mut pool, dir) = pool("overflow", 64);
+        let big = vec![0x5A; 90_000]; // ~22 overflow pages
+        put_chain(&mut pool, b"big", &chain_of(5, &big)).unwrap();
+        put_chain(&mut pool, b"small", &chain_of(5, b"x")).unwrap();
+        let chain = get_chain(&mut pool, b"big").unwrap().unwrap();
+        assert_eq!(chain_visible_at(&chain, 9), Some(&big[..]));
+        // Replacing the big chain frees the old overflow pages for reuse.
+        put_chain(&mut pool, b"big", &chain_of(6, b"tiny-now")).unwrap();
+        let chain = get_chain(&mut pool, b"big").unwrap().unwrap();
+        assert_eq!(chain_visible_at(&chain, 9), Some(b"tiny-now".as_slice()));
+        assert_eq!(check_consistency(&mut pool).unwrap(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn long_keys_spill_to_overflow() {
+        let (mut pool, dir) = pool("longkeys", 64);
+        let mut long_a = vec![b'a'; 9_000];
+        long_a.push(1);
+        let mut long_b = vec![b'a'; 9_000]; // shares a 9000-byte prefix
+        long_b.push(2);
+        put_chain(&mut pool, &long_a, &chain_of(5, b"A")).unwrap();
+        put_chain(&mut pool, &long_b, &chain_of(5, b"B")).unwrap();
+        put_chain(&mut pool, b"zz", &chain_of(5, b"Z")).unwrap();
+        let c = get_chain(&mut pool, &long_a).unwrap().unwrap();
+        assert_eq!(chain_visible_at(&c, 9), Some(b"A".as_slice()));
+        let c = get_chain(&mut pool, &long_b).unwrap().unwrap();
+        assert_eq!(chain_visible_at(&c, 9), Some(b"B".as_slice()));
+        assert_eq!(check_consistency(&mut pool).unwrap(), 3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn cursors_stream_both_directions() {
+        let (mut pool, dir) = pool("cursors", 64);
+        for i in 0..200u32 {
+            let key = format!("k{i:04}").into_bytes();
+            put_chain(&mut pool, &key, &chain_of(10, &i.to_le_bytes())).unwrap();
+        }
+        let mut cursor = Cursor::forward_from(&mut pool, b"k0050").unwrap();
+        let mut seen = Vec::new();
+        while let Some((key, _)) = cursor.next(&mut pool).unwrap() {
+            if key.as_slice() >= b"k0060".as_slice() {
+                break;
+            }
+            seen.push(key);
+        }
+        let want: Vec<Vec<u8>> = (50..60).map(|i| format!("k{i:04}").into_bytes()).collect();
+        assert_eq!(seen, want);
+
+        let mut cursor = Cursor::backward_from(&mut pool, b"k0010").unwrap();
+        let mut seen = Vec::new();
+        while let Some((key, _)) = cursor.next(&mut pool).unwrap() {
+            seen.push(key);
+        }
+        let want: Vec<Vec<u8>> = (0..10)
+            .rev()
+            .map(|i| format!("k{i:04}").into_bytes())
+            .collect();
+        assert_eq!(seen, want);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn remove_key_drops_entries() {
+        let (mut pool, dir) = pool("remove", 64);
+        for i in 0..100u32 {
+            put_chain(
+                &mut pool,
+                format!("k{i:03}").as_bytes(),
+                &chain_of(10, b"v"),
+            )
+            .unwrap();
+        }
+        for i in (0..100u32).step_by(2) {
+            assert!(remove_key(&mut pool, format!("k{i:03}").as_bytes()).unwrap());
+        }
+        assert!(!remove_key(&mut pool, b"k000").unwrap());
+        assert_eq!(check_consistency(&mut pool).unwrap(), 50);
+        assert!(get_chain(&mut pool, b"k001").unwrap().is_some());
+        assert!(get_chain(&mut pool, b"k002").unwrap().is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_pool_still_correct() {
+        // A 4-frame pool forces constant eviction under every operation.
+        let (mut pool, dir) = pool("tiny", 4);
+        for i in 0..300u32 {
+            let key = format!("k{i:04}").into_bytes();
+            put_chain(&mut pool, &key, &chain_of(10, format!("v{i}").as_bytes())).unwrap();
+        }
+        assert_eq!(check_consistency(&mut pool).unwrap(), 300);
+        for i in (0..300).step_by(23) {
+            let chain = get_chain(&mut pool, format!("k{i:04}").as_bytes())
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                chain_visible_at(&chain, 10),
+                Some(format!("v{i}").as_bytes())
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

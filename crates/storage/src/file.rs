@@ -1,0 +1,279 @@
+//! The page file: raw page I/O, allocation with a free list, and the
+//! dual-slot metadata header.
+//!
+//! Pages 0 and 1 are two alternating *meta slots*. A checkpoint writes the
+//! next generation's metadata (tree root, WAL offset, free list) to the
+//! slot `generation % 2`, so a crash mid-write can at worst corrupt one
+//! slot — the other still holds the previous consistent generation, and
+//! open() picks the valid slot with the highest generation. Data pages
+//! start at id 2.
+//!
+//! The free list persisted in a meta slot is capped by the page size;
+//! during a run the in-memory list is authoritative and any excess simply
+//! fails to survive a crash (leaking those pages until the file is
+//! rebuilt, which the simulator accepts as a non-correctness cost).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::page::{frame, unframe, PageId, MAX_PAYLOAD, NO_PAGE, PAGE_SIZE};
+
+const MAGIC: u64 = 0x524C_5041_4745_4431; // "RLPAGED1"
+/// Fixed meta fields: magic + generation + page_count + root + lsn + count.
+const META_FIXED: usize = 8 + 8 + 4 + 4 + 8 + 4;
+/// How many free-page ids fit in a persisted meta slot.
+const META_FREE_CAP: usize = (MAX_PAYLOAD - META_FIXED) / 4;
+
+/// Paged file with checksummed pages and dual-slot metadata.
+#[derive(Debug)]
+pub struct PageFile {
+    file: File,
+    /// Total pages, including the two meta slots.
+    page_count: u32,
+    /// Pages safe to reuse immediately (free at the last checkpoint, or
+    /// allocated-and-freed since).
+    free: Vec<PageId>,
+    /// Root of the checkpointed B-tree (NO_PAGE = empty).
+    root: PageId,
+    /// WAL byte offset covered by the checkpointed tree.
+    checkpoint_lsn: u64,
+    generation: u64,
+}
+
+impl PageFile {
+    /// Open or create a page file. A fresh file is initialized with an
+    /// empty generation-0 meta slot.
+    pub fn open(path: &Path) -> io::Result<PageFile> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        if len == 0 {
+            let mut pf = PageFile {
+                file,
+                page_count: 2,
+                free: Vec::new(),
+                root: NO_PAGE,
+                checkpoint_lsn: 0,
+                generation: 0,
+            };
+            pf.write_meta_slot()?;
+            return Ok(pf);
+        }
+
+        // Pick the valid meta slot with the highest generation.
+        let mut best: Option<(u64, u32, PageId, u64, Vec<PageId>)> = None;
+        for slot in 0..2u32 {
+            if (u64::from(slot) + 1) * PAGE_SIZE as u64 > len {
+                continue;
+            }
+            let mut buf = [0u8; PAGE_SIZE];
+            file.seek(SeekFrom::Start(u64::from(slot) * PAGE_SIZE as u64))?;
+            file.read_exact(&mut buf)?;
+            if let Ok(meta) = parse_meta(&buf) {
+                if best.as_ref().is_none_or(|b| meta.0 > b.0) {
+                    best = Some(meta);
+                }
+            }
+        }
+        let (generation, page_count, root, checkpoint_lsn, free) = best.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: no valid meta slot", path.display()),
+            )
+        })?;
+        Ok(PageFile {
+            file,
+            page_count,
+            free,
+            root,
+            checkpoint_lsn,
+            generation,
+        })
+    }
+
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.checkpoint_lsn
+    }
+
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Read and verify a page, returning its payload.
+    pub fn read_page(&mut self, id: PageId) -> io::Result<Vec<u8>> {
+        debug_assert!(id >= 2, "reading meta slot {id} as data page");
+        let mut buf = [0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| io::Error::new(e.kind(), format!("page {id}: {e}")))?;
+        let payload =
+            unframe(&buf).map_err(|e| io::Error::new(e.kind(), format!("page {id}: {e}")))?;
+        Ok(payload.to_vec())
+    }
+
+    /// Write a page payload (framed and checksummed).
+    pub fn write_page(&mut self, id: PageId, payload: &[u8]) -> io::Result<()> {
+        debug_assert!(id >= 2, "writing meta slot {id} as data page");
+        let page = frame(payload);
+        self.file
+            .seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
+        self.file.write_all(&page)
+    }
+
+    /// Allocate a page id: reuse a free page or extend the file. The page's
+    /// content is whatever the caller writes; nothing touches disk here.
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(id) = self.free.pop() {
+            return id;
+        }
+        let id = self.page_count;
+        self.page_count += 1;
+        id
+    }
+
+    /// Return a page to the reusable free list. Only call for pages that
+    /// are not referenced by the checkpointed tree (the pager enforces the
+    /// shadow-paging epoch rules).
+    pub fn free_now(&mut self, id: PageId) {
+        debug_assert!(id >= 2);
+        self.free.push(id);
+    }
+
+    /// Persist a new metadata generation: the new tree root and the WAL
+    /// offset it covers. Caller must have already written every page the
+    /// new root reaches.
+    pub fn commit_meta(&mut self, root: PageId, checkpoint_lsn: u64) -> io::Result<()> {
+        self.root = root;
+        self.checkpoint_lsn = checkpoint_lsn;
+        self.generation += 1;
+        self.write_meta_slot()
+    }
+
+    fn write_meta_slot(&mut self) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(META_FIXED + 4 * self.free.len().min(META_FREE_CAP));
+        payload.extend_from_slice(&MAGIC.to_le_bytes());
+        payload.extend_from_slice(&self.generation.to_le_bytes());
+        payload.extend_from_slice(&self.page_count.to_le_bytes());
+        payload.extend_from_slice(&self.root.to_le_bytes());
+        payload.extend_from_slice(&self.checkpoint_lsn.to_le_bytes());
+        let persisted = self.free.len().min(META_FREE_CAP);
+        payload.extend_from_slice(&(persisted as u32).to_le_bytes());
+        for &id in &self.free[..persisted] {
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+        let slot = self.generation % 2;
+        let page = frame(&payload);
+        self.file.seek(SeekFrom::Start(slot * PAGE_SIZE as u64))?;
+        self.file.write_all(&page)
+    }
+}
+
+type Meta = (u64, u32, PageId, u64, Vec<PageId>);
+
+fn parse_meta(page: &[u8]) -> io::Result<Meta> {
+    let p = unframe(page)?;
+    if p.len() < META_FIXED {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "short meta"));
+    }
+    let magic = u64::from_le_bytes(p[0..8].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let generation = u64::from_le_bytes(p[8..16].try_into().unwrap());
+    let page_count = u32::from_le_bytes(p[16..20].try_into().unwrap());
+    let root = u32::from_le_bytes(p[20..24].try_into().unwrap());
+    let lsn = u64::from_le_bytes(p[24..32].try_into().unwrap());
+    let count = u32::from_le_bytes(p[32..36].try_into().unwrap()) as usize;
+    if p.len() < META_FIXED + 4 * count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "truncated free list",
+        ));
+    }
+    let free = (0..count)
+        .map(|i| {
+            u32::from_le_bytes(
+                p[META_FIXED + 4 * i..META_FIXED + 4 * i + 4]
+                    .try_into()
+                    .unwrap(),
+            )
+        })
+        .collect();
+    Ok((generation, page_count, root, lsn, free))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rl-storage-file-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("pages.db")
+    }
+
+    #[test]
+    fn pages_roundtrip_across_reopen() {
+        let path = tmp("roundtrip");
+        let mut pf = PageFile::open(&path).unwrap();
+        let a = pf.allocate();
+        let b = pf.allocate();
+        assert_eq!((a, b), (2, 3));
+        pf.write_page(a, b"alpha").unwrap();
+        pf.write_page(b, b"beta").unwrap();
+        pf.commit_meta(a, 42).unwrap();
+        drop(pf);
+
+        let mut pf = PageFile::open(&path).unwrap();
+        assert_eq!(pf.root(), a);
+        assert_eq!(pf.checkpoint_lsn(), 42);
+        assert_eq!(pf.read_page(a).unwrap(), b"alpha");
+        assert_eq!(pf.read_page(b).unwrap(), b"beta");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn free_list_survives_checkpoint() {
+        let path = tmp("freelist");
+        let mut pf = PageFile::open(&path).unwrap();
+        let a = pf.allocate();
+        pf.write_page(a, b"x").unwrap();
+        pf.free_now(a);
+        pf.commit_meta(NO_PAGE, 0).unwrap();
+        drop(pf);
+
+        let mut pf = PageFile::open(&path).unwrap();
+        assert_eq!(pf.free_count(), 1);
+        assert_eq!(pf.allocate(), a);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn newest_valid_meta_slot_wins() {
+        let path = tmp("slots");
+        let mut pf = PageFile::open(&path).unwrap();
+        pf.commit_meta(NO_PAGE, 10).unwrap(); // gen 1 -> slot 1
+        pf.commit_meta(NO_PAGE, 20).unwrap(); // gen 2 -> slot 0
+        drop(pf);
+        let pf = PageFile::open(&path).unwrap();
+        assert_eq!(pf.checkpoint_lsn(), 20);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! On-disk page format: fixed-size pages with a checksummed header.
+//!
+//! Every page is [`PAGE_SIZE`] bytes:
+//!
+//! ```text
+//! +----------------+----------------+------------------------------+
+//! | checksum (u32) | payload_len u32| payload ... (zero padded)    |
+//! +----------------+----------------+------------------------------+
+//! ```
+//!
+//! The checksum covers the payload length and the payload bytes (FNV-1a 64
+//! folded to 32 bits — no external CRC dependency). Page *types* live in
+//! the first payload byte and belong to the layers above (B-tree nodes,
+//! overflow chains, meta slots); this module only frames and verifies.
+
+use std::io;
+
+/// Size of every page in the file, including the 8-byte header.
+pub const PAGE_SIZE: usize = 4096;
+/// Header: checksum (4) + payload length (4).
+pub const HEADER_SIZE: usize = 8;
+/// Maximum payload bytes a page can carry.
+pub const MAX_PAYLOAD: usize = PAGE_SIZE - HEADER_SIZE;
+
+/// Page identifier (byte offset = id * PAGE_SIZE). Id 0 and 1 are the two
+/// meta slots; data pages start at 2. Id 0 therefore doubles as the "null"
+/// page reference inside data structures.
+pub type PageId = u32;
+
+/// The null page reference (no child / no overflow / empty tree).
+pub const NO_PAGE: PageId = 0;
+
+/// FNV-1a 64 over `bytes`, folded to 32 bits.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Frame `payload` into a full page image.
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`]; callers size their nodes
+/// against that constant before serializing.
+pub fn frame(payload: &[u8]) -> [u8; PAGE_SIZE] {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "page payload {} exceeds {}",
+        payload.len(),
+        MAX_PAYLOAD
+    );
+    let mut page = [0u8; PAGE_SIZE];
+    page[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[HEADER_SIZE..HEADER_SIZE + payload.len()].copy_from_slice(payload);
+    let sum = checksum(&page[4..HEADER_SIZE + payload.len()]);
+    page[0..4].copy_from_slice(&sum.to_le_bytes());
+    page
+}
+
+/// Verify a page image and return its payload slice.
+pub fn unframe(page: &[u8]) -> io::Result<&[u8]> {
+    if page.len() != PAGE_SIZE {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("short page: {} bytes", page.len()),
+        ));
+    }
+    let stored = u32::from_le_bytes(page[0..4].try_into().unwrap());
+    let len = u32::from_le_bytes(page[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("page payload length {len} exceeds {MAX_PAYLOAD}"),
+        ));
+    }
+    let sum = checksum(&page[4..HEADER_SIZE + len]);
+    if sum != stored {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("page checksum mismatch: stored {stored:#010x}, computed {sum:#010x}"),
+        ));
+    }
+    Ok(&page[HEADER_SIZE..HEADER_SIZE + len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = b"hello pages";
+        let page = frame(payload);
+        assert_eq!(unframe(&page).unwrap(), payload);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut page = frame(b"payload bytes");
+        page[HEADER_SIZE + 3] ^= 0x40;
+        assert!(unframe(&page).is_err());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let page = frame(b"");
+        assert_eq!(unframe(&page).unwrap(), b"");
+    }
+
+    #[test]
+    fn max_payload_fits() {
+        let payload = vec![0xAB; MAX_PAYLOAD];
+        let page = frame(&payload);
+        assert_eq!(unframe(&page).unwrap(), &payload[..]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Pluggable buffer-pool eviction: LRU, Clock (second chance), and SIEVE.
+//!
+//! Replacers track *frame indices* (slots in the buffer pool), not page
+//! ids: the pool owns the page↔frame mapping and tells the replacer when a
+//! frame is filled, touched, or dropped. `evict` both chooses a victim and
+//! forgets it.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::engine::EvictionPolicy;
+
+/// Eviction strategy over pool frame indices.
+pub trait Replacer: Send + std::fmt::Debug {
+    /// A frame has been filled with a new page.
+    fn insert(&mut self, frame: usize);
+    /// A tracked frame has been accessed (hit).
+    fn record_access(&mut self, frame: usize);
+    /// Choose a victim frame and stop tracking it.
+    fn evict(&mut self) -> Option<usize>;
+    /// Stop tracking a frame (its page was freed or flushed away).
+    fn remove(&mut self, frame: usize);
+}
+
+/// Construct the replacer for a policy, sized to `capacity` frames.
+pub fn new_replacer(policy: EvictionPolicy, capacity: usize) -> Box<dyn Replacer> {
+    match policy {
+        EvictionPolicy::Lru => Box::new(LruReplacer::new()),
+        EvictionPolicy::Clock => Box::new(ClockReplacer::new(capacity)),
+        EvictionPolicy::Sieve => Box::new(SieveReplacer::new(capacity)),
+    }
+}
+
+// ------------------------------------------------------------------- LRU
+
+/// Exact least-recently-used order via a logical access clock.
+#[derive(Debug, Default)]
+pub struct LruReplacer {
+    tick: u64,
+    by_frame: HashMap<usize, u64>,
+    by_tick: BTreeMap<u64, usize>,
+}
+
+impl LruReplacer {
+    pub fn new() -> Self {
+        LruReplacer::default()
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.tick += 1;
+        if let Some(old) = self.by_frame.insert(frame, self.tick) {
+            self.by_tick.remove(&old);
+        }
+        self.by_tick.insert(self.tick, frame);
+    }
+}
+
+impl Replacer for LruReplacer {
+    fn insert(&mut self, frame: usize) {
+        self.touch(frame);
+    }
+
+    fn record_access(&mut self, frame: usize) {
+        self.touch(frame);
+    }
+
+    fn evict(&mut self) -> Option<usize> {
+        let (&tick, &frame) = self.by_tick.iter().next()?;
+        self.by_tick.remove(&tick);
+        self.by_frame.remove(&frame);
+        Some(frame)
+    }
+
+    fn remove(&mut self, frame: usize) {
+        if let Some(tick) = self.by_frame.remove(&frame) {
+            self.by_tick.remove(&tick);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Clock
+
+/// Second-chance clock: a hand sweeps the frame array; referenced frames
+/// get their bit cleared and are spared one sweep.
+#[derive(Debug)]
+pub struct ClockReplacer {
+    present: Vec<bool>,
+    referenced: Vec<bool>,
+    hand: usize,
+}
+
+impl ClockReplacer {
+    pub fn new(capacity: usize) -> Self {
+        ClockReplacer {
+            present: vec![false; capacity.max(1)],
+            referenced: vec![false; capacity.max(1)],
+            hand: 0,
+        }
+    }
+}
+
+impl Replacer for ClockReplacer {
+    fn insert(&mut self, frame: usize) {
+        self.present[frame] = true;
+        self.referenced[frame] = true;
+    }
+
+    fn record_access(&mut self, frame: usize) {
+        if self.present[frame] {
+            self.referenced[frame] = true;
+        }
+    }
+
+    fn evict(&mut self) -> Option<usize> {
+        if !self.present.iter().any(|&p| p) {
+            return None;
+        }
+        // Two full sweeps suffice: the first clears every reference bit.
+        for _ in 0..2 * self.present.len() {
+            let f = self.hand;
+            self.hand = (self.hand + 1) % self.present.len();
+            if !self.present[f] {
+                continue;
+            }
+            if self.referenced[f] {
+                self.referenced[f] = false;
+            } else {
+                self.present[f] = false;
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, frame: usize) {
+        self.present[frame] = false;
+        self.referenced[frame] = false;
+    }
+}
+
+// ----------------------------------------------------------------- SIEVE
+
+/// SIEVE: FIFO insertion order with a lazily retreating hand that spares
+/// visited frames in place (no reordering on hit, unlike LRU; no promotion
+/// to the head, unlike second chance).
+#[derive(Debug)]
+pub struct SieveReplacer {
+    nodes: Vec<SieveNode>,
+    /// Most recently inserted frame.
+    head: Option<usize>,
+    /// Oldest frame.
+    tail: Option<usize>,
+    /// Next eviction candidate; `None` restarts from the tail.
+    hand: Option<usize>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SieveNode {
+    prev: Option<usize>, // toward head (newer)
+    next: Option<usize>, // toward tail (older)
+    visited: bool,
+    present: bool,
+}
+
+impl SieveReplacer {
+    pub fn new(capacity: usize) -> Self {
+        SieveReplacer {
+            nodes: vec![SieveNode::default(); capacity.max(1)],
+            head: None,
+            tail: None,
+            hand: None,
+            len: 0,
+        }
+    }
+
+    fn unlink(&mut self, frame: usize) {
+        let node = self.nodes[frame];
+        match node.prev {
+            Some(p) => self.nodes[p].next = node.next,
+            None => self.head = node.next,
+        }
+        match node.next {
+            Some(n) => self.nodes[n].prev = node.prev,
+            None => self.tail = node.prev,
+        }
+        if self.hand == Some(frame) {
+            self.hand = node.prev;
+        }
+        self.nodes[frame] = SieveNode::default();
+        self.len -= 1;
+    }
+}
+
+impl Replacer for SieveReplacer {
+    fn insert(&mut self, frame: usize) {
+        debug_assert!(!self.nodes[frame].present);
+        self.nodes[frame] = SieveNode {
+            prev: None,
+            next: self.head,
+            visited: false,
+            present: true,
+        };
+        if let Some(h) = self.head {
+            self.nodes[h].prev = Some(frame);
+        }
+        self.head = Some(frame);
+        if self.tail.is_none() {
+            self.tail = Some(frame);
+        }
+        self.len += 1;
+    }
+
+    fn record_access(&mut self, frame: usize) {
+        if self.nodes[frame].present {
+            self.nodes[frame].visited = true;
+        }
+    }
+
+    fn evict(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        // The hand retreats from tail toward head, clearing visited bits;
+        // it wraps back to the tail at the head. Bounded by 2·len steps.
+        let mut cur = self.hand.or(self.tail)?;
+        for _ in 0..2 * self.len + 1 {
+            if self.nodes[cur].visited {
+                self.nodes[cur].visited = false;
+                cur = match self.nodes[cur].prev {
+                    Some(p) => p,
+                    None => self.tail.unwrap(),
+                };
+            } else {
+                self.hand = self.nodes[cur].prev;
+                self.unlink(cur);
+                return Some(cur);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, frame: usize) {
+        if self.nodes[frame].present {
+            self.unlink(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut r = LruReplacer::new();
+        r.insert(0);
+        r.insert(1);
+        r.insert(2);
+        r.record_access(0);
+        assert_eq!(r.evict(), Some(1));
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), Some(0));
+        assert_eq!(r.evict(), None);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut r = ClockReplacer::new(3);
+        r.insert(0);
+        r.insert(1);
+        r.insert(2);
+        // First sweep clears all bits; second evicts frame 0 first.
+        assert_eq!(r.evict(), Some(0));
+        r.record_access(1); // re-reference 1
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), Some(1));
+        assert_eq!(r.evict(), None);
+    }
+
+    #[test]
+    fn sieve_spares_visited_in_place() {
+        let mut r = SieveReplacer::new(4);
+        r.insert(0); // oldest
+        r.insert(1);
+        r.insert(2); // newest
+        r.record_access(0);
+        // Hand starts at tail (0): visited -> cleared, move to 1: evict.
+        assert_eq!(r.evict(), Some(1));
+        // The hand kept moving toward the head, so 2 goes before the
+        // cleared-but-spared 0 comes around again.
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), Some(0));
+        assert_eq!(r.evict(), None);
+    }
+
+    #[test]
+    fn remove_mid_structure_is_safe() {
+        for policy in EvictionPolicy::ALL {
+            let mut r = new_replacer(policy, 4);
+            r.insert(0);
+            r.insert(1);
+            r.insert(2);
+            r.remove(1);
+            let mut evicted = Vec::new();
+            while let Some(f) = r.evict() {
+                evicted.push(f);
+            }
+            evicted.sort_unstable();
+            assert_eq!(evicted, vec![0, 2], "{policy:?}");
+        }
+    }
+}

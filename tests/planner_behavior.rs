@@ -533,17 +533,15 @@ fn assert_resumable_everywhere(
         let store = RecordStore::open_or_create(tx, sub, md)?;
         let mut cursor = plan.execute(&store, &Continuation::Start, &ExecuteProperties::new())?;
         let mut out = Vec::new();
-        loop {
-            match cursor.next()? {
-                CursorResult::Next {
-                    value,
-                    continuation,
-                } => out.push((
-                    value.primary_key.get(0).unwrap().as_int().unwrap(),
-                    continuation,
-                )),
-                CursorResult::NoNext { .. } => break,
-            }
+        while let CursorResult::Next {
+            value,
+            continuation,
+        } = cursor.next()?
+        {
+            out.push((
+                value.primary_key.get(0).unwrap().as_int().unwrap(),
+                continuation,
+            ));
         }
         Ok(out)
     })
