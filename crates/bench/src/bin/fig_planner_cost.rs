@@ -30,8 +30,23 @@ use rl_bench::{experiment_pool, percentile};
 use rl_fdb::tuple::Tuple;
 use rl_fdb::{Database, Subspace};
 
-const N_RECORDS: i64 = 4000;
-const ITERS: usize = 40;
+/// Record count (`RL_BENCH_N`) and iteration count (`RL_BENCH_ITERS`)
+/// default to full experiment sizes; CI smoke-runs shrink them.
+fn n_records() -> i64 {
+    env_or("RL_BENCH_N", 4000)
+}
+
+fn iters() -> usize {
+    env_or("RL_BENCH_ITERS", 40) as usize
+}
+
+fn env_or(name: &str, default: i64) -> i64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
 
 fn metadata() -> RecordMetaData {
     RecordMetaDataBuilder::new(experiment_pool())
@@ -57,7 +72,7 @@ fn metadata() -> RecordMetaData {
 }
 
 fn seed(db: &Database, md: &RecordMetaData, sub: &Subspace) {
-    for chunk in (0..N_RECORDS).collect::<Vec<_>>().chunks(200) {
+    for chunk in (0..n_records()).collect::<Vec<_>>().chunks(200) {
         record_layer::run(db, |tx| {
             let store = RecordStore::open_or_create(tx, sub, md)?;
             for &i in chunk {
@@ -203,7 +218,7 @@ fn main() {
     let mut fetching_rows = 0;
     let mut streaming_rows = 0;
     let mut buffered_rows = 0;
-    for _ in 0..ITERS {
+    for _ in 0..iters() {
         let (r, us) = time_plan(&db, &md, &sub, &covered_plan);
         covered_rows = r;
         covered_us.push(us);
@@ -231,7 +246,11 @@ fn main() {
     let (str_p50, str_p95) = stats(streaming_us);
     let (buf_p50, buf_p95) = stats(buffered_us);
 
-    println!("# FIG_PLANNER: n={N_RECORDS} records, {ITERS} iterations");
+    println!(
+        "# FIG_PLANNER: n={} records, {} iterations",
+        n_records(),
+        iters()
+    );
     println!(
         "{:>28} {:>8} {:>12} {:>12}",
         "experiment", "rows", "p50_us", "p95_us"
@@ -256,8 +275,8 @@ fn main() {
             "  \"buffered_intersection\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}}\n",
             "}}\n"
         ),
-        N_RECORDS,
-        ITERS,
+        n_records(),
+        iters(),
         covered_rows,
         cov_p50,
         cov_p95,

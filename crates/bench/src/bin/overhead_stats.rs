@@ -1,190 +1,339 @@
-//! OVH — the §8.2 in-text overhead numbers.
+//! OVH — the §8.2 overhead table on the new observability layer.
 //!
-//! The paper reports, for common CloudKit operations, the median number of
-//! FoundationDB keys read or written and how many of those are overhead
-//! rather than record/index payload:
+//! The paper reports, for common CloudKit operations, the number of
+//! FoundationDB keys read and written and how many of those are overhead
+//! rather than record/index payload (e.g. a query reads ≈38.3 keys of
+//! which ≈6.2 are overhead ≈ 15%). This experiment reproduces the *shape*
+//! of that table per operation — save / query / covering query / rank
+//! update — with every iteration's key reads and writes split into
+//! payload vs. overhead, each distributed as p50/p95/p99 through
+//! `rl_obs::Histogram` rather than a single median.
 //!
-//! * query: ≈38.3 keys read, of which ≈6.2 are overhead (≈15%),
-//! * single-record read: ≈13.3 keys read, ≈7.7 overhead,
-//! * save: ≈8.5 records and ≈34.5 index-key writes per transaction
-//!   (≈4 index writes per record).
+//! Per-operation attribution comes from the per-transaction trace
+//! (`Transaction::trace`) added by the observability layer: each
+//! iteration runs in its own manual transaction, so its key traffic is
+//! read off the transaction itself instead of diffing global counters.
 //!
-//! We reproduce the *shape*: a query's overhead is a small fraction of its
-//! reads, single-record gets are proportionally expensive, and save cost is
-//! dominated by index maintenance proportional to the number of indexes.
+//! Emits `BENCH_overhead.json`: the per-op key distributions plus the
+//! process latency histograms (`Recorder::to_json`) collected while the
+//! workload ran.
 
-use cloudkit_sim::{CloudKit, CloudKitConfig, RecordData};
-use rl_fdb::Database;
+use record_layer::plan::RecordQueryPlanner;
+use record_layer::query::{Comparison, QueryComponent, RecordQuery};
+use record_layer::store::RecordStore;
+use rl_bench::item_metadata;
+use rl_fdb::{Database, Subspace, Transaction};
+use rl_obs::Histogram;
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs[xs.len() / 2]
+/// Records seeded (`RL_BENCH_N`) and iterations per operation
+/// (`RL_BENCH_ITERS`); CI smoke-runs shrink both.
+fn env_or(name: &str, default: i64) -> i64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+const RECORDS_PER_SAVE: i64 = 8;
+const RECORDS_PER_RANK_UPDATE: i64 = 4;
+/// Keys a fetched result row costs: index entry + record payload + version.
+const KEYS_PER_FETCHED_ROW: u64 = 3;
+/// Keys a covered result row costs: the index entry alone.
+const KEYS_PER_COVERED_ROW: u64 = 1;
+/// Payload keys written per record: the record payload + its version key.
+const KEYS_PER_RECORD_WRITE: u64 = 2;
+
+/// The key reads and writes of one operation, each split payload vs.
+/// overhead and distributed over iterations.
+struct OpHists {
+    name: &'static str,
+    reads_total: Histogram,
+    reads_payload: Histogram,
+    reads_overhead: Histogram,
+    writes_total: Histogram,
+    writes_payload: Histogram,
+    writes_overhead: Histogram,
+}
+
+impl OpHists {
+    fn new(name: &'static str) -> OpHists {
+        OpHists {
+            name,
+            reads_total: Histogram::new(),
+            reads_payload: Histogram::new(),
+            reads_overhead: Histogram::new(),
+            writes_total: Histogram::new(),
+            writes_payload: Histogram::new(),
+            writes_overhead: Histogram::new(),
+        }
+    }
+
+    /// Record one iteration: the transaction's trace plus how many of its
+    /// keys were payload (results / records, the rest being overhead).
+    fn record(&self, tx: &Transaction, read_payload: u64, write_payload: u64) {
+        let t = tx.trace();
+        self.reads_total.record(t.keys_read);
+        self.reads_payload.record(read_payload.min(t.keys_read));
+        self.reads_overhead
+            .record(t.keys_read.saturating_sub(read_payload));
+        self.writes_total.record(t.keys_written);
+        self.writes_payload
+            .record(write_payload.min(t.keys_written));
+        self.writes_overhead
+            .record(t.keys_written.saturating_sub(write_payload));
+    }
+
+    fn print(&self) {
+        for (dir, total, payload, overhead) in [
+            (
+                "reads",
+                &self.reads_total,
+                &self.reads_payload,
+                &self.reads_overhead,
+            ),
+            (
+                "writes",
+                &self.writes_total,
+                &self.writes_payload,
+                &self.writes_overhead,
+            ),
+        ] {
+            let t = total.snapshot();
+            if t.max() == 0 {
+                continue;
+            }
+            println!(
+                "{:<22} {:<7} {:>7} {:>9} {:>10} {:>7} {:>7}",
+                self.name,
+                dir,
+                t.quantile(0.5),
+                payload.snapshot().quantile(0.5),
+                overhead.snapshot().quantile(0.5),
+                t.quantile(0.95),
+                t.quantile(0.99),
+            );
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!("    \"{}\": {{\n", self.name));
+        for (i, (key, h)) in [
+            ("reads_total", &self.reads_total),
+            ("reads_payload", &self.reads_payload),
+            ("reads_overhead", &self.reads_overhead),
+            ("writes_total", &self.writes_total),
+            ("writes_payload", &self.writes_payload),
+            ("writes_overhead", &self.writes_overhead),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("      \"{key}\": "));
+            h.snapshot().write_json(out);
+        }
+        out.push_str("\n    }");
     }
 }
 
 fn main() {
+    // Collect latency histograms and per-transaction traces while the
+    // workload runs (traces also need the flag, via Transaction::trace
+    // being cheap but the spans being gated).
+    rl_obs::set_enabled(true);
+
+    let n_records = env_or("RL_BENCH_N", 300);
+    let iters = env_or("RL_BENCH_ITERS", 20);
+    let groups = 10i64;
+
     let db = Database::new();
-    let config = CloudKitConfig {
-        indexed_fields: vec!["field0".into(), "field1".into(), "field2".into()],
-        quota_index: true,
-    };
-    let ck = CloudKit::new(&db, &config);
+    // group + group_score value indexes, sum/count atomics, score rank.
+    let md = item_metadata(false, true);
+    let sub = Subspace::from_bytes(b"ovh".to_vec());
 
-    // Seed a store with a realistic spread of records.
-    record_layer::run(&db, |tx| {
-        for i in 0..300i64 {
-            ck.save(
-                tx,
-                1,
-                "app",
-                &RecordData::new("zone", format!("rec{i:04}"))
-                    .string_field("field0", format!("group{}", i % 10))
-                    .string_field("field1", format!("v{i}"))
-                    .string_field("field2", "constant"),
-            )?;
-        }
-        Ok(())
-    })
-    .unwrap();
-
-    let metrics = db.metrics();
-
-    // ---- Query operation: all records matching field0 = groupK ----------
-    let mut query_keys = Vec::new();
-    let mut query_results = Vec::new();
-    for g in 0..10 {
-        let before = metrics.snapshot();
-        let n = record_layer::run(&db, |tx| {
-            let store = ck.open_store(tx, 1, "app")?;
-            let planner = record_layer::plan::RecordQueryPlanner::new(ck.metadata());
-            let query = record_layer::query::RecordQuery::new()
-                .record_type(cloudkit_sim::service::RECORD_TYPE)
-                .filter(record_layer::query::QueryComponent::and(vec![
-                    record_layer::query::QueryComponent::field(
-                        "zone",
-                        record_layer::query::Comparison::Equals("zone".into()),
-                    ),
-                    record_layer::query::QueryComponent::field(
-                        "field0",
-                        record_layer::query::Comparison::Equals(format!("group{g}").into()),
-                    ),
-                ]));
-            Ok(planner.plan(&query)?.execute_all(&store)?.len())
-        })
-        .unwrap();
-        let delta = metrics.snapshot().delta(&before);
-        query_keys.push(delta.keys_read as f64);
-        query_results.push(n as f64);
-    }
-
-    // ---- Single-record read ---------------------------------------------
-    let mut get_keys = Vec::new();
-    for i in 0..30i64 {
-        let before = metrics.snapshot();
+    // Seed the store with the base population (not measured).
+    for chunk in (0..n_records).collect::<Vec<_>>().chunks(50) {
         record_layer::run(&db, |tx| {
-            let rec = ck.load(tx, 1, "app", "zone", &format!("rec{:04}", i * 7 % 300))?;
-            assert!(rec.is_some());
-            Ok(())
-        })
-        .unwrap();
-        let delta = metrics.snapshot().delta(&before);
-        get_keys.push(delta.keys_read as f64);
-    }
-
-    // ---- Record save ------------------------------------------------------
-    let mut save_written = Vec::new();
-    for batch in 0..20i64 {
-        let before = metrics.snapshot();
-        record_layer::run(&db, |tx| {
-            // The paper's average transaction writes ~8.5 records.
-            for j in 0..8i64 {
-                ck.save(
-                    tx,
-                    1,
-                    "app",
-                    &RecordData::new("zone", format!("save{batch}-{j}"))
-                        .string_field("field0", format!("group{}", j % 10))
-                        .string_field("field1", "x")
-                        .string_field("field2", "y"),
-                )?;
+            let store = RecordStore::open_or_create(tx, &sub, &md)?;
+            for &i in chunk {
+                save_item(&store, i, format!("g{}", i % groups), i % 100)?;
             }
             Ok(())
         })
         .unwrap();
-        let delta = metrics.snapshot().delta(&before);
-        save_written.push(delta.keys_written as f64);
     }
 
-    let q_keys = median(query_keys.clone());
-    let q_results = median(query_results);
-    // Overhead = keys read that are not records or index entries: here the
-    // store header + index-state keys + version splits read per open.
-    // Result rows cost ~3 keys each (index entry + version split + record
-    // payload); everything else is overhead.
-    let q_payload = q_results * 3.0;
-    let q_overhead = (q_keys - q_payload).max(0.0);
+    let planner = RecordQueryPlanner::new(&md);
+    let group_query = |g: i64, covering: bool| {
+        let q = RecordQuery::new()
+            .record_type("Item")
+            .filter(QueryComponent::field(
+                "group",
+                Comparison::Equals(format!("g{g}").into()),
+            ));
+        if covering {
+            q.require_fields(&["id", "group", "score"])
+        } else {
+            q
+        }
+    };
+    let fetching_plan = planner.plan(&group_query(0, false)).unwrap();
+    assert!(
+        !fetching_plan.describe().starts_with("Covering("),
+        "unexpected covering plan {}",
+        fetching_plan.describe()
+    );
+    let covering_plan = planner.plan(&group_query(0, true)).unwrap();
+    assert!(
+        covering_plan.describe().starts_with("Covering("),
+        "expected a covering plan, got {}",
+        covering_plan.describe()
+    );
 
-    let g_keys = median(get_keys);
-    let g_payload = 2.0; // record payload + version split
-    let g_overhead = g_keys - g_payload;
+    let save = OpHists::new("save");
+    let query = OpHists::new("query");
+    let covering = OpHists::new("covering_query");
+    let rank_update = OpHists::new("rank_update");
+    let mut next_id = n_records;
 
-    let s_written = median(save_written);
-    let records_per_tx = 8.0;
-    // Each record writes payload + version = 2 keys; the rest is index
-    // maintenance (3 user VALUE indexes + quota COUNT + sync VERSION).
-    let s_index_writes = s_written - records_per_tx * 2.0;
+    for it in 0..iters {
+        // ---- save: a fresh transaction writing 8 new records ------------
+        let tx = db.create_transaction();
+        tx.set_tag("ovh:save");
+        {
+            let store = RecordStore::open_or_create(&tx, &sub, &md).unwrap();
+            for _ in 0..RECORDS_PER_SAVE {
+                save_item(
+                    &store,
+                    next_id,
+                    format!("g{}", next_id % groups),
+                    next_id % 100,
+                )
+                .unwrap();
+                next_id += 1;
+            }
+        }
+        tx.commit().unwrap();
+        save.record(&tx, 0, RECORDS_PER_SAVE as u64 * KEYS_PER_RECORD_WRITE);
 
-    println!("# OVH: keys read/written per operation (medians), §8.2");
+        // ---- query: fetching index scan over one group -------------------
+        let g = it % groups;
+        let tx = db.create_transaction();
+        tx.set_tag("ovh:query");
+        let rows = {
+            let store = RecordStore::open_or_create(&tx, &sub, &md).unwrap();
+            let plan = planner.plan(&group_query(g, false)).unwrap();
+            plan.execute_all(&store).unwrap().len() as u64
+        };
+        tx.commit().unwrap();
+        query.record(&tx, rows * KEYS_PER_FETCHED_ROW, 0);
+
+        // ---- covering query: same filter served from index entries -------
+        let tx = db.create_transaction();
+        tx.set_tag("ovh:covering");
+        let cov_rows = {
+            let store = RecordStore::open_or_create(&tx, &sub, &md).unwrap();
+            let plan = planner.plan(&group_query(g, true)).unwrap();
+            plan.execute_all(&store).unwrap().len() as u64
+        };
+        tx.commit().unwrap();
+        assert_eq!(rows, cov_rows, "projection must not change rows");
+        covering.record(&tx, cov_rows * KEYS_PER_COVERED_ROW, 0);
+
+        // ---- rank update: re-save existing records with new scores -------
+        let tx = db.create_transaction();
+        tx.set_tag("ovh:rank");
+        {
+            let store = RecordStore::open_or_create(&tx, &sub, &md).unwrap();
+            for j in 0..RECORDS_PER_RANK_UPDATE {
+                let id = (it * 13 + j * 7) % n_records;
+                save_item(&store, id, format!("g{}", id % groups), (id + it + 1) % 100).unwrap();
+            }
+        }
+        tx.commit().unwrap();
+        rank_update.record(
+            &tx,
+            0,
+            RECORDS_PER_RANK_UPDATE as u64 * KEYS_PER_RECORD_WRITE,
+        );
+    }
+
+    let ops = [&save, &query, &covering, &rank_update];
+
+    println!("# OVH: keys per operation, payload vs. overhead (per-txn traces), §8.2");
+    println!("# n={n_records} records, {iters} iterations per op");
     println!();
     println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "operation", "keys", "payload", "overhead"
+        "{:<22} {:<7} {:>7} {:>9} {:>10} {:>7} {:>7}",
+        "operation", "dir", "p50", "payload", "overhead", "p95", "p99"
     );
-    println!(
-        "{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: 38.3 total, 6.2 overhead ≈ 15%)",
-        "query (reads)", q_keys, q_payload, q_overhead
-    );
-    println!(
-        "{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: 13.3 total, 7.7 overhead)",
-        "single-record get (reads)", g_keys, g_payload, g_overhead
-    );
-    println!(
-        "{:<28} {:>12.1} {:>12.1} {:>12.1}   (paper: ~8.5 records, ~34.5 index writes ≈ 4/record)",
-        "save 8 records (writes)",
-        s_written,
-        records_per_tx * 2.0,
-        s_index_writes
-    );
-    println!();
-    println!(
-        "query overhead fraction:   {:.1}%   (paper ≈ 15%)",
-        q_overhead / q_keys * 100.0
-    );
-    println!(
-        "get overhead fraction:     {:.1}%   (paper ≈ 58%)",
-        g_overhead / g_keys * 100.0
-    );
-    println!(
-        "index writes per record:   {:.1}    (paper ≈ 4)",
-        s_index_writes / records_per_tx
-    );
-    println!();
-    println!("# shape check: queries amortize overhead over results; point reads are");
-    println!("# proportionally expensive; save cost is dominated by index maintenance.");
+    for op in ops {
+        op.print();
+    }
 
+    let q_total = query.reads_total.snapshot().quantile(0.5);
+    let q_overhead = query.reads_overhead.snapshot().quantile(0.5);
+    let c_total = covering.reads_total.snapshot().quantile(0.5);
+    let s_index = save.writes_overhead.snapshot().quantile(0.5);
+    println!();
+    println!(
+        "query overhead fraction:  {:.1}%   (paper ≈ 15%)",
+        q_overhead as f64 / q_total as f64 * 100.0
+    );
+    println!(
+        "covering vs fetching:     {c_total} vs {q_total} keys read (covering skips the fetch)"
+    );
+    println!(
+        "index writes per record:  {:.1}   (paper ≈ 4)",
+        s_index as f64 / RECORDS_PER_SAVE as f64
+    );
+
+    // Shape checks, mirroring the paper's table.
     assert!(
-        q_overhead / q_keys < 0.5,
-        "query overhead should be a minority of reads"
+        q_overhead * 2 < q_total,
+        "query overhead should be a minority of reads ({q_overhead} of {q_total})"
     );
     assert!(
-        g_overhead / g_keys > 0.3,
-        "point reads are proportionally expensive"
+        c_total < q_total,
+        "covering queries must read fewer keys ({c_total} vs {q_total})"
     );
     assert!(
-        s_index_writes / records_per_tx >= 2.0,
-        "index maintenance dominates save writes"
+        s_index >= RECORDS_PER_SAVE as u64 * 2,
+        "index maintenance dominates save writes ({s_index} index writes)"
     );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n_records\": {n_records},\n"));
+    json.push_str(&format!("  \"iterations\": {iters},\n"));
+    json.push_str("  \"ops\": {\n");
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        op.write_json(&mut json);
+    }
+    json.push_str("\n  },\n");
+    json.push_str("  \"latency_us\": ");
+    json.push_str(&rl_obs::Recorder::global().to_json());
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_overhead.json", &json).expect("write BENCH_overhead.json");
+    println!("\nwrote BENCH_overhead.json");
+}
+
+fn save_item(
+    store: &RecordStore<'_>,
+    id: i64,
+    group: String,
+    score: i64,
+) -> record_layer::error::Result<()> {
+    let mut item = store.new_record("Item")?;
+    item.set("id", id).unwrap();
+    item.set("group", group).unwrap();
+    item.set("score", score).unwrap();
+    item.set("body", format!("body {id}")).unwrap();
+    store.save_record(item)?;
+    Ok(())
 }

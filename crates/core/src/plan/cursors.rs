@@ -46,6 +46,113 @@ impl BoxedCursorExt for PlanCursor<'_> {
     }
 }
 
+// ---------------------------------------------------------- observability
+
+/// Carries the `execute` timer for the cursor's whole streaming lifetime:
+/// the histogram records plan execution end-to-end, not just cursor
+/// construction. Installed only when observability is enabled.
+pub(crate) struct TimedCursor<'a> {
+    inner: PlanCursor<'a>,
+    _timer: rl_obs::Timer,
+}
+
+impl<'a> TimedCursor<'a> {
+    pub(crate) fn new(inner: PlanCursor<'a>, timer: rl_obs::Timer) -> TimedCursor<'a> {
+        TimedCursor {
+            inner,
+            _timer: timer,
+        }
+    }
+}
+
+impl RecordCursor for TimedCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        self.inner.next()
+    }
+}
+
+/// Per-plan-node span accounting (installed only when observability is
+/// enabled): counts the rows this node emitted and, on drop, pushes a
+/// `plan_node` span tagged `"<store subspace hex>:<node path>"` whose
+/// counters carry the rows plus the transaction-level key-read /
+/// record-fetch deltas observed over the node's lifetime.
+///
+/// The deltas are *inclusive* (flamegraph-style): a parent's span covers
+/// the traffic of its children, since they execute within its lifetime.
+/// Intersection children served straight from raw index entries bypass
+/// `execute_inner` and therefore emit no span of their own; their reads
+/// still show up in the enclosing Intersection node's deltas.
+pub(crate) struct ObservedCursor<'a> {
+    inner: PlanCursor<'a>,
+    tx: &'a rl_fdb::Transaction,
+    tag: String,
+    rows: u64,
+    start: rl_fdb::transaction::TxnTrace,
+    start_us: u64,
+}
+
+impl<'a> ObservedCursor<'a> {
+    pub(crate) fn new(
+        inner: PlanCursor<'a>,
+        store: &RecordStore<'a>,
+        path: &str,
+    ) -> ObservedCursor<'a> {
+        let mut tag = String::with_capacity(store.subspace().prefix().len() * 2 + path.len() + 1);
+        for b in store.subspace().prefix() {
+            tag.push_str(&format!("{b:02x}"));
+        }
+        tag.push(':');
+        tag.push_str(path);
+        let tx = store.transaction();
+        ObservedCursor {
+            inner,
+            tx,
+            tag,
+            rows: 0,
+            start: tx.trace(),
+            start_us: rl_obs::now_us(),
+        }
+    }
+}
+
+impl RecordCursor for ObservedCursor<'_> {
+    type Item = StoredRecord;
+
+    fn next(&mut self) -> Result<CursorResult<StoredRecord>> {
+        let result = self.inner.next()?;
+        if matches!(result, CursorResult::Next { .. }) {
+            self.rows += 1;
+        }
+        Ok(result)
+    }
+}
+
+impl Drop for ObservedCursor<'_> {
+    fn drop(&mut self) {
+        let end = self.tx.trace();
+        rl_obs::push_span(rl_obs::Span {
+            op: "plan_node",
+            tag: std::mem::take(&mut self.tag),
+            start_us: self.start_us,
+            dur_us: rl_obs::now_us().saturating_sub(self.start_us),
+            counters: vec![
+                ("rows", self.rows),
+                (
+                    "keys_read",
+                    end.keys_read.saturating_sub(self.start.keys_read),
+                ),
+                ("read_ops", end.read_ops.saturating_sub(self.start.read_ops)),
+                (
+                    "record_fetches",
+                    end.record_fetches.saturating_sub(self.start.record_fetches),
+                ),
+            ],
+        });
+    }
+}
+
 // ------------------------------------------------------ residual filtering
 
 pub(crate) struct FilteredRecordCursor<'a> {
@@ -279,6 +386,9 @@ pub(crate) struct UnionCursor<'a> {
     children: Vec<RecordQueryPlan>,
     store: RecordStore<'a>,
     props: ExecuteProperties,
+    /// This union node's plan-tree path; branch `i` executes as
+    /// `"{base_path}.{i}"`.
+    base_path: String,
     branch: usize,
     current: PlanCursor<'a>,
     seen: BTreeSet<Vec<u8>>,
@@ -290,6 +400,7 @@ impl<'a> UnionCursor<'a> {
         store: &RecordStore<'a>,
         continuation: &Continuation,
         props: &ExecuteProperties,
+        path: &str,
     ) -> Result<PlanCursor<'a>> {
         let (branch, inner, seen) = match continuation {
             Continuation::Start => (0usize, Continuation::Start, BTreeSet::new()),
@@ -322,7 +433,7 @@ impl<'a> UnionCursor<'a> {
             }
         };
         let current: PlanCursor<'a> = if branch < children.len() {
-            children[branch].execute_inner(store, &inner, props)?
+            children[branch].execute_inner(store, &inner, props, &format!("{path}.{branch}"))?
         } else {
             Box::new(crate::cursor::ListCursor::new(
                 Vec::new(),
@@ -333,6 +444,7 @@ impl<'a> UnionCursor<'a> {
             children: children.to_vec(),
             store: store.clone_handle(),
             props: props.clone(),
+            base_path: path.to_string(),
             branch,
             current,
             seen,
@@ -389,6 +501,7 @@ impl RecordCursor for UnionCursor<'_> {
                             &self.store,
                             &Continuation::Start,
                             &self.props,
+                            &format!("{}.{}", self.base_path, self.branch),
                         )?;
                     }
                 }
@@ -472,6 +585,7 @@ impl<'a> IntersectionCursor<'a> {
         store: &RecordStore<'a>,
         continuation: &Continuation,
         props: &ExecuteProperties,
+        path: &str,
     ) -> Result<PlanCursor<'a>> {
         let (child_conts, done) = match continuation {
             Continuation::Start => (vec![Continuation::Start; children.len()], false),
@@ -498,9 +612,9 @@ impl<'a> IntersectionCursor<'a> {
         };
 
         let mut built = Vec::with_capacity(children.len());
-        for (child, cont) in children.iter().zip(&child_conts) {
+        for (i, (child, cont)) in children.iter().zip(&child_conts).enumerate() {
             built.push(IntersectChild {
-                stream: Self::child_stream(child, store, cont, props)?,
+                stream: Self::child_stream(child, store, cont, props, &format!("{path}.{i}"))?,
                 head: None,
             });
         }
@@ -512,12 +626,16 @@ impl<'a> IntersectionCursor<'a> {
         }))
     }
 
-    /// Build the cheapest primary-key-ordered stream for one child.
+    /// Build the cheapest primary-key-ordered stream for one child. The
+    /// raw-entry fast path bypasses `execute_inner`, so those children
+    /// emit no `plan_node` span (their reads fold into the enclosing
+    /// intersection's deltas); `path` tags the record-stream fallback.
     fn child_stream(
         child: &RecordQueryPlan,
         store: &RecordStore<'a>,
         continuation: &Continuation,
         props: &ExecuteProperties,
+        path: &str,
     ) -> Result<ChildStream<'a>> {
         if let RecordQueryPlan::IndexScan {
             index_name,
@@ -591,6 +709,7 @@ impl<'a> IntersectionCursor<'a> {
             store,
             continuation,
             props,
+            path,
         )?))
     }
 

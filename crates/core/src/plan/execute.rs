@@ -11,7 +11,7 @@ use crate::store::{RecordStore, StoredRecord, TupleRange};
 
 use super::cursors::{
     BoxedCursorExt, CoveringScanCursor, FilteredRecordCursor, IndexFetchCursor, IntersectionCursor,
-    PlanCursor, UnionCursor,
+    ObservedCursor, PlanCursor, TimedCursor, UnionCursor,
 };
 use super::ir::RecordQueryPlan;
 
@@ -19,27 +19,60 @@ impl RecordQueryPlan {
     /// Execute against a store, resuming from `continuation`. The
     /// `return_limit` in `props` is enforced at the top of the plan; scan
     /// and byte limits are shared by every cursor the plan spawns.
+    ///
+    /// With observability enabled the whole execution (from this call to
+    /// the cursor's drop) lands in the `execute` latency histogram, and
+    /// every plan node emits a `plan_node` span tagged
+    /// `"<store subspace hex>:<node path>"` — see
+    /// [`RecordQueryPlan::node_paths`] for the join back onto the tree.
     pub fn execute<'a>(
         &self,
         store: &RecordStore<'a>,
         continuation: &Continuation,
         props: &ExecuteProperties,
     ) -> Result<PlanCursor<'a>> {
+        let timer = rl_obs::Timer::start("execute");
         let mut inner_props = props.clone();
         inner_props.return_limit = None;
         inner_props.share_limiter();
-        let cursor = self.execute_inner(store, continuation, &inner_props)?;
-        Ok(match props.return_limit {
-            Some(n) => Box::new(crate::cursor::TakeCursor::new(cursor, n)),
+        let cursor = self.execute_inner(store, continuation, &inner_props, "0")?;
+        let cursor = match props.return_limit {
+            Some(n) => Box::new(crate::cursor::TakeCursor::new(cursor, n)) as PlanCursor<'a>,
             None => cursor,
+        };
+        Ok(if rl_obs::enabled() {
+            // The timer rides with the cursor so the histogram sees the
+            // full streaming lifetime, not just plan-tree construction.
+            Box::new(TimedCursor::new(cursor, timer))
+        } else {
+            cursor
         })
     }
 
+    /// Build the cursor for this node, wrapping it in per-node span
+    /// accounting when observability is enabled. `path` is this node's
+    /// dotted position in the plan tree (root `"0"`, children `"0.N"`).
     pub(crate) fn execute_inner<'a>(
         &self,
         store: &RecordStore<'a>,
         continuation: &Continuation,
         props: &ExecuteProperties,
+        path: &str,
+    ) -> Result<PlanCursor<'a>> {
+        let cursor = self.build_cursor(store, continuation, props, path)?;
+        Ok(if rl_obs::enabled() {
+            Box::new(ObservedCursor::new(cursor, store, path))
+        } else {
+            cursor
+        })
+    }
+
+    fn build_cursor<'a>(
+        &self,
+        store: &RecordStore<'a>,
+        continuation: &Continuation,
+        props: &ExecuteProperties,
+        path: &str,
     ) -> Result<PlanCursor<'a>> {
         match self {
             RecordQueryPlan::FullScan {
@@ -144,10 +177,10 @@ impl RecordQueryPlan {
                 )?))
             }
             RecordQueryPlan::Union { children } => {
-                UnionCursor::create(children, store, continuation, props)
+                UnionCursor::create(children, store, continuation, props, path)
             }
             RecordQueryPlan::Intersection { children } => {
-                IntersectionCursor::create(children, store, continuation, props)
+                IntersectionCursor::create(children, store, continuation, props, path)
             }
         }
     }

@@ -200,4 +200,29 @@ impl RecordQueryPlan {
             _ => &[],
         }
     }
+
+    /// Pre-order `(path, label)` pairs for every node in the plan tree.
+    ///
+    /// Paths are the dotted child indexes the executor tags `plan_node`
+    /// spans with (the root is `"0"`, its children `"0.0"`, `"0.1"`, …),
+    /// so draining [`rl_obs::drain_spans`] after execution and matching
+    /// each span's tag suffix against these paths joins the *actual* rows
+    /// and keys per node onto the plan shape [`RecordQueryPlan::explain`]
+    /// prints.
+    pub fn node_paths(&self) -> Vec<(String, String)> {
+        fn walk(plan: &RecordQueryPlan, path: String, out: &mut Vec<(String, String)>) {
+            let label = match plan {
+                RecordQueryPlan::Union { .. } => "Union".to_string(),
+                RecordQueryPlan::Intersection { .. } => "Intersection".to_string(),
+                other => other.describe(),
+            };
+            out.push((path.clone(), label));
+            for (i, child) in plan.children().iter().enumerate() {
+                walk(child, format!("{path}.{i}"), out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, "0".to_string(), &mut out);
+        out
+    }
 }

@@ -669,6 +669,7 @@ impl<'a> RecordStore<'a> {
         // Every record materialized from the record subspace counts as a
         // fetch; covering index scans bypass this path entirely.
         self.metrics.add_record_fetch();
+        self.tx.note_record_fetch();
         Ok(Some(StoredRecord {
             primary_key: primary_key.clone(),
             record_type,

@@ -237,6 +237,7 @@ impl Database {
 
     /// Perform a `getReadVersion` (GRV): the latest commit version.
     pub fn get_read_version(&self) -> u64 {
+        let _t = rl_obs::Timer::start("grv");
         self.grv_calls.fetch_add(1, Ordering::Relaxed);
         lock(&self.inner).last_commit_version
     }
@@ -313,14 +314,16 @@ impl Database {
     /// Validate a transaction's read conflict ranges against the window of
     /// recently committed writes, then apply its command log at a fresh
     /// commit version. This is the resolver + proxy pipeline of FDB,
-    /// collapsed into one critical section.
+    /// collapsed into one critical section. Returns the commit version
+    /// plus the keys and bytes written, so the transaction can attribute
+    /// its own write traffic (per-transaction tracing).
     pub(crate) fn commit_internal(
         &self,
         read_version: u64,
         read_conflicts: &[(Vec<u8>, Vec<u8>)],
         write_conflicts: &[(Vec<u8>, Vec<u8>)],
         commands: &[Command],
-    ) -> Result<u64> {
+    ) -> Result<(u64, u64, u64)> {
         let mut inner = lock(&self.inner);
 
         if read_version < inner.oldest_version {
@@ -430,7 +433,7 @@ impl Database {
 
         self.metrics.add_keys_written(keys_written, bytes_written);
         self.metrics.record_commit(true, false);
-        Ok(version)
+        Ok((version, keys_written, bytes_written))
     }
 
     /// Diagnostic: number of live keys at the latest version.

@@ -150,24 +150,31 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Difference between two snapshots (self - earlier).
+    /// Difference between two snapshots (self - earlier). Saturating: a
+    /// concurrent `Metrics::reset` between taking `earlier` and `self`
+    /// makes individual counters go backwards, which must degrade to a
+    /// zero delta rather than a debug-build underflow panic.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            keys_read: self.keys_read - earlier.keys_read,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            keys_written: self.keys_written - earlier.keys_written,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            range_clears: self.range_clears - earlier.range_clears,
-            read_ops: self.read_ops - earlier.read_ops,
-            commits_attempted: self.commits_attempted - earlier.commits_attempted,
-            commits_succeeded: self.commits_succeeded - earlier.commits_succeeded,
-            conflicts: self.conflicts - earlier.conflicts,
-            record_fetches: self.record_fetches - earlier.record_fetches,
-            page_hits: self.page_hits - earlier.page_hits,
-            page_misses: self.page_misses - earlier.page_misses,
-            page_evictions: self.page_evictions - earlier.page_evictions,
-            page_flushes: self.page_flushes - earlier.page_flushes,
-            log_appends: self.log_appends - earlier.log_appends,
+            keys_read: self.keys_read.saturating_sub(earlier.keys_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            keys_written: self.keys_written.saturating_sub(earlier.keys_written),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            range_clears: self.range_clears.saturating_sub(earlier.range_clears),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            commits_attempted: self
+                .commits_attempted
+                .saturating_sub(earlier.commits_attempted),
+            commits_succeeded: self
+                .commits_succeeded
+                .saturating_sub(earlier.commits_succeeded),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            record_fetches: self.record_fetches.saturating_sub(earlier.record_fetches),
+            page_hits: self.page_hits.saturating_sub(earlier.page_hits),
+            page_misses: self.page_misses.saturating_sub(earlier.page_misses),
+            page_evictions: self.page_evictions.saturating_sub(earlier.page_evictions),
+            page_flushes: self.page_flushes.saturating_sub(earlier.page_flushes),
+            log_appends: self.log_appends.saturating_sub(earlier.log_appends),
         }
     }
 }

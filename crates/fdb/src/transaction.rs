@@ -60,6 +60,31 @@ enum KeyOp {
     Atomic(MutationType, Vec<u8>),
 }
 
+/// Per-transaction attribution: what *this* transaction read and wrote.
+///
+/// The database's [`Metrics`](crate::metrics::Metrics) block aggregates
+/// the same quantities process-wide; this struct scopes them to a single
+/// transaction so workloads can be attributed (which tenant read how many
+/// keys, how much of a commit was index overhead, …). Maintained as plain
+/// integers under the transaction's existing state lock, so keeping it
+/// costs nothing measurable even with observability disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnTrace {
+    /// Keys returned to this transaction by point and range reads.
+    pub keys_read: u64,
+    /// Bytes of keys+values returned by reads.
+    pub bytes_read: u64,
+    /// Keys written at commit (0 until a successful commit).
+    pub keys_written: u64,
+    /// Bytes of keys+values written at commit.
+    pub bytes_written: u64,
+    /// Point/range read operations issued.
+    pub read_ops: u64,
+    /// Record fetches reported by the record layer via
+    /// [`Transaction::note_record_fetch`].
+    pub record_fetches: u64,
+}
+
 #[derive(Debug, Default)]
 struct TxState {
     /// Flat command log, replayed at commit in program order.
@@ -75,6 +100,11 @@ struct TxState {
     size: usize,
     committed: bool,
     commit_version: Option<u64>,
+    /// Per-transaction read/write attribution (see [`TxnTrace`]).
+    trace: TxnTrace,
+    /// Free-form attribution tag for this transaction's span (tenant,
+    /// subspace, workload name…).
+    tag: Option<String>,
 }
 
 /// A FoundationDB transaction handle.
@@ -85,6 +115,8 @@ pub struct Transaction {
     db: Database,
     read_version: u64,
     start_ms: u64,
+    /// Span-clock start (µs since the rl_obs epoch); 0 when tracing is off.
+    start_us: u64,
     state: Mutex<TxState>,
     /// Client-side counter for versionstamp user versions (the Record
     /// Layer assigns one per record written in a transaction, §7).
@@ -122,6 +154,11 @@ impl Transaction {
             db,
             read_version,
             start_ms,
+            start_us: if rl_obs::enabled() {
+                rl_obs::now_us()
+            } else {
+                0
+            },
             state: Mutex::new(TxState::default()),
             user_version: std::sync::atomic::AtomicU16::new(0),
         }
@@ -144,6 +181,26 @@ impl Transaction {
     /// into the same metrics block the substrate tallies key traffic into.
     pub fn metrics(&self) -> &crate::metrics::SharedMetrics {
         self.db.metrics()
+    }
+
+    /// Snapshot of this transaction's own read/write attribution.
+    pub fn trace(&self) -> TxnTrace {
+        self.state.lock().unwrap().trace
+    }
+
+    /// Attach a free-form attribution tag (tenant, subspace, workload…)
+    /// carried by the span this transaction emits at commit.
+    pub fn set_tag(&self, tag: &str) {
+        self.state.lock().unwrap().tag = Some(tag.to_string());
+    }
+
+    /// Count one record fetch against this transaction's trace (called by
+    /// the record layer; a no-op when observability is disabled, so the
+    /// extra lock acquisition costs nothing on the common path).
+    pub fn note_record_fetch(&self) {
+        if rl_obs::enabled() {
+            self.state.lock().unwrap().trace.record_fetches += 1;
+        }
     }
 
     /// The commit version, available after a successful commit.
@@ -206,6 +263,7 @@ impl Transaction {
     }
 
     fn get_inner(&self, key: &[u8], snapshot: bool) -> Result<Option<Vec<u8>>> {
+        let _t = rl_obs::Timer::start("get");
         self.validate_key(key)?;
         let mut st = self.state.lock().unwrap();
         self.check_open(&st)?;
@@ -216,6 +274,7 @@ impl Transaction {
         }
         let underlying = self.db.storage_get(key, self.read_version)?;
         self.db.metrics().add_read_op();
+        st.trace.read_ops += 1;
         let clear_seqs: Vec<u64> = st
             .cleared
             .iter()
@@ -225,9 +284,10 @@ impl Transaction {
         let ops = st.writes_by_key.get(key).map(Vec::as_slice).unwrap_or(&[]);
         let v = effective_value(underlying.as_deref(), ops, &clear_seqs)?;
         if let Some(ref val) = v {
-            self.db
-                .metrics()
-                .add_keys_read(1, (key.len() + val.len()) as u64);
+            let bytes = (key.len() + val.len()) as u64;
+            self.db.metrics().add_keys_read(1, bytes);
+            st.trace.keys_read += 1;
+            st.trace.bytes_read += bytes;
         }
         Ok(v)
     }
@@ -260,6 +320,7 @@ impl Transaction {
         options: RangeOptions,
         snapshot: bool,
     ) -> Result<Vec<KeyValue>> {
+        let _t = rl_obs::Timer::start("get_range");
         let mut st = self.state.lock().unwrap();
         self.check_open(&st)?;
         if begin >= end {
@@ -268,6 +329,7 @@ impl Transaction {
 
         let underlying = self.db.storage_range(begin, end, self.read_version)?;
         self.db.metrics().add_read_op();
+        st.trace.read_ops += 1;
 
         // Merge the snapshot with buffered writes: candidate keys are the
         // union of snapshot keys and written keys inside the range.
@@ -328,6 +390,8 @@ impl Transaction {
             .map(|kv| (kv.key.len() + kv.value.len()) as u64)
             .sum();
         self.db.metrics().add_keys_read(merged.len() as u64, bytes);
+        st.trace.keys_read += merged.len() as u64;
+        st.trace.bytes_read += bytes;
         Ok(merged)
     }
 
@@ -556,6 +620,7 @@ impl Transaction {
     /// Validate conflicts and apply buffered writes. On success the
     /// transaction's versionstamp and committed version become available.
     pub fn commit(&self) -> Result<()> {
+        let _t = rl_obs::Timer::start("commit");
         let mut st = self.state.lock().unwrap();
         if st.committed {
             return Err(Error::UsedDuringCommit);
@@ -564,11 +629,13 @@ impl Transaction {
             > self.db.options().transaction_time_limit_ms
         {
             self.db.metrics().record_commit(false, false);
+            self.emit_txn_span(&st, "error");
             return Err(Error::TransactionTooOld);
         }
         let limit = self.db.options().transaction_size_limit;
         if st.size > limit {
             self.db.metrics().record_commit(false, false);
+            self.emit_txn_span(&st, "error");
             return Err(Error::TransactionTooLarge {
                 size: st.size,
                 limit,
@@ -579,17 +646,57 @@ impl Transaction {
         if st.commands.is_empty() && st.write_conflicts.is_empty() {
             st.committed = true;
             self.db.metrics().record_commit(true, false);
+            self.emit_txn_span(&st, "committed");
             return Ok(());
         }
-        let version = self.db.commit_internal(
+        match self.db.commit_internal(
             self.read_version,
             &st.read_conflicts,
             &st.write_conflicts,
             &st.commands,
-        )?;
-        st.committed = true;
-        st.commit_version = Some(version);
-        Ok(())
+        ) {
+            Ok((version, keys_written, bytes_written)) => {
+                st.committed = true;
+                st.commit_version = Some(version);
+                st.trace.keys_written = keys_written;
+                st.trace.bytes_written = bytes_written;
+                self.emit_txn_span(&st, "committed");
+                Ok(())
+            }
+            Err(e) => {
+                let outcome = if matches!(e, Error::NotCommitted) {
+                    "conflict"
+                } else {
+                    "error"
+                };
+                self.emit_txn_span(&st, outcome);
+                Err(e)
+            }
+        }
+    }
+
+    /// Push this transaction's span (its trace counters plus an outcome
+    /// marker) into the global ring. No-op when observability is off.
+    fn emit_txn_span(&self, st: &TxState, outcome: &'static str) {
+        if !rl_obs::enabled() {
+            return;
+        }
+        let t = &st.trace;
+        rl_obs::push_span(rl_obs::Span {
+            op: "txn",
+            tag: st.tag.clone().unwrap_or_default(),
+            start_us: self.start_us,
+            dur_us: rl_obs::now_us().saturating_sub(self.start_us),
+            counters: vec![
+                ("keys_read", t.keys_read),
+                ("bytes_read", t.bytes_read),
+                ("keys_written", t.keys_written),
+                ("bytes_written", t.bytes_written),
+                ("read_ops", t.read_ops),
+                ("record_fetches", t.record_fetches),
+                (outcome, 1),
+            ],
+        });
     }
 
     /// Discard all buffered writes (the transaction can't be reused; create

@@ -113,14 +113,16 @@ pub struct IoStats {
 }
 
 impl IoStats {
-    /// Difference between two snapshots (self - earlier).
+    /// Difference between two snapshots (self - earlier). Saturating, so
+    /// a `reset()` racing a snapshot pair degrades to zeros instead of a
+    /// debug-build underflow panic.
     pub fn delta(&self, earlier: &IoStats) -> IoStats {
         IoStats {
-            page_hits: self.page_hits - earlier.page_hits,
-            page_misses: self.page_misses - earlier.page_misses,
-            page_evictions: self.page_evictions - earlier.page_evictions,
-            page_flushes: self.page_flushes - earlier.page_flushes,
-            log_appends: self.log_appends - earlier.log_appends,
+            page_hits: self.page_hits.saturating_sub(earlier.page_hits),
+            page_misses: self.page_misses.saturating_sub(earlier.page_misses),
+            page_evictions: self.page_evictions.saturating_sub(earlier.page_evictions),
+            page_flushes: self.page_flushes.saturating_sub(earlier.page_flushes),
+            log_appends: self.log_appends.saturating_sub(earlier.log_appends),
         }
     }
 

@@ -102,6 +102,7 @@ impl BufferPool {
         self.counters
             .page_misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _t = rl_obs::Timer::start("page_read");
         let payload = self.file.read_page(id)?;
         let idx = self.acquire_frame()?;
         self.install(idx, id, payload, false);
@@ -213,6 +214,7 @@ impl BufferPool {
     }
 
     fn flush_frame(&mut self, idx: usize) -> io::Result<()> {
+        let _t = rl_obs::Timer::start("page_flush");
         let frame = &self.frames[idx];
         self.file.write_page(frame.page, &frame.payload)?;
         self.frames[idx].dirty = false;

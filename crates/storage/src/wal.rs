@@ -89,6 +89,7 @@ impl Wal {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let _t = rl_obs::Timer::start("wal_append");
         let payload = std::mem::take(&mut self.pending);
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());

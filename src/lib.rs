@@ -17,3 +17,4 @@ pub use cloudkit_sim;
 pub use record_layer;
 pub use rl_fdb;
 pub use rl_message;
+pub use rl_obs;
