@@ -26,6 +26,7 @@ use record_layer::plan::{
 };
 use record_layer::query::{Comparison, QueryComponent, RecordQuery};
 use record_layer::store::{RecordStore, TupleRange};
+use rl_bench::json::Json;
 use rl_bench::{experiment_pool, percentile};
 use rl_fdb::tuple::Tuple;
 use rl_fdb::{Database, Subspace};
@@ -264,32 +265,31 @@ fn main() {
         println!("{name:>28} {rows:>8} {p50:>12.1} {p95:>12.1}");
     }
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"n_records\": {},\n",
-            "  \"iterations\": {},\n",
-            "  \"covered_index_scan\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n",
-            "  \"fetching_index_scan\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n",
-            "  \"streaming_intersection\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n",
-            "  \"buffered_intersection\": {{\"rows\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}}\n",
-            "}}\n"
-        ),
-        n_records(),
-        iters(),
-        covered_rows,
-        cov_p50,
-        cov_p95,
-        fetching_rows,
-        fet_p50,
-        fet_p95,
-        streaming_rows,
-        str_p50,
-        str_p95,
-        buffered_rows,
-        buf_p50,
-        buf_p95,
-    );
-    std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
+    let experiment = |rows: usize, p50: f64, p95: f64| {
+        Json::obj()
+            .with("rows", rows)
+            .with("p50_us", (p50 * 10.0).round() / 10.0)
+            .with("p95_us", (p95 * 10.0).round() / 10.0)
+    };
+    let report = Json::obj()
+        .with("n_records", n_records())
+        .with("iterations", iters())
+        .with(
+            "covered_index_scan",
+            experiment(covered_rows, cov_p50, cov_p95),
+        )
+        .with(
+            "fetching_index_scan",
+            experiment(fetching_rows, fet_p50, fet_p95),
+        )
+        .with(
+            "streaming_intersection",
+            experiment(streaming_rows, str_p50, str_p95),
+        )
+        .with(
+            "buffered_intersection",
+            experiment(buffered_rows, buf_p50, buf_p95),
+        );
+    std::fs::write("BENCH_planner.json", report.to_pretty()).expect("write BENCH_planner.json");
     println!("\nwrote BENCH_planner.json");
 }

@@ -16,6 +16,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use rl_bench::json::Json;
 use rl_bench::rng::XorShift64;
 use rl_bench::Zipf;
 use rl_storage::{
@@ -177,29 +178,33 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!(
-        "  \"n_keys\": {N_KEYS},\n  \"value_bytes\": {VALUE_BYTES},\n  \"point_gets\": {POINT_GETS},\n  \"zipf_s\": {ZIPF_S},\n"
-    ));
-    json.push_str(&format!(
-        "  \"memory\": {{\"scan_ms\": {mem_scan_ms:.2}, \"gets_per_s\": {mem_gets_per_s:.0}}},\n"
-    ));
-    json.push_str("  \"paged\": [\n");
-    for (i, r) in runs.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"pool_pages\": {}, \"cold_scan_ms\": {:.2}, \"warm_scan_ms\": {:.2}, \"gets_per_s\": {:.0}, \"hit_rate\": {:.4}, \"file_pages\": {}}}{}\n",
-            r.policy,
-            r.pool_pages,
-            r.cold_scan_ms,
-            r.warm_scan_ms,
-            r.gets_per_s,
-            r.hit_rate,
-            r.file_pages,
-            if i + 1 < runs.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    let round2 = |v: f64| (v * 100.0).round() / 100.0;
+    let round4 = |v: f64| (v * 10_000.0).round() / 10_000.0;
+    let paged: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .with("policy", r.policy)
+                .with("pool_pages", r.pool_pages)
+                .with("cold_scan_ms", round2(r.cold_scan_ms))
+                .with("warm_scan_ms", round2(r.warm_scan_ms))
+                .with("gets_per_s", r.gets_per_s.round())
+                .with("hit_rate", round4(r.hit_rate))
+                .with("file_pages", r.file_pages)
+        })
+        .collect();
+    let report = Json::obj()
+        .with("n_keys", N_KEYS)
+        .with("value_bytes", VALUE_BYTES)
+        .with("point_gets", POINT_GETS)
+        .with("zipf_s", ZIPF_S)
+        .with(
+            "memory",
+            Json::obj()
+                .with("scan_ms", round2(mem_scan_ms))
+                .with("gets_per_s", mem_gets_per_s.round()),
+        )
+        .with("paged", paged);
+    std::fs::write("BENCH_storage.json", report.to_pretty()).expect("write BENCH_storage.json");
     println!("\nwrote BENCH_storage.json");
 }

@@ -22,6 +22,7 @@ use record_layer::plan::RecordQueryPlanner;
 use record_layer::query::{Comparison, QueryComponent, RecordQuery};
 use record_layer::store::RecordStore;
 use rl_bench::item_metadata;
+use rl_bench::json::Json;
 use rl_fdb::{Database, Subspace, Transaction};
 use rl_obs::Histogram;
 
@@ -116,26 +117,23 @@ impl OpHists {
         }
     }
 
-    fn write_json(&self, out: &mut String) {
-        out.push_str(&format!("    \"{}\": {{\n", self.name));
-        for (i, (key, h)) in [
-            ("reads_total", &self.reads_total),
-            ("reads_payload", &self.reads_payload),
-            ("reads_overhead", &self.reads_overhead),
-            ("writes_total", &self.writes_total),
-            ("writes_payload", &self.writes_payload),
-            ("writes_overhead", &self.writes_overhead),
-        ]
-        .iter()
-        .enumerate()
-        {
-            if i > 0 {
-                out.push_str(",\n");
-            }
-            out.push_str(&format!("      \"{key}\": "));
-            h.snapshot().write_json(out);
-        }
-        out.push_str("\n    }");
+    fn json(&self) -> Json {
+        Json::obj()
+            .with("reads_total", Json::hist(&self.reads_total.snapshot()))
+            .with("reads_payload", Json::hist(&self.reads_payload.snapshot()))
+            .with(
+                "reads_overhead",
+                Json::hist(&self.reads_overhead.snapshot()),
+            )
+            .with("writes_total", Json::hist(&self.writes_total.snapshot()))
+            .with(
+                "writes_payload",
+                Json::hist(&self.writes_payload.snapshot()),
+            )
+            .with(
+                "writes_overhead",
+                Json::hist(&self.writes_overhead.snapshot()),
+            )
     }
 }
 
@@ -305,21 +303,19 @@ fn main() {
         "index maintenance dominates save writes ({s_index} index writes)"
     );
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"n_records\": {n_records},\n"));
-    json.push_str(&format!("  \"iterations\": {iters},\n"));
-    json.push_str("  \"ops\": {\n");
-    for (i, op) in ops.iter().enumerate() {
-        if i > 0 {
-            json.push_str(",\n");
-        }
-        op.write_json(&mut json);
+    let mut ops_json = Json::obj();
+    for op in ops {
+        ops_json.set(op.name, op.json());
     }
-    json.push_str("\n  },\n");
-    json.push_str("  \"latency_us\": ");
-    json.push_str(&rl_obs::Recorder::global().to_json());
-    json.push_str("\n}\n");
-    std::fs::write("BENCH_overhead.json", &json).expect("write BENCH_overhead.json");
+    let report = Json::obj()
+        .with("n_records", n_records)
+        .with("iterations", iters)
+        .with("ops", ops_json)
+        .with(
+            "latency_us",
+            Json::parse(&rl_obs::Recorder::global().to_json()).expect("recorder JSON"),
+        );
+    std::fs::write("BENCH_overhead.json", report.to_pretty()).expect("write BENCH_overhead.json");
     println!("\nwrote BENCH_overhead.json");
 }
 

@@ -4,9 +4,12 @@
 //! (see DESIGN.md §3 for the experiment index); the Criterion benches under
 //! `benches/` cover the shape-level performance claims.
 
+pub mod json;
 pub mod rng;
 
 use crate::rng::{Distribution, Rng, XorShift64};
+
+pub use crate::rng::{derive_seed, Zipf};
 
 use record_layer::expr::KeyExpression;
 use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
@@ -29,32 +32,6 @@ impl Distribution<f64> for LogNormal {
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (self.mu + self.sigma * z).exp()
-    }
-}
-
-/// Zipf-distributed ranks in `1..=n` with exponent `s` (inverse-CDF
-/// sampling over precomputed weights).
-pub struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    pub fn new(n: usize, s: f64) -> Self {
-        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
-        let total: f64 = weights.iter().sum();
-        let mut acc = 0.0;
-        for w in &mut weights {
-            acc += *w / total;
-            *w = acc;
-        }
-        Zipf { cdf: weights }
-    }
-
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
-            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) + 1,
-        }
     }
 }
 

@@ -288,6 +288,108 @@ impl RecordQuery {
         self.required_fields = fields.iter().map(|s| s.to_string()).collect();
         self
     }
+
+    /// A canonical, value-free description of this query's *shape*: record
+    /// types, the filter's structure with comparison operators but not
+    /// comparands, and the projection. Two queries that differ only in
+    /// their literals share a shape.
+    ///
+    /// This is the unit of the workload harness's query corpus
+    /// (`BENCH_workload.json` `query_shapes`), which the planned
+    /// statistics-driven index advisor replays against the cost model:
+    /// shapes are what an index proposal must serve, the literals are what
+    /// the statistics summarize.
+    ///
+    /// Example: `Item[(group =? & score >=?)]→(group,id,score)`.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        if self.record_types.is_empty() {
+            out.push('*');
+        } else {
+            let mut types = self.record_types.clone();
+            types.sort();
+            out.push_str(&types.join(","));
+        }
+        out.push('[');
+        match &self.filter {
+            Some(filter) => component_shape(filter, &mut out),
+            None => out.push_str("true"),
+        }
+        out.push(']');
+        if let Some(sort) = &self.sort {
+            out.push_str(if self.sort_reverse { "↓" } else { "↑" });
+            out.push_str(&format!("{sort:?}"));
+        }
+        if !self.required_fields.is_empty() {
+            let mut fields = self.required_fields.clone();
+            fields.sort();
+            out.push_str("→(");
+            out.push_str(&fields.join(","));
+            out.push(')');
+        }
+        out
+    }
+}
+
+/// Append the value-free shape of one filter component.
+fn component_shape(component: &QueryComponent, out: &mut String) {
+    match component {
+        QueryComponent::Field { path, comparison } => {
+            out.push_str(&path.join("."));
+            out.push(' ');
+            out.push_str(comparison_shape(comparison));
+        }
+        QueryComponent::OneOfThem { field, comparison } => {
+            out.push_str(field);
+            out.push_str("[] ");
+            out.push_str(comparison_shape(comparison));
+        }
+        QueryComponent::RecordType(name) => {
+            out.push_str("type=");
+            out.push_str(name);
+        }
+        QueryComponent::And(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" & ");
+                }
+                component_shape(p, out);
+            }
+            out.push(')');
+        }
+        QueryComponent::Or(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                component_shape(p, out);
+            }
+            out.push(')');
+        }
+        QueryComponent::Not(inner) => {
+            out.push('!');
+            component_shape(inner, out);
+        }
+    }
+}
+
+/// Operator token for a comparison, with the comparand elided.
+fn comparison_shape(comparison: &Comparison) -> &'static str {
+    match comparison {
+        Comparison::Equals(_) => "=?",
+        Comparison::NotEquals(_) => "!=?",
+        Comparison::LessThan(_) => "<?",
+        Comparison::LessThanOrEquals(_) => "<=?",
+        Comparison::GreaterThan(_) => ">?",
+        Comparison::GreaterThanOrEquals(_) => ">=?",
+        Comparison::StartsWith(_) => "prefix?",
+        Comparison::In(_) => "in?",
+        Comparison::IsNull => "null?",
+        Comparison::NotNull => "!null?",
+        Comparison::Text(_) => "text?",
+    }
 }
 
 #[cfg(test)]
@@ -499,5 +601,40 @@ mod tests {
         assert_eq!(q.record_types, vec!["T".to_string()]);
         assert!(q.filter.is_some());
         assert!(q.sort_reverse);
+    }
+
+    #[test]
+    fn shapes_elide_values_and_canonicalize() {
+        let shape_of = |value: &str, score: i64| {
+            RecordQuery::new()
+                .record_type("Item")
+                .filter(QueryComponent::and(vec![
+                    QueryComponent::field("group", Comparison::Equals(value.into())),
+                    QueryComponent::field(
+                        "score",
+                        Comparison::GreaterThanOrEquals(TupleElement::Int(score)),
+                    ),
+                ]))
+                .require_fields(&["score", "id", "group"])
+                .shape()
+        };
+        // Same shape regardless of literals; projection field order is
+        // canonicalized.
+        assert_eq!(shape_of("g1", 10), shape_of("zzz", -4));
+        assert_eq!(
+            shape_of("g1", 10),
+            "Item[(group =? & score >=?)]→(group,id,score)"
+        );
+
+        let or = RecordQuery::new()
+            .record_type("Item")
+            .filter(QueryComponent::or(vec![
+                QueryComponent::field("group", Comparison::Equals("a".into())),
+                QueryComponent::field("group", Comparison::In(vec!["b".into(), "c".into()])),
+            ]))
+            .shape();
+        assert_eq!(or, "Item[(group =? | group in?)]");
+
+        assert_eq!(RecordQuery::new().shape(), "*[true]");
     }
 }

@@ -35,6 +35,42 @@ pub enum EngineKind {
     Paged(PagedConfig),
 }
 
+impl EngineKind {
+    /// Parse an engine spec string — the same grammar as the `RL_ENGINE`
+    /// environment variable: `memory`, `paged`, or `paged:<lru|clock|sieve>`
+    /// (the paged forms get an ephemeral temp directory). Anything else
+    /// falls back to the in-memory engine, mirroring `RL_ENGINE` handling.
+    pub fn from_spec(spec: &str) -> EngineKind {
+        let mut parts = spec.splitn(2, ':');
+        match parts.next() {
+            Some("paged") => {
+                let eviction = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or_default();
+                EngineKind::Paged(PagedConfig::ephemeral(eviction))
+            }
+            _ => EngineKind::InMemory,
+        }
+    }
+
+    /// Short engine family name: `memory` or `paged`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EngineKind::InMemory => "memory",
+            EngineKind::Paged(_) => "paged",
+        }
+    }
+
+    /// The buffer-pool eviction policy, for paged engines.
+    pub fn pool_policy(&self) -> Option<&'static str> {
+        match self {
+            EngineKind::InMemory => None,
+            EngineKind::Paged(cfg) => Some(cfg.eviction.name()),
+        }
+    }
+}
+
 /// Configuration for the disk-backed engine.
 #[derive(Debug, Clone)]
 pub struct PagedConfig {
@@ -96,19 +132,9 @@ impl Default for DatabaseOptions {
 
 /// Resolve `RL_ENGINE` into an engine selection (default: in-memory).
 fn engine_from_env() -> EngineKind {
-    let Ok(value) = std::env::var("RL_ENGINE") else {
-        return EngineKind::InMemory;
-    };
-    let mut parts = value.splitn(2, ':');
-    match parts.next() {
-        Some("paged") => {
-            let eviction = parts
-                .next()
-                .and_then(|p| p.parse().ok())
-                .unwrap_or_default();
-            EngineKind::Paged(PagedConfig::ephemeral(eviction))
-        }
-        _ => EngineKind::InMemory,
+    match std::env::var("RL_ENGINE") {
+        Ok(value) => EngineKind::from_spec(&value),
+        Err(_) => EngineKind::InMemory,
     }
 }
 
