@@ -1,0 +1,355 @@
+//! A hand-rolled Rust lexer, just deep enough to be *safe*: it separates
+//! code from comments and literals so that rule patterns never fire on
+//! text inside a string, a raw string, a char/byte literal, or a comment.
+//!
+//! The output is a *masked* copy of the source — same length in chars,
+//! same line structure, with every comment and literal replaced by spaces
+//! — plus the comments and string literals themselves (with line numbers)
+//! for the rules that want to look *inside* them: suppression comments
+//! (`// rl-lint: allow(rule-id)`) and the hand-built-JSON detector.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings `r"…"`/`r#"…"#` with any
+//! number of hashes, byte and C variants (`b"…"`, `br#"…"#`, `c"…"`,
+//! `cr#"…"#`), char and byte-char literals (`'a'`, `b'\n'`, `'\u{1F600}'`)
+//! — and, crucially, lifetimes (`'a`), which look like unterminated char
+//! literals and must *not* swallow the rest of the file.
+
+/// A string literal (normal or raw, possibly byte/C prefixed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Contents between the quotes, escapes left as written (`\"` stays
+    /// a backslash followed by a quote).
+    pub content: String,
+    /// Raw literals do not process escapes; the JSON rule matches them
+    /// with unescaped patterns.
+    pub raw: bool,
+}
+
+/// A comment (line or block), with the delimiters included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The source with every comment and literal blanked to spaces
+    /// (newlines preserved), so code patterns can be matched without
+    /// false positives from literal or comment text.
+    pub masked: String,
+    pub comments: Vec<Comment>,
+    pub strings: Vec<StringLit>,
+}
+
+/// True if `c` can appear in an identifier (used to keep the `r` of a raw
+/// string distinct from the `r` of `for`, and to word-bound rule patterns).
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into masked code, comments, and string literals.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut masked: Vec<char> = Vec::with_capacity(chars.len());
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push `n` chars starting at `i` as blanks (newlines preserved),
+    // advancing the line counter.
+    macro_rules! blank {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if chars[k] == '\n' {
+                    masked.push('\n');
+                    line += 1;
+                } else {
+                    masked.push(' ');
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // ---- comments -------------------------------------------------
+        if c == '/' && next == Some('/') {
+            let start = i;
+            let start_line = line;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i].iter().collect(),
+            });
+            blank!(start, i);
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i].iter().collect(),
+            });
+            blank!(start, i);
+            continue;
+        }
+
+        // ---- raw / byte / C string prefixes ---------------------------
+        // Only when not glued to a preceding identifier (`for"x"` is not
+        // a prefix, and neither is the `r` inside `var"`).
+        let prev_is_ident = i > 0 && is_ident_char(chars[i - 1]);
+        if !prev_is_ident && (c == 'r' || c == 'b' || c == 'c') {
+            // Longest prefix of [bc]?r#*" or b" / c" starting here.
+            let mut j = i;
+            let mut saw_r = false;
+            if (chars[j] == 'b' || chars[j] == 'c') && chars.get(j + 1) == Some(&'r') {
+                saw_r = true;
+                j += 2;
+            } else if chars[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            } else {
+                // b"…" / c"…" (non-raw byte/C string) or b'…' byte char.
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            if saw_r {
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if chars.get(j) == Some(&'"') && (saw_r || j == i + 1) {
+                let open = j;
+                let start_line = line;
+                let (content, end) = if saw_r {
+                    scan_raw_string(&chars, open + 1, hashes)
+                } else {
+                    scan_string(&chars, open + 1)
+                };
+                out.strings.push(StringLit {
+                    line: start_line,
+                    content,
+                    raw: saw_r,
+                });
+                blank!(i, end);
+                i = end;
+                continue;
+            }
+            if chars[i] == 'b' && chars.get(i + 1) == Some(&'\'') {
+                // Byte char literal b'…'.
+                let end = scan_char(&chars, i + 2);
+                blank!(i, end);
+                i = end;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+
+        // ---- string literal -------------------------------------------
+        if c == '"' {
+            let start_line = line;
+            let (content, end) = scan_string(&chars, i + 1);
+            out.strings.push(StringLit {
+                line: start_line,
+                content,
+                raw: false,
+            });
+            blank!(i, end);
+            i = end;
+            continue;
+        }
+
+        // ---- char literal vs lifetime ---------------------------------
+        if c == '\'' {
+            let is_char_lit = match next {
+                // '\…' is always an escape inside a char literal.
+                Some('\\') => true,
+                // 'x' is a char literal only if a closing quote follows
+                // the (single, possibly multi-byte) char; otherwise it is
+                // a lifetime like 'a or a loop label like 'outer:.
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char_lit {
+                let end = scan_char(&chars, i + 1);
+                blank!(i, end);
+                i = end;
+                continue;
+            }
+            // Lifetime / label: keep as code.
+        }
+
+        masked.push(c);
+        if c == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+
+    out.masked = masked.into_iter().collect();
+    out
+}
+
+/// Scan a normal (escape-processing) string body starting just past the
+/// opening quote; returns (raw contents, index one past the closing quote).
+fn scan_string(chars: &[char], mut i: usize) -> (String, usize) {
+    let start = i;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i = (i + 2).min(chars.len()),
+            '"' => return (chars[start..i].iter().collect(), i + 1),
+            _ => i += 1,
+        }
+    }
+    (chars[start..i].iter().collect(), i) // unterminated: EOF closes
+}
+
+/// Scan a raw string body (`hashes` trailing `#`s) starting just past the
+/// opening quote; returns (contents, index one past the final hash).
+fn scan_raw_string(chars: &[char], mut i: usize, hashes: usize) -> (String, usize) {
+    let start = i;
+    while i < chars.len() {
+        if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return (chars[start..i].iter().collect(), i + 1 + hashes);
+        }
+        i += 1;
+    }
+    (chars[start..i].iter().collect(), i)
+}
+
+/// Scan a char/byte-char literal body starting just past the opening
+/// quote; returns the index one past the closing quote.
+fn scan_char(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i = (i + 2).min(chars.len()),
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let f = lex("let a = 1; // .lock().unwrap()\n/* todo!() */ let b = 2;\n");
+        assert!(!f.masked.contains("lock"));
+        assert!(!f.masked.contains("todo"));
+        assert!(f.masked.contains("let a = 1;"));
+        assert!(f.masked.contains("let b = 2;"));
+        assert_eq!(f.comments.len(), 2);
+        assert_eq!(f.comments[0].line, 1);
+        assert_eq!(f.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment_terminates_at_outer_close() {
+        let f = lex("/* a /* b */ c */ code()\n");
+        assert!(f.masked.contains("code()"));
+        assert!(!f.masked.contains('a'));
+    }
+
+    #[test]
+    fn masks_strings_and_records_contents() {
+        let f = lex(r#"let s = "x.lock().unwrap()"; f(s);"#);
+        assert!(!f.masked.contains("unwrap"));
+        assert!(f.masked.contains("f(s);"));
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].content, "x.lock().unwrap()");
+        assert!(!f.strings[0].raw);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let f = lex(r#"let s = "a\"b.lock().unwrap()"; g();"#);
+        assert!(!f.masked.contains("unwrap"));
+        assert!(f.masked.contains("g();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let f = lex(r###"let s = r#"Instant::now() " still inside"#; h();"###);
+        assert!(!f.masked.contains("Instant"));
+        assert!(f.masked.contains("h();"));
+        assert_eq!(f.strings[0].content, r#"Instant::now() " still inside"#);
+        assert!(f.strings[0].raw);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let f = lex(r##"let a = b"todo!()"; let b = c"todo!()"; let c = br#"todo!()"#; k();"##);
+        assert!(!f.masked.contains("todo"));
+        assert!(f.masked.contains("k();"));
+        assert_eq!(f.strings.len(), 3);
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let f = lex("fn f<'a>(x: &'a u32) -> char { '\\'' }\nlet q = 'q'; let n = '\\n'; let e = '\u{1F600}';");
+        assert!(f.masked.contains("fn f<'a>(x: &'a u32)"));
+        assert!(!f.masked.contains('q') || !f.masked.contains("'q'"));
+        assert!(!f.masked.contains("\u{1F600}"));
+    }
+
+    #[test]
+    fn loop_labels_are_not_char_literals() {
+        let f = lex("'outer: loop { break 'outer; }\ncode();");
+        assert!(f.masked.contains("'outer: loop"));
+        assert!(f.masked.contains("code();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string_prefix() {
+        let f = lex(r#"let var = upper"x"; "#);
+        // `upper"x"` — `r` glued to an identifier must not open r"…".
+        assert!(f.masked.contains("upper"));
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].content, "x");
+    }
+
+    #[test]
+    fn masked_preserves_line_structure() {
+        let src = "a\n\"multi\nline\nstring\"\nb /* c\nd */ e\n";
+        let f = lex(src);
+        assert_eq!(
+            f.masked.chars().filter(|&c| c == '\n').count(),
+            src.chars().filter(|&c| c == '\n').count()
+        );
+    }
+}

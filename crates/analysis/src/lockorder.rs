@@ -1,0 +1,498 @@
+//! The static nested-lock graph.
+//!
+//! Scans masked source for mutex acquisitions over *named fields* —
+//! `lock(&self.inner)`, `lock_ranked(&self.state, …)`, `self.state.lock()`
+//! — and tracks, with brace-depth scoping, which locks are held when
+//! another is acquired. Every such nesting adds a directed edge
+//! `held → acquired` to a workspace-global graph; a cycle in that graph
+//! is a potential deadlock (two threads taking the same pair of locks in
+//! opposite orders), which is exactly the bug class the sharded-MVCC /
+//! parallel-commit work will otherwise invite.
+//!
+//! Scoping heuristics (documented limitations, by design — this is a
+//! lexical pass, not a type checker):
+//!
+//! * An acquisition bound by a `let` statement (`let g = lock(&…);`)
+//!   holds until the end of its enclosing brace scope — unless the lock
+//!   expression is dereferenced in place (`let v = *lock(&…);`), which
+//!   copies through a temporary guard dropped at the statement's end.
+//! * Any other acquisition (chained or discarded) is a temporary,
+//!   dropped at the next `;` at the same depth.
+//! * Mutex identity is `file_stem::field` — nesting that spans a call
+//!   into another file is invisible here; the runtime lock-rank tracker
+//!   in `rl_fdb::sync` covers that case.
+
+use crate::lexer::is_ident_char;
+use crate::rules::Diagnostic;
+
+/// One `held → acquired` edge, anchored at the inner acquisition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+}
+
+/// The workspace-global nested-lock graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: Vec<Edge>,
+}
+
+/// An acquisition site found while scanning one file.
+struct Acquisition {
+    /// Mutex node id (`file_stem::field`).
+    name: String,
+    /// Char index where the acquisition expression starts.
+    at: usize,
+    /// Char index just past the acquisition call.
+    end: usize,
+}
+
+/// One lock currently held during the scan.
+struct Held {
+    name: String,
+    depth: i32,
+    /// Temporaries drop at the next `;` at their depth; `let`-bound
+    /// guards drop when their scope closes.
+    stmt_scoped: bool,
+}
+
+impl LockGraph {
+    /// Scan one file's masked source and merge its nestings into the graph.
+    pub fn add_file(&mut self, rel_path: &str, masked: &str) {
+        let stem = rel_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(rel_path)
+            .trim_end_matches(".rs");
+        let chars: Vec<char> = masked.chars().collect();
+        let mut acquisitions = find_acquisitions(&chars, stem);
+        acquisitions.sort_by_key(|a| a.at);
+        let mut next_acq = 0usize;
+
+        let mut depth = 0i32;
+        let mut line = 1usize;
+        let mut held: Vec<Held> = Vec::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            // Acquisitions the scan jumped past (overlapping spans) are
+            // skipped rather than stalling the queue.
+            while next_acq < acquisitions.len() && acquisitions[next_acq].at < i {
+                next_acq += 1;
+            }
+            if next_acq < acquisitions.len() && acquisitions[next_acq].at == i {
+                let acq = &acquisitions[next_acq];
+                next_acq += 1;
+                for h in &held {
+                    self.edges.push(Edge {
+                        from: h.name.clone(),
+                        to: acq.name.clone(),
+                        file: rel_path.to_string(),
+                        line,
+                    });
+                }
+                held.push(Held {
+                    name: acq.name.clone(),
+                    depth,
+                    stmt_scoped: !is_let_bound(&chars, acq.at, acq.end),
+                });
+                // Skip past the call so `lock(` inside it can't re-match.
+                while i < acq.end {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            match chars[i] {
+                '\n' => line += 1,
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                ';' => held.retain(|h| !(h.stmt_scoped && h.depth == depth)),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Report re-entrant acquisitions and cycles. `rule_id` names the
+    /// rule these diagnostics belong to.
+    pub fn check(&self, rule_id: &'static str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        // Self-loops: the same mutex acquired while already held.
+        let mut seen_self: Vec<&str> = Vec::new();
+        for e in &self.edges {
+            if e.from == e.to && !seen_self.contains(&e.from.as_str()) {
+                seen_self.push(&e.from);
+                out.push(Diagnostic {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: rule_id,
+                    message: format!(
+                        "mutex `{}` re-locked while already held (self-deadlock)",
+                        e.to
+                    ),
+                });
+            }
+        }
+
+        // Cycles across distinct mutexes: DFS from every node.
+        let mut nodes: Vec<&str> = Vec::new();
+        for e in &self.edges {
+            if !nodes.contains(&e.from.as_str()) {
+                nodes.push(&e.from);
+            }
+            if !nodes.contains(&e.to.as_str()) {
+                nodes.push(&e.to);
+            }
+        }
+        let mut reported: Vec<Vec<&str>> = Vec::new();
+        for &start in &nodes {
+            let mut stack = vec![start];
+            self.dfs_cycles(start, start, &mut stack, &mut reported, &mut out, rule_id);
+        }
+        out
+    }
+
+    fn dfs_cycles<'a>(
+        &'a self,
+        start: &'a str,
+        at: &'a str,
+        stack: &mut Vec<&'a str>,
+        reported: &mut Vec<Vec<&'a str>>,
+        out: &mut Vec<Diagnostic>,
+        rule_id: &'static str,
+    ) {
+        for e in &self.edges {
+            if e.from != at || e.from == e.to {
+                continue;
+            }
+            if e.to == start && stack.len() > 1 {
+                // Canonical form: sorted node set, to report each cycle once.
+                let mut key: Vec<&str> = stack.clone();
+                key.sort_unstable();
+                if !reported.contains(&key) {
+                    reported.push(key);
+                    let chain = stack.join(" -> ");
+                    out.push(Diagnostic {
+                        file: e.file.clone(),
+                        line: e.line,
+                        rule: rule_id,
+                        message: format!(
+                            "lock-order cycle: {chain} -> {start} (two threads taking \
+                             these in opposite orders can deadlock)"
+                        ),
+                    });
+                }
+                continue;
+            }
+            if !stack.contains(&e.to.as_str()) {
+                stack.push(&e.to);
+                self.dfs_cycles(start, &e.to, stack, reported, out, rule_id);
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Find mutex acquisitions in masked source. Recognized shapes:
+/// `lock(&EXPR)`, `lock_ranked(&EXPR, …)`, and `EXPR.lock()`.
+fn find_acquisitions(chars: &[char], stem: &str) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // helper-call form: lock(&…) / lock_ranked(&…
+        if ident_at(chars, i, "lock(&") || ident_at(chars, i, "lock_ranked(&") {
+            let open = i + if ident_at(chars, i, "lock_ranked(&") {
+                "lock_ranked(&".len()
+            } else {
+                "lock(&".len()
+            };
+            if let Some((field, _end)) = path_field(chars, open) {
+                let call_end = matching_close(chars, open);
+                out.push(Acquisition {
+                    name: format!("{stem}::{field}"),
+                    at: i,
+                    end: call_end,
+                });
+                i = call_end.max(i + 1);
+                continue;
+            }
+        }
+        // method form: EXPR.lock()
+        if chars[i..].starts_with(&['.', 'l', 'o', 'c', 'k', '(', ')']) {
+            if let Some((field, start)) = field_before(chars, i) {
+                out.push(Acquisition {
+                    name: format!("{stem}::{field}"),
+                    at: start,
+                    end: i + ".lock()".len(),
+                });
+            }
+            i += ".lock()".len();
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does `needle` start at `i`, with `i` at an identifier boundary?
+fn ident_at(chars: &[char], i: usize, needle: &str) -> bool {
+    let n: Vec<char> = needle.chars().collect();
+    chars[i..].starts_with(&n) && (i == 0 || !is_ident_char(chars[i - 1]))
+}
+
+/// Parse a field path (`self.state`, `db.inner`, `GLOBAL`) starting at
+/// `i`; return (last segment, index of the char ending the path).
+fn path_field(chars: &[char], mut i: usize) -> Option<(String, usize)> {
+    let start = i;
+    while i < chars.len() && (is_ident_char(chars[i]) || chars[i] == '.' || chars[i] == ':') {
+        i += 1;
+    }
+    if i == start {
+        return None;
+    }
+    let path: String = chars[start..i].iter().collect();
+    let field = path.rsplit(['.', ':']).next().filter(|s| !s.is_empty())?;
+    Some((field.to_string(), i))
+}
+
+/// Walk back from the `.` of `.lock()` over one path segment chain to
+/// find the field name and the start of the receiver expression.
+/// Gives up (returns None) on receivers ending in `)` or `]` — computed
+/// receivers like `slots[slot]` still yield their field name.
+fn field_before(chars: &[char], dot: usize) -> Option<(String, usize)> {
+    let mut i = dot;
+    // Skip a trailing index expression: slots[slot].lock()
+    if i > 0 && chars[i - 1] == ']' {
+        let mut depth = 0i32;
+        while i > 0 {
+            i -= 1;
+            match chars[i] {
+                ']' => depth += 1,
+                '[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let seg_end = i;
+    let mut seg_start = i;
+    while seg_start > 0 && is_ident_char(chars[seg_start - 1]) {
+        seg_start -= 1;
+    }
+    if seg_start == seg_end {
+        return None;
+    }
+    let field: String = chars[seg_start..seg_end].iter().collect();
+    // Extend left over `self.` / `foo.` / `Path::` qualifiers so the
+    // reported span covers the whole receiver.
+    let mut start = seg_start;
+    while start > 0
+        && (is_ident_char(chars[start - 1]) || chars[start - 1] == '.' || chars[start - 1] == ':')
+    {
+        start -= 1;
+    }
+    Some((field, start))
+}
+
+/// Index just past the `)` matching the paren opened before `open`
+/// (where `open` is inside the argument list).
+fn matching_close(chars: &[char], open: usize) -> usize {
+    let mut depth = 1i32;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Is the acquisition at `[at, end)` bound by a plain `let` (guard lives
+/// to end of scope), as opposed to a temporary?
+fn is_let_bound(chars: &[char], at: usize, end: usize) -> bool {
+    // A deref in place (`*lock(&…)`) copies through a temporary.
+    let mut k = at;
+    while k > 0 && chars[k - 1].is_whitespace() {
+        k -= 1;
+    }
+    if k > 0 && chars[k - 1] == '*' {
+        return false;
+    }
+    // Chained method access after the call (`….lock().unwrap_or_else(…)`
+    // keeps the guard; `lock(&x).field` / `lock(&x).method()` uses it as
+    // a temporary — conservatively treat any chain as a temporary unless
+    // it is the poison-recovery chain itself).
+    let mut j = end;
+    while j < chars.len() && chars[j].is_whitespace() {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'.')
+        && !chars[j..].starts_with(&".unwrap_or_else".chars().collect::<Vec<_>>()[..])
+    {
+        return false;
+    }
+    // Statement must start with `let`.
+    let mut s = at;
+    while s > 0 && !matches!(chars[s - 1], ';' | '{' | '}') {
+        s -= 1;
+    }
+    let stmt: String = chars[s..at].iter().collect();
+    let stmt = stmt.trim_start();
+    stmt.starts_with("let ") || stmt.starts_with("let\t")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph_of(files: &[(&str, &str)]) -> LockGraph {
+        let mut g = LockGraph::default();
+        for (path, src) in files {
+            g.add_file(path, &lex(src).masked);
+        }
+        g
+    }
+
+    #[test]
+    fn two_mutex_inversion_is_a_cycle() {
+        let src = r#"
+            fn ab(&self) {
+                let a = lock(&self.alpha);
+                let b = lock(&self.beta);
+                drop(b); drop(a);
+            }
+            fn ba(&self) {
+                let b = lock(&self.beta);
+                let a = lock(&self.alpha);
+                drop(a); drop(b);
+            }
+        "#;
+        let diags = graph_of(&[("x.rs", src)]).check("lock-order");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("alpha") && diags[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+            fn ab(&self) {
+                let a = lock(&self.alpha);
+                let b = lock(&self.beta);
+            }
+            fn ab2(&self) {
+                let a = self.alpha.lock();
+                let b = self.beta.lock();
+            }
+        "#;
+        assert!(graph_of(&[("x.rs", src)]).check("lock-order").is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_does_not_hold_across_statements() {
+        // `*lock(&…)` copies out through a temporary — no nesting with
+        // the next acquisition.
+        let src = r#"
+            fn f(&self) {
+                let v = *lock(&self.alpha);
+                let b = lock(&self.beta);
+            }
+            fn g(&self) {
+                let b = lock(&self.beta);
+                let v = *lock(&self.alpha);
+            }
+        "#;
+        // f: no alpha held at beta. g: beta held at alpha — edge beta->alpha
+        // only; no cycle without the reverse edge.
+        assert!(graph_of(&[("x.rs", src)]).check("lock-order").is_empty());
+    }
+
+    #[test]
+    fn scope_end_releases_guard() {
+        let src = r#"
+            fn f(&self) {
+                { let a = lock(&self.alpha); }
+                let b = lock(&self.beta);
+            }
+            fn g(&self) {
+                { let b = lock(&self.beta); }
+                let a = lock(&self.alpha);
+            }
+        "#;
+        assert!(graph_of(&[("x.rs", src)]).check("lock-order").is_empty());
+    }
+
+    #[test]
+    fn reentrant_lock_is_flagged() {
+        let src = r#"
+            fn f(&self) {
+                let a = lock(&self.alpha);
+                let again = lock(&self.alpha);
+            }
+        "#;
+        let diags = graph_of(&[("x.rs", src)]).check("lock-order");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("re-locked"));
+    }
+
+    #[test]
+    fn method_form_and_ranked_form_are_recognized() {
+        let src = r#"
+            fn ab(&self) {
+                let a = lock_ranked(&self.alpha, LockRank::A);
+                let b = self.beta.lock();
+            }
+            fn ba(&self) {
+                let b = self.beta.lock();
+                let a = lock_ranked(&self.alpha, LockRank::A);
+            }
+        "#;
+        let diags = graph_of(&[("x.rs", src)]).check("lock-order");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn same_field_name_in_different_files_is_distinct() {
+        // `state` in a.rs and `state` in b.rs are different mutexes; a
+        // nesting in each direction across files must NOT report a cycle.
+        let a = "fn f(&self) { let s = lock(&self.state); let i = lock(&self.inner); }";
+        let b = "fn g(&self) { let i = lock(&self.inner); let s = lock(&self.state); }";
+        assert!(graph_of(&[("a.rs", a), ("b.rs", b)])
+            .check("lock-order")
+            .is_empty());
+    }
+
+    #[test]
+    fn three_cycle_reported_once() {
+        let src = r#"
+            fn f(&self) { let a = lock(&self.a); let b = lock(&self.b); }
+            fn g(&self) { let b = lock(&self.b); let c = lock(&self.c); }
+            fn h(&self) { let c = lock(&self.c); let a = lock(&self.a); }
+        "#;
+        let diags = graph_of(&[("x.rs", src)]).check("lock-order");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("cycle"));
+    }
+}

@@ -1,0 +1,109 @@
+//! `rl_lint` — run the workspace lints.
+//!
+//! ```text
+//! rl_lint [--root=PATH] [--rule=id[,id…]] [--deny-all] [--list-rules]
+//! ```
+//!
+//! With no `--root`, lints the enclosing Cargo workspace of the current
+//! directory. Exit codes: 0 clean (or advisory mode), 1 usage/I-O error,
+//! 2 findings under `--deny-all` (the CI mode).
+
+use rl_analysis::{collect_sources, find_workspace_root, rules};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  rl_lint [--root=PATH] [--rule=id[,id…]] [--deny-all]\n  rl_lint --list-rules"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<String> = None;
+    let mut deny_all = false;
+    let mut only_rules: Option<Vec<String>> = None;
+
+    for arg in &args {
+        if let Some(value) = arg.strip_prefix("--root=") {
+            root = Some(value.to_string());
+        } else if let Some(value) = arg.strip_prefix("--rule=") {
+            only_rules = Some(value.split(',').map(str::trim).map(String::from).collect());
+        } else if arg == "--deny-all" {
+            deny_all = true;
+        } else if arg == "--list-rules" {
+            println!("{:<18} invariant", "rule");
+            for rule in rules::ALL {
+                let rationale: String = rule
+                    .rationale
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                println!("{:<18} {}", rule.id, rationale);
+            }
+            println!("\nsuppress inline with: // rl-lint: allow(rule-id) — reason");
+            return;
+        } else {
+            eprintln!("unknown argument: {arg}");
+            usage();
+        }
+    }
+
+    let root = match root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("rl_lint: cannot determine current directory: {e}");
+                std::process::exit(1);
+            });
+            find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+
+    let sources = collect_sources(&root).unwrap_or_else(|e| {
+        eprintln!("rl_lint: reading {}: {e}", root.display());
+        std::process::exit(1);
+    });
+
+    let selected: Vec<&rules::Rule> = match &only_rules {
+        None => rules::ALL.iter().collect(),
+        Some(ids) => {
+            let mut picked = Vec::new();
+            for id in ids {
+                match rules::by_id(id) {
+                    Some(r) => picked.push(r),
+                    None => {
+                        eprintln!("rl_lint: unknown rule `{id}` (try --list-rules)");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            picked
+        }
+    };
+    let diags = if selected.len() == rules::ALL.len() {
+        rules::lint_files(&sources, rules::ALL)
+    } else {
+        let ids: Vec<&str> = selected.iter().map(|r| r.id).collect();
+        rules::lint_files(&sources, rules::ALL)
+            .into_iter()
+            .filter(|d| ids.contains(&d.rule))
+            .collect()
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    let n = diags.len();
+    if n > 0 {
+        eprintln!(
+            "rl_lint: {n} finding{} in {} files",
+            if n == 1 { "" } else { "s" },
+            sources.len()
+        );
+        if deny_all {
+            std::process::exit(2);
+        }
+    } else {
+        eprintln!("rl_lint: clean ({} files)", sources.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! The self-test: `cargo test` runs the full rule catalog over the real
+//! workspace and fails on any finding, so a violation can't land even if
+//! the CI lint leg is skipped.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = rl_analysis::find_workspace_root(here)
+        .expect("workspace root with [workspace] above crates/analysis");
+    let diags = rl_analysis::lint_tree(&root).expect("read workspace sources");
+    assert!(
+        diags.is_empty(),
+        "the workspace must be rl_lint-clean; run `cargo run -p rl_analysis --bin rl_lint` \
+         and fix or `// rl-lint: allow(rule-id) — reason` each finding:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_workspace_has_a_nontrivial_source_set() {
+    // Guard against the walker silently skipping everything (which would
+    // make the clean self-test vacuous).
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = rl_analysis::find_workspace_root(here).unwrap();
+    let files = rl_analysis::collect_sources(&root).unwrap();
+    assert!(files.len() >= 50, "only {} .rs files found", files.len());
+    assert!(files
+        .iter()
+        .any(|(p, _)| p == "crates/fdb/src/transaction.rs"));
+    assert!(files
+        .iter()
+        .any(|(p, _)| p == "crates/analysis/src/lexer.rs"));
+}

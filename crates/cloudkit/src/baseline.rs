@@ -18,6 +18,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+use rl_fdb::sync::lock;
 use rl_fdb::tuple::{Tuple, TupleElement};
 use rl_fdb::{Database, RangeOptions, Subspace};
 
@@ -133,14 +134,14 @@ impl AsyncIndexer {
     /// Called by the write path: enqueue the index update (the write
     /// itself returns before the index reflects it).
     pub fn enqueue_put(&self, field_value: &str, record: &str) {
-        self.state.lock().unwrap().queue.push_back(IndexOp::Put {
+        lock(&self.state).queue.push_back(IndexOp::Put {
             field_value: field_value.to_string(),
             record: record.to_string(),
         });
     }
 
     pub fn enqueue_remove(&self, field_value: &str, record: &str) {
-        self.state.lock().unwrap().queue.push_back(IndexOp::Remove {
+        lock(&self.state).queue.push_back(IndexOp::Remove {
             field_value: field_value.to_string(),
             record: record.to_string(),
         });
@@ -148,7 +149,7 @@ impl AsyncIndexer {
 
     /// The background job: apply up to `n` pending updates.
     pub fn apply_pending(&self, n: usize) -> usize {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         let mut applied = 0;
         while applied < n {
             let Some(op) = st.queue.pop_front() else {
@@ -180,9 +181,7 @@ impl AsyncIndexer {
 
     /// Query the (possibly stale) index.
     pub fn query(&self, field_value: &str) -> Vec<String> {
-        self.state
-            .lock()
-            .unwrap()
+        lock(&self.state)
             .applied
             .get(field_value)
             .cloned()
@@ -191,7 +190,7 @@ impl AsyncIndexer {
 
     /// How many updates have not yet been applied.
     pub fn lag(&self) -> usize {
-        self.state.lock().unwrap().queue.len()
+        lock(&self.state).queue.len()
     }
 }
 

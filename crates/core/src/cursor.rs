@@ -13,6 +13,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::error::{Error, Result};
+use rl_fdb::sync::lock;
 use rl_fdb::{RangeOptions, Transaction};
 
 /// An opaque, serializable position in a cursor stream.
@@ -240,7 +241,7 @@ impl ScanLimiter {
     /// Charge one scanned record of `bytes` size. Returns the stop reason
     /// if a budget has been exhausted *before* this scan.
     pub fn try_record_scan(&self, bytes: usize) -> Option<NoNextReason> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         if let Some(r) = st.records_remaining {
             if r <= 0 {
                 return Some(NoNextReason::ScanLimitReached);

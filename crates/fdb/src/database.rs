@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex};
 
 use rl_storage::SharedIoCounters;
 
@@ -12,6 +12,7 @@ use crate::atomic;
 use crate::error::{Error, Result};
 use crate::metrics::{Metrics, SharedMetrics};
 use crate::storage::{EvictionPolicy, MemoryEngine, PagedEngine, StorageEngine};
+use crate::sync::{lock_ranked, LockRank};
 use crate::transaction::{Command, Transaction};
 
 /// FoundationDB's documented key size limit (10 kB).
@@ -227,7 +228,9 @@ impl Database {
 
     /// Short description of the storage engine backing this database.
     pub fn engine_description(&self) -> String {
-        lock(&self.inner).store.describe()
+        lock_ranked(&self.inner, LockRank::DatabaseInner)
+            .store
+            .describe()
     }
 
     pub fn options(&self) -> &DatabaseOptions {
@@ -265,7 +268,7 @@ impl Database {
     pub fn get_read_version(&self) -> u64 {
         let _t = rl_obs::Timer::start("grv");
         self.grv_calls.fetch_add(1, Ordering::Relaxed);
-        lock(&self.inner).last_commit_version
+        lock_ranked(&self.inner, LockRank::DatabaseInner).last_commit_version
     }
 
     /// Begin a transaction at the latest read version.
@@ -279,7 +282,7 @@ impl Database {
     /// version has not been committed yet, or `TransactionTooOld` if it has
     /// fallen out of the MVCC window.
     pub fn create_transaction_at(&self, read_version: u64) -> Result<Transaction> {
-        let inner = lock(&self.inner);
+        let inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
         if read_version > inner.last_commit_version {
             return Err(Error::FutureVersion);
         }
@@ -315,7 +318,7 @@ impl Database {
     // (crate-internal: used by Transaction for snapshot reads)
 
     pub(crate) fn storage_get(&self, key: &[u8], read_version: u64) -> Result<Option<Vec<u8>>> {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
         if read_version < inner.oldest_version {
             return Err(Error::TransactionTooOld);
         }
@@ -328,7 +331,7 @@ impl Database {
         end: &[u8],
         read_version: u64,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
         if read_version < inner.oldest_version {
             return Err(Error::TransactionTooOld);
         }
@@ -350,7 +353,7 @@ impl Database {
         write_conflicts: &[(Vec<u8>, Vec<u8>)],
         commands: &[Command],
     ) -> Result<(u64, u64, u64)> {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
 
         if read_version < inner.oldest_version {
             self.metrics.record_commit(false, false);
@@ -464,14 +467,14 @@ impl Database {
 
     /// Diagnostic: number of live keys at the latest version.
     pub fn live_key_count(&self) -> usize {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
         let version = inner.last_commit_version;
         inner.store.live_key_count(version)
     }
 
     /// Diagnostic: latest commit version without counting as a GRV call.
     pub fn last_commit_version(&self) -> u64 {
-        lock(&self.inner).last_commit_version
+        lock_ranked(&self.inner, LockRank::DatabaseInner).last_commit_version
     }
 }
 
@@ -483,7 +486,7 @@ impl Default for Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = lock(&self.inner);
+        let inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
         f.debug_struct("Database")
             .field("engine", &inner.store.describe())
             .field("last_commit_version", &inner.last_commit_version)
@@ -491,14 +494,6 @@ impl std::fmt::Debug for Database {
             .field("window_len", &inner.window.len())
             .finish()
     }
-}
-
-/// Lock a mutex, explicitly recovering from poisoning: a panic in another
-/// thread mid-commit leaves the simulated cluster state intact enough for
-/// tests to observe, and matches the non-poisoning `parking_lot` semantics
-/// this module was originally written against.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Half-open interval intersection.
@@ -530,14 +525,14 @@ impl ReadVersionCache {
         min_version: u64,
     ) -> Result<Transaction> {
         let now = db.clock_ms();
-        let cached = *lock(&self.state);
+        let cached = *lock_ranked(&self.state, LockRank::ReadVersionCache);
         if let Some((version, fetched_at)) = cached {
             if now.saturating_sub(fetched_at) <= max_staleness_ms && version >= min_version {
                 return db.create_transaction_at(version);
             }
         }
         let version = db.get_read_version();
-        *lock(&self.state) = Some((version, now));
+        *lock_ranked(&self.state, LockRank::ReadVersionCache) = Some((version, now));
         db.create_transaction_at(version)
     }
 
@@ -545,7 +540,7 @@ impl ReadVersionCache {
     /// refreshing the cache for free.
     pub fn observe(&self, db: &Database, version: u64) {
         let now = db.clock_ms();
-        let mut st = lock(&self.state);
+        let mut st = lock_ranked(&self.state, LockRank::ReadVersionCache);
         if st.is_none_or(|(v, _)| version >= v) {
             *st = Some((version, now));
         }

@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod range;
 pub mod storage;
 pub mod subspace;
+pub mod sync;
 pub mod transaction;
 pub mod tuple;
 pub mod version;
@@ -56,6 +57,7 @@ pub use kv::{KeySelector, KeyValue};
 pub use range::{RangeOptions, StreamingMode};
 pub use storage::{EvictionPolicy, StorageEngine};
 pub use subspace::Subspace;
+pub use sync::{lock, lock_ranked, LockRank};
 pub use transaction::Transaction;
 pub use version::Versionstamp;
 

@@ -1,0 +1,236 @@
+//! Lock hygiene for the whole workspace: the poison-recovering [`lock`]
+//! helper (promoted out of `database.rs`, where every other crate used to
+//! bypass it with bare `.lock().unwrap()`), and a `debug_assertions`-gated
+//! **lock-rank tracker** that asserts at runtime that nested acquisitions
+//! respect the declared global order.
+//!
+//! The static half of this contract is `rl_lint`'s `lock-poison` and
+//! `lock-order` rules (crates/analysis): the linter proves no call site
+//! bypasses these helpers and that the *visible* nested-lock graph is
+//! acyclic; the tracker catches the nestings the lexical pass cannot see
+//! (a lock taken inside a call into another file). Together they are the
+//! safety net the sharded-MVCC / parallel-commit roadmap work relies on.
+//!
+//! The declared order (lower ranks first):
+//!
+//! 1. [`LockRank::ReadVersionCache`] — the client-side GRV cache; never
+//!    held across a database call.
+//! 2. [`LockRank::TransactionState`] — a transaction's buffered-write
+//!    state; held while the commit pipeline runs.
+//! 3. [`LockRank::DatabaseInner`] — the cluster's store + conflict
+//!    window; the innermost lock, acquired with transaction state held.
+//!
+//! In release builds the tracker compiles away entirely: [`lock_ranked`]
+//! is exactly [`lock`].
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, explicitly recovering from poisoning: a panic in another
+/// thread mid-commit leaves the simulated cluster state intact enough for
+/// tests to observe, and matches the non-poisoning `parking_lot` semantics
+/// this workspace was originally written against.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The global lock order. Acquiring a rank less than or equal to one the
+/// current thread already holds is an ordering violation (and a potential
+/// deadlock against a thread acquiring in the declared order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum LockRank {
+    /// `ReadVersionCache::state`.
+    ReadVersionCache = 10,
+    /// `Transaction::state`.
+    TransactionState = 20,
+    /// `Database::inner` (store, conflict window, MVCC horizon).
+    DatabaseInner = 30,
+}
+
+impl LockRank {
+    #[cfg(debug_assertions)]
+    fn name(self) -> &'static str {
+        match self {
+            LockRank::ReadVersionCache => "ReadVersionCache::state",
+            LockRank::TransactionState => "Transaction::state",
+            LockRank::DatabaseInner => "Database::inner",
+        }
+    }
+}
+
+/// A `MutexGuard` whose acquisition was checked against the thread's held
+/// ranks; releases its rank entry on drop.
+pub struct RankedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T> Deref for RankedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RankedGuard<'_, T> {
+    fn drop(&mut self) {
+        tracker::release(self.rank);
+    }
+}
+
+/// Lock a mutex at a declared [`LockRank`], poison-recovering like
+/// [`lock`]. Under `debug_assertions`, panics if the calling thread
+/// already holds a lock of the same or higher rank.
+pub fn lock_ranked<T>(m: &Mutex<T>, rank: LockRank) -> RankedGuard<'_, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(rank);
+    #[cfg(not(debug_assertions))]
+    let _ = rank;
+    RankedGuard {
+        guard: lock(m),
+        #[cfg(debug_assertions)]
+        rank,
+    }
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<LockRank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Record an acquisition attempt, panicking on an order violation.
+    /// The violation check runs *before* blocking on the mutex — the
+    /// point is to catch the misordering even when it doesn't happen to
+    /// deadlock this run.
+    pub fn acquire(rank: LockRank) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&top) = held.last() {
+                if rank <= top {
+                    let chain: Vec<&str> = held.iter().map(|r| r.name()).collect();
+                    // Leave the thread's tracker usable for whoever
+                    // catches the panic (tests).
+                    held.clear();
+                    panic!(
+                        "lock-rank violation: acquiring `{}` while holding {:?} — \
+                         declared order is ReadVersionCache < TransactionState < \
+                         DatabaseInner (see rl_fdb::sync)",
+                        rank.name(),
+                        chain,
+                    );
+                }
+            }
+            held.push(rank);
+        });
+    }
+
+    /// Release the most recent acquisition of `rank` (guards may drop
+    /// out of LIFO order).
+    pub fn release(rank: LockRank) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+    }
+
+    #[test]
+    fn ranked_guard_derefs_and_releases() {
+        let m = Mutex::new(1);
+        {
+            let mut g = lock_ranked(&m, LockRank::TransactionState);
+            *g += 1;
+        }
+        // Rank released: re-acquiring the same rank on this thread is fine.
+        let g = lock_ranked(&m, LockRank::TransactionState);
+        assert_eq!(*g, 2);
+    }
+
+    #[test]
+    fn ascending_ranks_are_allowed() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        let _ga = lock_ranked(&a, LockRank::ReadVersionCache);
+        let _gb = lock_ranked(&b, LockRank::TransactionState);
+        let _gc = lock_ranked(&c, LockRank::DatabaseInner);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn descending_ranks_panic() {
+        // Spawned thread so the panic (and its tracker state) stays
+        // isolated from the test harness thread.
+        let result = std::thread::spawn(|| {
+            let hi = Mutex::new(());
+            let lo = Mutex::new(());
+            let _g_hi = lock_ranked(&hi, LockRank::DatabaseInner);
+            let _g_lo = lock_ranked(&lo, LockRank::TransactionState); // inversion
+        })
+        .join();
+        let err = result.expect_err("inversion must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-rank violation"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn same_rank_reacquisition_panics() {
+        let result = std::thread::spawn(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let _ga = lock_ranked(&a, LockRank::TransactionState);
+            let _gb = lock_ranked(&b, LockRank::TransactionState);
+        })
+        .join();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn out_of_order_drops_release_correctly() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let ga = lock_ranked(&a, LockRank::TransactionState);
+        let gb = lock_ranked(&b, LockRank::DatabaseInner);
+        drop(ga); // dropped before gb: release must not pop gb's rank
+        let c = Mutex::new(());
+        // TransactionState is free again; DatabaseInner still held, so
+        // acquiring TransactionState now would be an inversion — but
+        // re-acquiring after dropping gb too must succeed.
+        drop(gb);
+        let _gc = lock_ranked(&c, LockRank::TransactionState);
+    }
+}

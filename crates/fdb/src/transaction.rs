@@ -17,6 +17,7 @@ use crate::database::{Database, KEY_SIZE_LIMIT, VALUE_SIZE_LIMIT};
 use crate::error::{Error, Result};
 use crate::kv::{KeySelector, KeyValue};
 use crate::range::RangeOptions;
+use crate::sync::{lock_ranked, LockRank};
 
 /// One buffered write command, in program order.
 #[derive(Debug, Clone)]
@@ -185,13 +186,13 @@ impl Transaction {
 
     /// Snapshot of this transaction's own read/write attribution.
     pub fn trace(&self) -> TxnTrace {
-        self.state.lock().unwrap().trace
+        lock_ranked(&self.state, LockRank::TransactionState).trace
     }
 
     /// Attach a free-form attribution tag (tenant, subspace, workload…)
     /// carried by the span this transaction emits at commit.
     pub fn set_tag(&self, tag: &str) {
-        self.state.lock().unwrap().tag = Some(tag.to_string());
+        lock_ranked(&self.state, LockRank::TransactionState).tag = Some(tag.to_string());
     }
 
     /// Count one record fetch against this transaction's trace (called by
@@ -199,13 +200,15 @@ impl Transaction {
     /// extra lock acquisition costs nothing on the common path).
     pub fn note_record_fetch(&self) {
         if rl_obs::enabled() {
-            self.state.lock().unwrap().trace.record_fetches += 1;
+            lock_ranked(&self.state, LockRank::TransactionState)
+                .trace
+                .record_fetches += 1;
         }
     }
 
     /// The commit version, available after a successful commit.
     pub fn committed_version(&self) -> Option<u64> {
-        self.state.lock().unwrap().commit_version
+        lock_ranked(&self.state, LockRank::TransactionState).commit_version
     }
 
     /// The 10-byte transaction versionstamp, available after commit.
@@ -265,7 +268,7 @@ impl Transaction {
     fn get_inner(&self, key: &[u8], snapshot: bool) -> Result<Option<Vec<u8>>> {
         let _t = rl_obs::Timer::start("get");
         self.validate_key(key)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         self.check_open(&st)?;
         if !snapshot {
             let end = crate::key_after(key);
@@ -321,7 +324,7 @@ impl Transaction {
         snapshot: bool,
     ) -> Result<Vec<KeyValue>> {
         let _t = rl_obs::Timer::start("get_range");
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         self.check_open(&st)?;
         if begin >= end {
             return Ok(Vec::new());
@@ -433,7 +436,7 @@ impl Transaction {
         }
         if !snapshot {
             // Conservative conflict range around the resolved position.
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_ranked(&self.state, LockRank::TransactionState);
             self.check_open(&st)?;
             if let Some(ref k) = cur {
                 st.read_conflicts.push((k.clone(), crate::key_after(k)));
@@ -472,7 +475,7 @@ impl Transaction {
     pub fn try_set(&self, key: &[u8], value: &[u8]) -> Result<()> {
         self.validate_key(key)?;
         self.validate_value(value)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         self.check_open(&st)?;
         st.seq += 1;
         let seq = st.seq;
@@ -492,7 +495,7 @@ impl Transaction {
 
     /// Buffer a single-key clear.
     pub fn clear(&self, key: &[u8]) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         if self.check_open(&st).is_err() {
             return;
         }
@@ -510,7 +513,7 @@ impl Transaction {
 
     /// Buffer a range clear of `[begin, end)`.
     pub fn clear_range(&self, begin: &[u8], end: &[u8]) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         if self.check_open(&st).is_err() || begin >= end {
             return;
         }
@@ -531,7 +534,7 @@ impl Transaction {
     /// conflict with each other (§2).
     pub fn mutate(&self, op: MutationType, key: &[u8], param: &[u8]) -> Result<()> {
         self.validate_key(key)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         self.check_open(&st)?;
         st.seq += 1;
         let seq = st.seq;
@@ -588,7 +591,7 @@ impl Transaction {
     /// Explicitly add a read conflict range (used with snapshot reads to
     /// conflict only on distinguished keys, §10.1).
     pub fn add_read_conflict_range(&self, begin: &[u8], end: &[u8]) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         st.size += begin.len() + end.len() + 12;
         st.read_conflicts.push((begin.to_vec(), end.to_vec()));
     }
@@ -600,19 +603,21 @@ impl Transaction {
 
     /// Explicitly add a write conflict range.
     pub fn add_write_conflict_range(&self, begin: &[u8], end: &[u8]) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         st.size += begin.len() + end.len() + 12;
         st.write_conflicts.push((begin.to_vec(), end.to_vec()));
     }
 
     /// Current approximate transaction size in bytes.
     pub fn approximate_size(&self) -> usize {
-        self.state.lock().unwrap().size
+        lock_ranked(&self.state, LockRank::TransactionState).size
     }
 
     /// Whether any writes are buffered.
     pub fn is_read_only(&self) -> bool {
-        self.state.lock().unwrap().commands.is_empty()
+        lock_ranked(&self.state, LockRank::TransactionState)
+            .commands
+            .is_empty()
     }
 
     // --------------------------------------------------------------- commit
@@ -621,7 +626,7 @@ impl Transaction {
     /// transaction's versionstamp and committed version become available.
     pub fn commit(&self) -> Result<()> {
         let _t = rl_obs::Timer::start("commit");
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         if st.committed {
             return Err(Error::UsedDuringCommit);
         }
@@ -702,7 +707,7 @@ impl Transaction {
     /// Discard all buffered writes (the transaction can't be reused; create
     /// a new one from the database).
     pub fn cancel(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ranked(&self.state, LockRank::TransactionState);
         st.commands.clear();
         st.writes_by_key.clear();
         st.cleared.clear();

@@ -3,7 +3,7 @@
 //! and commit outcomes to individual transactions.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard};
 
 use record_layer::expr::KeyExpression;
 use record_layer::metadata::{Index, RecordMetaData, RecordMetaDataBuilder};
@@ -17,7 +17,7 @@ use rl_message::{DescriptorPool, FieldDescriptor, FieldType, MessageDescriptor};
 /// binary that drain the ring must not interleave.
 fn obs_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    rl_fdb::sync::lock(&LOCK)
 }
 
 fn metadata() -> RecordMetaData {
