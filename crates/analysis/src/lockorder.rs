@@ -202,19 +202,29 @@ impl LockGraph {
     }
 }
 
+/// The helper-call acquisition shapes, longest-prefix first so
+/// `lock_ranked_indexed(&…` is never half-matched as `lock_ranked(&…`.
+/// `read_ranked`/`write_ranked` are the shared/exclusive `RwLock` helpers:
+/// shared acquisition is interchangeable with exclusive for
+/// deadlock-ordering purposes, so both feed the same graph node.
+const CALL_NEEDLES: [&str; 5] = [
+    "lock_ranked_indexed(&",
+    "lock_ranked(&",
+    "read_ranked(&",
+    "write_ranked(&",
+    "lock(&",
+];
+
 /// Find mutex acquisitions in masked source. Recognized shapes:
-/// `lock(&EXPR)`, `lock_ranked(&EXPR, …)`, and `EXPR.lock()`.
+/// `lock(&EXPR)`, `lock_ranked(&EXPR, …)`, `lock_ranked_indexed(&EXPR, …)`,
+/// `read_ranked(&EXPR, …)`, `write_ranked(&EXPR, …)`, and `EXPR.lock()`.
 fn find_acquisitions(chars: &[char], stem: &str) -> Vec<Acquisition> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < chars.len() {
-        // helper-call form: lock(&…) / lock_ranked(&…
-        if ident_at(chars, i, "lock(&") || ident_at(chars, i, "lock_ranked(&") {
-            let open = i + if ident_at(chars, i, "lock_ranked(&") {
-                "lock_ranked(&".len()
-            } else {
-                "lock(&".len()
-            };
+        // helper-call form: lock(&…) / lock_ranked(&… / read_ranked(&… / …
+        if let Some(needle) = CALL_NEEDLES.iter().find(|n| ident_at(chars, i, n)) {
+            let open = i + needle.len();
             if let Some((field, _end)) = path_field(chars, open) {
                 let call_end = matching_close(chars, open);
                 out.push(Acquisition {
@@ -482,6 +492,62 @@ mod tests {
         assert!(graph_of(&[("a.rs", a), ("b.rs", b)])
             .check("lock-order")
             .is_empty());
+    }
+
+    #[test]
+    fn indexed_and_rwlock_forms_are_recognized() {
+        // The parallel-commit pipeline's shapes: an indexed shard
+        // acquisition, the commit-batch queue, the version core, and the
+        // store RwLock, nested in the declared order — clean graph.
+        let src = r#"
+            fn commit(&self) {
+                let shard = lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx);
+                let st = lock_ranked(&self.batcher.state, LockRank::CommitBatch);
+                let core = lock_ranked(&self.core, LockRank::VersionCore);
+                let store = write_ranked(&self.store, LockRank::DatabaseStore);
+            }
+            fn read(&self) {
+                let core = lock_ranked(&self.core, LockRank::VersionCore);
+                let store = read_ranked(&self.store, LockRank::DatabaseStore);
+            }
+        "#;
+        assert!(graph_of(&[("x.rs", src)]).check("lock-order").is_empty());
+    }
+
+    #[test]
+    fn shard_versus_version_core_inversion_is_a_cycle() {
+        // One path takes shard → core (the commit path), another core →
+        // shard (a buggy compaction sweep): classic inversion.
+        let src = r#"
+            fn commit(&self) {
+                let shard = lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx);
+                let core = lock_ranked(&self.core, LockRank::VersionCore);
+            }
+            fn sweep(&self) {
+                let core = lock_ranked(&self.core, LockRank::VersionCore);
+                let shard = lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx);
+            }
+        "#;
+        let diags = graph_of(&[("x.rs", src)]).check("lock-order");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("shards") && diags[0].message.contains("core"));
+    }
+
+    #[test]
+    fn rwlock_read_then_write_same_field_is_a_self_loop() {
+        // A shared read guard held across an exclusive re-acquisition of
+        // the same RwLock deadlocks for real; the graph sees it as a
+        // self-loop because both feed the same node.
+        let src = r#"
+            fn f(&self) {
+                let shared = read_ranked(&self.store, LockRank::DatabaseStore);
+                let exclusive = write_ranked(&self.store, LockRank::DatabaseStore);
+            }
+        "#;
+        let diags = graph_of(&[("x.rs", src)]).check("lock-order");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("re-locked"));
     }
 
     #[test]

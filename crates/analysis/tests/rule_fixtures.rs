@@ -135,6 +135,58 @@ fn lock_order_reports_a_two_mutex_inversion() {
 }
 
 #[test]
+fn lock_order_sees_the_parallel_commit_pipeline_nodes() {
+    // The sharded-MVCC pipeline's acquisition shapes all register:
+    // indexed shard locks, the commit-batch queue, the version core, and
+    // the store RwLock, nested in the declared rank order — clean graph.
+    let src = r#"
+        fn commit(&self) {
+            let shard = lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx);
+            let st = lock_ranked(&self.batcher.queue_state, LockRank::CommitBatch);
+            let core = lock_ranked(&self.core, LockRank::VersionCore);
+            let store = write_ranked(&self.store, LockRank::DatabaseStore);
+        }
+        fn snapshot_read(&self) {
+            let store = read_ranked(&self.store, LockRank::DatabaseStore);
+        }
+    "#;
+    let diags = lint_files(
+        &[("crates/core/src/fixture.rs".to_string(), src.to_string())],
+        ALL,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_order_reports_a_shard_version_core_inversion() {
+    // A commit path takes a conflict shard then the version core; a buggy
+    // maintenance sweep takes the core then a shard. Two threads running
+    // these concurrently deadlock — the graph must report the cycle.
+    let src = r#"
+        fn commit(&self) {
+            let shard = lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx);
+            let core = lock_ranked(&self.core, LockRank::VersionCore);
+        }
+        fn sweep(&self) {
+            let core = lock_ranked(&self.core, LockRank::VersionCore);
+            let shard = lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx);
+        }
+    "#;
+    let diags = lint_files(
+        &[("crates/core/src/fixture.rs".to_string(), src.to_string())],
+        ALL,
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "lock-order");
+    assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+    assert!(
+        diags[0].message.contains("shards") && diags[0].message.contains("core"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
 fn lock_order_consistent_nesting_is_clean() {
     let src = r#"
         fn ab(&self) {

@@ -1,10 +1,42 @@
 //! The database: commit pipeline, conflict detection, MVCC window
 //! management, logical clock, and read-version caching.
+//!
+//! ## Parallel commit pipeline
+//!
+//! The original simulator funnelled every read and commit through one
+//! `Arc<Mutex<Inner>>`. That global lock is now torn into four pieces,
+//! each with its own [`LockRank`]:
+//!
+//! * **Conflict shards** (`shards`, [`LockRank::ConflictShard`]) — the
+//!   recent-writes window is sharded by key range ([`CONFLICT_SHARDS`]
+//!   shards, keyed on the first two key bytes). A committing transaction
+//!   locks only the shards its conflict ranges touch, in ascending shard
+//!   order, so commits over disjoint key spaces validate and apply in
+//!   parallel.
+//! * **Group-commit batcher** (`batcher`, [`LockRank::CommitBatch`]) —
+//!   concurrent committers that passed validation enqueue their command
+//!   logs; one becomes the *leader* and applies the whole batch with a
+//!   single version allocation and (on the paged engine) a single WAL
+//!   frame. Followers park on a condvar and collect their receipts.
+//! * **Version core** (`core`, [`LockRank::VersionCore`]) — version
+//!   allocation and compaction bookkeeping; a short critical section only
+//!   the batch leader enters.
+//! * **Store** (`store`, [`LockRank::DatabaseStore`]) — the storage
+//!   engine behind an `RwLock`. Engines whose reads are side-effect-free
+//!   (the in-memory engine) expose a [`SharedRead`] view, so MVCC
+//!   snapshot reads run under the shared lock, concurrently with each
+//!   other; the paged engine mutates buffer-pool state on reads and stays
+//!   behind the exclusive lock.
+//!
+//! `last_commit_version` and `oldest_version` are additionally published
+//! as atomics (after the store apply, so a GRV can never hand out a
+//! version the store has not materialized), making `getReadVersion`
+//! entirely lock-free.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use rl_storage::SharedIoCounters;
 
@@ -12,7 +44,7 @@ use crate::atomic;
 use crate::error::{Error, Result};
 use crate::metrics::{Metrics, SharedMetrics};
 use crate::storage::{EvictionPolicy, MemoryEngine, PagedEngine, StorageEngine};
-use crate::sync::{lock_ranked, LockRank};
+use crate::sync::{lock_ranked, lock_ranked_indexed, read_ranked, write_ranked, LockRank};
 use crate::transaction::{Command, Transaction};
 
 /// FoundationDB's documented key size limit (10 kB).
@@ -25,6 +57,10 @@ pub const TRANSACTION_SIZE_LIMIT: usize = 10_000_000;
 pub const TRANSACTION_TIME_LIMIT_MS: u64 = 5_000;
 /// FoundationDB advances ~1,000,000 versions per second of wall time.
 pub const VERSIONS_PER_MS: u64 = 1_000;
+/// Number of recent-writes conflict-index shards. Keys map to shards by
+/// their first two bytes, so transactions over disjoint key prefixes
+/// (e.g. different tenants) commit in parallel.
+pub const CONFLICT_SHARDS: usize = 16;
 
 /// Which storage engine backs the simulated cluster.
 #[derive(Debug, Clone, Default)]
@@ -156,6 +192,56 @@ fn build_engine(
     }
 }
 
+// ------------------------------------------------------- shard mapping
+
+/// The first two key bytes as a big-endian u16 (shorter keys are
+/// zero-padded). Adjacent keys share prefixes, so a contiguous key range
+/// resolves to a contiguous prefix interval.
+fn prefix_value(key: &[u8]) -> u16 {
+    let hi = key.first().copied().unwrap_or(0) as u16;
+    let lo = key.get(1).copied().unwrap_or(0) as u16;
+    (hi << 8) | lo
+}
+
+/// Which conflict shard a two-byte prefix belongs to.
+fn shard_of_prefix(prefix: u16) -> usize {
+    prefix as usize % CONFLICT_SHARDS
+}
+
+/// Bitmask (bit *i* = shard *i*) of the shards a half-open key range
+/// `[begin, end)` can touch. Conservative: every key in the range maps to
+/// a shard in the mask (extra shards only cost lock acquisitions, never
+/// correctness). A range spanning `>= CONFLICT_SHARDS` prefixes covers
+/// every shard.
+fn range_shard_mask(begin: &[u8], end: &[u8]) -> u16 {
+    let lo = prefix_value(begin);
+    // Keys below `end` carry `end`'s own prefix only if `end` has bytes
+    // past the prefix; otherwise the prefix interval stops one short.
+    let hi = if end.len() > 2 {
+        prefix_value(end)
+    } else {
+        prefix_value(end).saturating_sub(1)
+    }
+    .max(lo);
+    if (hi - lo) as usize >= CONFLICT_SHARDS - 1 {
+        return u16::MAX >> (16 - CONFLICT_SHARDS);
+    }
+    let mut mask = 0u16;
+    for p in lo..=hi {
+        mask |= 1 << shard_of_prefix(p);
+    }
+    mask
+}
+
+/// Union of [`range_shard_mask`] over a conflict-range set.
+fn conflict_shard_mask(ranges: &[(Vec<u8>, Vec<u8>)]) -> u16 {
+    ranges
+        .iter()
+        .fold(0, |mask, (begin, end)| mask | range_shard_mask(begin, end))
+}
+
+// --------------------------------------------------------- shared state
+
 /// One entry in the conflict-detection window: the write conflict ranges of
 /// a committed transaction, recorded under its commit version.
 #[derive(Debug)]
@@ -164,37 +250,95 @@ struct CommittedWrites {
     ranges: Vec<(Vec<u8>, Vec<u8>)>,
 }
 
-#[derive(Debug)]
-struct Inner {
-    store: Box<dyn StorageEngine>,
+/// One shard of the recent-writes conflict index. Entries are ordered by
+/// version (insertion happens under the shard lock, and versions allocate
+/// monotonically while the inserting committer still holds the lock).
+#[derive(Debug, Default)]
+struct ConflictShard {
     window: VecDeque<CommittedWrites>,
-    last_commit_version: u64,
-    /// Read versions below this fail with `transaction_too_old`.
-    oldest_version: u64,
-    commits_since_compaction: u64,
+}
+
+/// The storage engine plus its cleanup obligation, behind the store
+/// `RwLock`.
+#[derive(Debug)]
+struct Store {
+    engine: Box<dyn StorageEngine>,
     /// Directory to delete once the engine has shut down (ephemeral paged
     /// engines only).
     cleanup_dir: Option<PathBuf>,
 }
 
-impl Drop for Inner {
+impl Drop for Store {
     fn drop(&mut self) {
         if let Some(dir) = self.cleanup_dir.take() {
             // Shut the engine down first so its final checkpoint lands
             // before the directory disappears.
-            self.store = Box::new(MemoryEngine::new());
+            self.engine = Box::new(MemoryEngine::new());
             let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
 
+/// Version allocation + compaction bookkeeping: the short critical
+/// section only a batch leader enters.
+#[derive(Debug, Default)]
+struct VersionCore {
+    last_commit_version: u64,
+    commits_since_compaction: u64,
+}
+
+/// A committer's enqueued work: its command log, cloned so the follower
+/// can park without lending out its borrow.
+struct PendingCommit {
+    ticket: u64,
+    commands: Vec<Command>,
+}
+
+/// What a batch member gets back from the leader.
+#[derive(Debug, Clone, Copy)]
+struct CommitReceipt {
+    version: u64,
+    batch_order: u16,
+    keys_written: u64,
+    bytes_written: u64,
+}
+
+#[derive(Default)]
+struct BatchState {
+    queue: Vec<PendingCommit>,
+    /// A leader is currently applying a batch; newcomers queue behind it.
+    leader_active: bool,
+    next_ticket: u64,
+    /// Receipts published by the last leader, keyed by ticket.
+    results: Vec<(u64, Result<CommitReceipt>)>,
+}
+
+/// Group-commit rendezvous: queue + condvar the followers park on.
+#[derive(Default)]
+struct CommitBatcher {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
 /// Handle to a simulated FoundationDB cluster. Clone freely; all clones
-/// share state. Safe to use from multiple threads: reads are lock-brief,
-/// commits serialize on the inner lock exactly as FDB's resolver serializes
-/// validation.
+/// share state. Safe to use from multiple threads: snapshot reads run
+/// under a shared store lock (on engines with side-effect-free reads),
+/// and commits over disjoint key shards validate and apply in parallel,
+/// batched through a group-commit leader.
 #[derive(Clone)]
 pub struct Database {
-    inner: Arc<Mutex<Inner>>,
+    /// Recent-writes conflict index, sharded by key prefix.
+    shards: Arc<[Mutex<ConflictShard>; CONFLICT_SHARDS]>,
+    /// Version allocation + compaction counters.
+    core: Arc<Mutex<VersionCore>>,
+    /// The storage engine (shared reads / exclusive commits).
+    store: Arc<RwLock<Store>>,
+    /// Group-commit batcher.
+    batcher: Arc<CommitBatcher>,
+    /// Latest commit version the store has materialized (lock-free GRV).
+    last_commit: Arc<AtomicU64>,
+    /// Read versions below this fail with `transaction_too_old`.
+    oldest: Arc<AtomicU64>,
     options: Arc<DatabaseOptions>,
     clock_ms: Arc<AtomicU64>,
     metrics: SharedMetrics,
@@ -209,16 +353,19 @@ impl Database {
 
     pub fn with_options(options: DatabaseOptions) -> Self {
         let metrics = Metrics::new_shared();
-        let (store, cleanup_dir) = build_engine(&options.engine, metrics.io_counters().clone());
+        let (engine, cleanup_dir) = build_engine(&options.engine, metrics.io_counters().clone());
         Database {
-            inner: Arc::new(Mutex::new(Inner {
-                store,
-                window: VecDeque::new(),
-                last_commit_version: 0,
-                oldest_version: 0,
-                commits_since_compaction: 0,
+            shards: Arc::new(std::array::from_fn(
+                |_| Mutex::new(ConflictShard::default()),
+            )),
+            core: Arc::new(Mutex::new(VersionCore::default())),
+            store: Arc::new(RwLock::new(Store {
+                engine,
                 cleanup_dir,
             })),
+            batcher: Arc::new(CommitBatcher::default()),
+            last_commit: Arc::new(AtomicU64::new(0)),
+            oldest: Arc::new(AtomicU64::new(0)),
             options: Arc::new(options),
             clock_ms: Arc::new(AtomicU64::new(0)),
             metrics,
@@ -228,8 +375,8 @@ impl Database {
 
     /// Short description of the storage engine backing this database.
     pub fn engine_description(&self) -> String {
-        lock_ranked(&self.inner, LockRank::DatabaseInner)
-            .store
+        read_ranked(&self.store, LockRank::DatabaseStore)
+            .engine
             .describe()
     }
 
@@ -265,10 +412,12 @@ impl Database {
     // ------------------------------------------------------- transactions
 
     /// Perform a `getReadVersion` (GRV): the latest commit version.
+    /// Lock-free — the version is published atomically after each batch
+    /// lands in the store.
     pub fn get_read_version(&self) -> u64 {
         let _t = rl_obs::Timer::start("grv");
         self.grv_calls.fetch_add(1, Ordering::Relaxed);
-        lock_ranked(&self.inner, LockRank::DatabaseInner).last_commit_version
+        self.last_commit.load(Ordering::Acquire)
     }
 
     /// Begin a transaction at the latest read version.
@@ -282,14 +431,12 @@ impl Database {
     /// version has not been committed yet, or `TransactionTooOld` if it has
     /// fallen out of the MVCC window.
     pub fn create_transaction_at(&self, read_version: u64) -> Result<Transaction> {
-        let inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
-        if read_version > inner.last_commit_version {
+        if read_version > self.last_commit.load(Ordering::Acquire) {
             return Err(Error::FutureVersion);
         }
-        if read_version < inner.oldest_version {
+        if read_version < self.oldest.load(Ordering::Acquire) {
             return Err(Error::TransactionTooOld);
         }
-        drop(inner);
         Ok(Transaction::new(
             self.clone(),
             read_version,
@@ -318,11 +465,29 @@ impl Database {
     // (crate-internal: used by Transaction for snapshot reads)
 
     pub(crate) fn storage_get(&self, key: &[u8], read_version: u64) -> Result<Option<Vec<u8>>> {
-        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
-        if read_version < inner.oldest_version {
+        let store = read_ranked(&self.store, LockRank::DatabaseStore);
+        // `oldest` only advances under the exclusive store lock, so this
+        // check stays valid for the lifetime of the shared guard.
+        if read_version < self.oldest.load(Ordering::Acquire) {
             return Err(Error::TransactionTooOld);
         }
-        Ok(inner.store.get(key, read_version))
+        match store.engine.as_shared_read() {
+            Some(shared) => Ok(shared.get(key, read_version)),
+            None => {
+                drop(store);
+                self.storage_get_exclusive(key, read_version)
+            }
+        }
+    }
+
+    /// Fallback for engines whose reads mutate internal state (the paged
+    /// engine's buffer pool): re-acquire exclusively and re-check.
+    fn storage_get_exclusive(&self, key: &[u8], read_version: u64) -> Result<Option<Vec<u8>>> {
+        let mut store = write_ranked(&self.store, LockRank::DatabaseStore);
+        if read_version < self.oldest.load(Ordering::Acquire) {
+            return Err(Error::TransactionTooOld);
+        }
+        Ok(store.engine.get(key, read_version))
     }
 
     pub(crate) fn storage_range(
@@ -331,150 +496,264 @@ impl Database {
         end: &[u8],
         read_version: u64,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
-        if read_version < inner.oldest_version {
+        let store = read_ranked(&self.store, LockRank::DatabaseStore);
+        if read_version < self.oldest.load(Ordering::Acquire) {
             return Err(Error::TransactionTooOld);
         }
-        Ok(inner.store.range(begin, end, read_version, false))
+        match store.engine.as_shared_read() {
+            Some(shared) => Ok(shared.range(begin, end, read_version, false)),
+            None => {
+                drop(store);
+                self.storage_range_exclusive(begin, end, read_version)
+            }
+        }
+    }
+
+    fn storage_range_exclusive(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        read_version: u64,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut store = write_ranked(&self.store, LockRank::DatabaseStore);
+        if read_version < self.oldest.load(Ordering::Acquire) {
+            return Err(Error::TransactionTooOld);
+        }
+        Ok(store.engine.range(begin, end, read_version, false))
     }
 
     // --------------------------------------------------------------- commit
 
     /// Validate a transaction's read conflict ranges against the window of
     /// recently committed writes, then apply its command log at a fresh
-    /// commit version. This is the resolver + proxy pipeline of FDB,
-    /// collapsed into one critical section. Returns the commit version
-    /// plus the keys and bytes written, so the transaction can attribute
-    /// its own write traffic (per-transaction tracing).
+    /// commit version — FDB's resolver + proxy pipeline. Validation holds
+    /// only the conflict shards the transaction touches (ascending order),
+    /// so disjoint commits proceed in parallel; application goes through
+    /// the group-commit batcher, which charges one version allocation and
+    /// one engine batch-seal per *batch* of concurrent committers.
+    /// Returns the commit version, the order within its batch, and the
+    /// keys/bytes written (per-transaction tracing).
     pub(crate) fn commit_internal(
         &self,
         read_version: u64,
         read_conflicts: &[(Vec<u8>, Vec<u8>)],
         write_conflicts: &[(Vec<u8>, Vec<u8>)],
         commands: &[Command],
-    ) -> Result<(u64, u64, u64)> {
-        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
+    ) -> Result<(u64, u16, u64, u64)> {
+        if read_version < self.oldest.load(Ordering::Acquire) {
+            self.metrics.record_commit(false, false);
+            return Err(Error::TransactionTooOld);
+        }
 
-        if read_version < inner.oldest_version {
+        // Lock the conflict shards this transaction's ranges can touch,
+        // in ascending shard order (the ConflictShard indexed band).
+        let mask = conflict_shard_mask(read_conflicts) | conflict_shard_mask(write_conflicts);
+        let mut held = Vec::with_capacity(mask.count_ones() as usize);
+        for idx in 0..CONFLICT_SHARDS {
+            if mask & (1 << idx) != 0 {
+                held.push((
+                    idx,
+                    lock_ranked_indexed(&self.shards[idx], LockRank::ConflictShard, idx),
+                ));
+            }
+        }
+
+        // Re-check expiry now that we hold our shards: `oldest` may have
+        // advanced past our read version while we were acquiring.
+        if read_version < self.oldest.load(Ordering::Acquire) {
             self.metrics.record_commit(false, false);
             return Err(Error::TransactionTooOld);
         }
 
         // Conflict detection: any committed write range newer than our read
-        // version that intersects any of our read ranges aborts us.
-        for committed in inner.window.iter().rev() {
-            if committed.version <= read_version {
-                break; // window is ordered by version
-            }
-            for (wa, wb) in &committed.ranges {
-                for (ra, rb) in read_conflicts {
-                    if ranges_intersect(ra, rb, wa, wb) {
-                        self.metrics.record_commit(false, true);
-                        return Err(Error::NotCommitted);
+        // version that intersects any of our read ranges aborts us. Each
+        // shard's window is ordered by version, so scan newest-first and
+        // stop at our read version.
+        for (_, shard) in &held {
+            for committed in shard.window.iter().rev() {
+                if committed.version <= read_version {
+                    break;
+                }
+                for (wa, wb) in &committed.ranges {
+                    for (ra, rb) in read_conflicts {
+                        if ranges_intersect(ra, rb, wa, wb) {
+                            self.metrics.record_commit(false, true);
+                            return Err(Error::NotCommitted);
+                        }
                     }
                 }
             }
         }
 
-        // Assign the commit version: strictly increasing, and at least the
-        // clock-implied version so that versions track logical time.
-        let clock_version = self.clock_ms() * VERSIONS_PER_MS;
-        let version = (inner.last_commit_version + 1).max(clock_version);
-        let tr_version = {
-            let mut v = [0u8; 10];
-            v[0..8].copy_from_slice(&version.to_be_bytes());
-            v // batch order 0: every commit gets its own version here
+        // Apply through the group-commit batcher. We still hold our shard
+        // locks, so no conflicting transaction can validate against a
+        // window that does not yet contain our writes — and every member
+        // of one batch is pairwise shard-disjoint by construction, which
+        // is what makes a shared commit version sound.
+        let receipt = match self.batched_apply(commands.to_vec()) {
+            Ok(receipt) => receipt,
+            Err(e) => {
+                self.metrics.record_commit(false, false);
+                return Err(e);
+            }
         };
 
-        // Apply the command log in program order.
-        let mut keys_written = 0u64;
-        let mut bytes_written = 0u64;
-        for cmd in commands {
-            match cmd {
-                Command::Set { key, value } => {
-                    keys_written += 1;
-                    bytes_written += (key.len() + value.len()) as u64;
-                    inner.store.write(key.clone(), Some(value.clone()), version);
+        // Record our write conflict ranges for future validations, in
+        // every shard the write set touches (duplicated per shard so each
+        // shard's window is self-contained).
+        if !write_conflicts.is_empty() {
+            let write_mask = conflict_shard_mask(write_conflicts);
+            let horizon = self.oldest.load(Ordering::Acquire);
+            for (idx, shard) in &mut held {
+                if write_mask & (1 << *idx) == 0 {
+                    continue;
                 }
-                Command::Clear { key } => {
-                    inner.store.write(key.clone(), None, version);
+                while shard.window.front().is_some_and(|c| c.version < horizon) {
+                    shard.window.pop_front();
                 }
-                Command::ClearRange { begin, end } => {
-                    inner.store.clear_range(begin, end, version);
-                }
-                Command::Atomic { key, op, param } => {
-                    let current = inner.store.get(key, version);
-                    let new = atomic::apply(*op, current.as_deref(), param)?;
-                    keys_written += 1;
-                    bytes_written += (key.len() + new.as_ref().map_or(0, Vec::len)) as u64;
-                    inner.store.write(key.clone(), new, version);
-                }
-                Command::VersionstampedKey {
-                    key_payload,
-                    offset,
-                    value,
-                } => {
-                    let mut key = key_payload.clone();
-                    atomic::fill_versionstamp(&mut key, *offset, &tr_version);
-                    keys_written += 1;
-                    bytes_written += (key.len() + value.len()) as u64;
-                    inner.store.write(key, Some(value.clone()), version);
-                }
-                Command::VersionstampedValue {
-                    key,
-                    value_payload,
-                    offset,
-                } => {
-                    let mut value = value_payload.clone();
-                    atomic::fill_versionstamp(&mut value, *offset, &tr_version);
-                    keys_written += 1;
-                    bytes_written += (key.len() + value.len()) as u64;
-                    inner.store.write(key.clone(), Some(value), version);
-                }
+                shard.window.push_back(CommittedWrites {
+                    version: receipt.version,
+                    ranges: write_conflicts.to_vec(),
+                });
             }
+        }
+        drop(held);
+
+        self.metrics
+            .add_keys_written(receipt.keys_written, receipt.bytes_written);
+        self.metrics.record_commit(true, false);
+        Ok((
+            receipt.version,
+            receipt.batch_order,
+            receipt.keys_written,
+            receipt.bytes_written,
+        ))
+    }
+
+    /// Group commit: enqueue this committer's command log; whoever finds
+    /// no leader active drains the queue and leads the batch, everyone
+    /// else parks until the leader publishes their receipt. Callers hold
+    /// their conflict-shard locks throughout, which the leader never
+    /// takes — the rank order ConflictShard < CommitBatch < VersionCore <
+    /// DatabaseStore keeps the whole rendezvous deadlock-free.
+    fn batched_apply(&self, commands: Vec<Command>) -> Result<CommitReceipt> {
+        let mut st = lock_ranked(&self.batcher.state, LockRank::CommitBatch);
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push(PendingCommit { ticket, commands });
+        loop {
+            if let Some(pos) = st.results.iter().position(|(t, _)| *t == ticket) {
+                return st.results.swap_remove(pos).1;
+            }
+            if !st.leader_active {
+                st.leader_active = true;
+                let batch = std::mem::take(&mut st.queue);
+                drop(st);
+                return self.lead_and_publish(ticket, batch);
+            }
+            st.wait_on(&self.batcher.done);
+        }
+    }
+
+    /// Leader path: apply the batch, then publish everyone's receipts and
+    /// hand leadership off. (Separate from [`Self::batched_apply`] so the
+    /// batcher lock is provably released before the leader re-acquires
+    /// it.)
+    fn lead_and_publish(&self, ticket: u64, batch: Vec<PendingCommit>) -> Result<CommitReceipt> {
+        let mut results = self.lead_batch(batch);
+        let own = results
+            .iter()
+            .position(|(t, _)| *t == ticket)
+            .expect("leader's own commit in batch");
+        let own = results.swap_remove(own).1;
+        let mut st = lock_ranked(&self.batcher.state, LockRank::CommitBatch);
+        st.leader_active = false;
+        st.results.append(&mut results);
+        drop(st);
+        self.batcher.done.notify_all();
+        own
+    }
+
+    /// Apply a batch: one version allocation, every member's command log
+    /// at that version (distinguished by batch order), one engine batch
+    /// seal — i.e. one WAL frame on the paged engine — then publish the
+    /// version. Runs without the batcher lock; takes VersionCore then
+    /// DatabaseStore.
+    fn lead_batch(&self, batch: Vec<PendingCommit>) -> Vec<(u64, Result<CommitReceipt>)> {
+        // Assign the batch's commit version: strictly increasing, and at
+        // least the clock-implied version so versions track logical time.
+        let mut core = lock_ranked(&self.core, LockRank::VersionCore);
+        let clock_version = self.clock_ms() * VERSIONS_PER_MS;
+        let version = (core.last_commit_version + 1).max(clock_version);
+        core.last_commit_version = version;
+        core.commits_since_compaction += batch.len() as u64;
+        let compact_now = core.commits_since_compaction >= self.options.compaction_interval;
+        if compact_now {
+            core.commits_since_compaction = 0;
+        }
+        drop(core);
+
+        let horizon = version.saturating_sub(self.options.mvcc_window_versions);
+        let mut store = write_ranked(&self.store, LockRank::DatabaseStore);
+        let mut results = Vec::with_capacity(batch.len());
+        for (order, pending) in batch.into_iter().enumerate() {
+            let order = order as u16;
+            // Surface operand errors before any of this member's writes
+            // reach the store: with a shared batch version, a half-applied
+            // member would otherwise become visible when its batchmates
+            // publish.
+            let applied = validate_commands(&pending.commands).and_then(|()| {
+                apply_commands(store.engine.as_mut(), &pending.commands, version, order)
+            });
+            results.push((
+                pending.ticket,
+                applied.map(|(keys_written, bytes_written)| CommitReceipt {
+                    version,
+                    batch_order: order,
+                    keys_written,
+                    bytes_written,
+                }),
+            ));
         }
 
         // Seal the batch: a crash-safe engine persists everything above
-        // atomically; a crash before this point loses the whole batch.
-        inner.store.commit_batch();
+        // atomically (one WAL frame); a crash before this point loses the
+        // whole batch.
+        store.engine.commit_batch();
 
-        // Record our write conflict ranges for future validations.
-        if !write_conflicts.is_empty() {
-            inner.window.push_back(CommittedWrites {
-                version,
-                ranges: write_conflicts.to_vec(),
-            });
+        // Publish only now, so a GRV can never hand out a version the
+        // store has not fully materialized.
+        self.last_commit.store(version, Ordering::Release);
+        self.oldest.fetch_max(horizon, Ordering::AcqRel);
+        if compact_now {
+            let oldest = self.oldest.load(Ordering::Acquire);
+            store.engine.compact(oldest);
         }
-        inner.last_commit_version = version;
-
-        // Expire the window and (periodically) compact MVCC history.
-        let horizon = version.saturating_sub(self.options.mvcc_window_versions);
-        inner.oldest_version = inner.oldest_version.max(horizon);
-        while inner.window.front().is_some_and(|c| c.version < horizon) {
-            inner.window.pop_front();
-        }
-        inner.commits_since_compaction += 1;
-        if inner.commits_since_compaction >= self.options.compaction_interval {
-            inner.commits_since_compaction = 0;
-            let oldest = inner.oldest_version;
-            inner.store.compact(oldest);
-        }
-
-        self.metrics.add_keys_written(keys_written, bytes_written);
-        self.metrics.record_commit(true, false);
-        Ok((version, keys_written, bytes_written))
+        results
     }
 
     /// Diagnostic: number of live keys at the latest version.
     pub fn live_key_count(&self) -> usize {
-        let mut inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
-        let version = inner.last_commit_version;
-        inner.store.live_key_count(version)
+        let version = self.last_commit.load(Ordering::Acquire);
+        let store = read_ranked(&self.store, LockRank::DatabaseStore);
+        match store.engine.as_shared_read() {
+            Some(shared) => shared.live_key_count(version),
+            None => {
+                drop(store);
+                self.live_key_count_exclusive(version)
+            }
+        }
+    }
+
+    fn live_key_count_exclusive(&self, version: u64) -> usize {
+        write_ranked(&self.store, LockRank::DatabaseStore)
+            .engine
+            .live_key_count(version)
     }
 
     /// Diagnostic: latest commit version without counting as a GRV call.
     pub fn last_commit_version(&self) -> u64 {
-        lock_ranked(&self.inner, LockRank::DatabaseInner).last_commit_version
+        self.last_commit.load(Ordering::Acquire)
     }
 }
 
@@ -486,14 +765,92 @@ impl Default for Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = lock_ranked(&self.inner, LockRank::DatabaseInner);
         f.debug_struct("Database")
-            .field("engine", &inner.store.describe())
-            .field("last_commit_version", &inner.last_commit_version)
-            .field("oldest_version", &inner.oldest_version)
-            .field("window_len", &inner.window.len())
+            .field("engine", &self.engine_description())
+            .field(
+                "last_commit_version",
+                &self.last_commit.load(Ordering::Relaxed),
+            )
+            .field("oldest_version", &self.oldest.load(Ordering::Relaxed))
             .finish()
     }
+}
+
+/// Pre-validate a command log: surface any operand error (e.g. an ADD
+/// wider than 16 bytes) that [`apply_commands`] would hit. Apply errors
+/// depend only on the operand, never on the current value, so probing
+/// with an empty current value is exact.
+fn validate_commands(commands: &[Command]) -> Result<()> {
+    for cmd in commands {
+        if let Command::Atomic { op, param, .. } = cmd {
+            atomic::apply(*op, None, param)?;
+        }
+    }
+    Ok(())
+}
+
+/// Apply one member's command log at `version`, in program order, with
+/// versionstamps resolved to `version` ‖ `batch_order`. Returns the keys
+/// and bytes written.
+fn apply_commands(
+    store: &mut dyn StorageEngine,
+    commands: &[Command],
+    version: u64,
+    batch_order: u16,
+) -> Result<(u64, u64)> {
+    let tr_version = {
+        let mut v = [0u8; 10];
+        v[0..8].copy_from_slice(&version.to_be_bytes());
+        v[8..10].copy_from_slice(&batch_order.to_be_bytes());
+        v
+    };
+    let mut keys_written = 0u64;
+    let mut bytes_written = 0u64;
+    for cmd in commands {
+        match cmd {
+            Command::Set { key, value } => {
+                keys_written += 1;
+                bytes_written += (key.len() + value.len()) as u64;
+                store.write(key.clone(), Some(value.clone()), version);
+            }
+            Command::Clear { key } => {
+                store.write(key.clone(), None, version);
+            }
+            Command::ClearRange { begin, end } => {
+                store.clear_range(begin, end, version);
+            }
+            Command::Atomic { key, op, param } => {
+                let current = store.get(key, version);
+                let new = atomic::apply(*op, current.as_deref(), param)?;
+                keys_written += 1;
+                bytes_written += (key.len() + new.as_ref().map_or(0, Vec::len)) as u64;
+                store.write(key.clone(), new, version);
+            }
+            Command::VersionstampedKey {
+                key_payload,
+                offset,
+                value,
+            } => {
+                let mut key = key_payload.clone();
+                atomic::fill_versionstamp(&mut key, *offset, &tr_version);
+                keys_written += 1;
+                bytes_written += (key.len() + value.len()) as u64;
+                store.write(key, Some(value.clone()), version);
+            }
+            Command::VersionstampedValue {
+                key,
+                value_payload,
+                offset,
+            } => {
+                let mut value = value_payload.clone();
+                atomic::fill_versionstamp(&mut value, *offset, &tr_version);
+                keys_written += 1;
+                bytes_written += (key.len() + value.len()) as u64;
+                store.write(key.clone(), Some(value), version);
+            }
+        }
+    }
+    Ok((keys_written, bytes_written))
 }
 
 /// Half-open interval intersection.
@@ -504,9 +861,27 @@ fn ranges_intersect(a1: &[u8], a2: &[u8], b1: &[u8], b2: &[u8]) -> bool {
 /// Client-side read-version cache (§4: "Read version caching optimizes
 /// getReadVersion further by completely avoiding communication with
 /// FoundationDB if a read version was recently fetched").
-#[derive(Debug, Default)]
+///
+/// Doubles as a GRV *batcher*: the cache lock is held across the
+/// staleness check and the refresh, so when N threads hit a stale cache
+/// at once, exactly one performs the `getReadVersion` and the rest reuse
+/// its result.
+#[derive(Default)]
 pub struct ReadVersionCache {
-    state: Mutex<Option<(u64, u64)>>, // (version, fetched_at_ms)
+    state: Mutex<Option<(u64, u64)>>, // (version, fetched_at_ticks)
+    /// Monotonic tick source for staleness. `None` uses the database's
+    /// logical clock; tests inject a counter to pin staleness decisions
+    /// independent of the database under test.
+    ticks: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ReadVersionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadVersionCache")
+            .field("state", &self.state)
+            .field("has_tick_source", &self.ticks.is_some())
+            .finish()
+    }
 }
 
 impl ReadVersionCache {
@@ -514,32 +889,59 @@ impl ReadVersionCache {
         Self::default()
     }
 
+    /// A cache whose staleness clock is the given monotonic tick source
+    /// instead of the database's logical clock. Ticks are in the same
+    /// unit as `max_staleness_ms`.
+    pub fn with_tick_source(ticks: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        ReadVersionCache {
+            state: Mutex::new(None),
+            ticks: Some(Arc::new(ticks)),
+        }
+    }
+
+    fn now_ticks(&self, db: &Database) -> u64 {
+        match &self.ticks {
+            Some(ticks) => ticks(),
+            None => db.clock_ms(),
+        }
+    }
+
     /// Begin a transaction, reusing a cached read version when it is no
     /// older than `max_staleness_ms` and at least `min_version` (the last
     /// version previously observed by this client, so the client never goes
-    /// backwards in time).
+    /// backwards in time). A stale cache triggers exactly one GRV even
+    /// under concurrency (the refresh happens under the cache lock; GRV
+    /// itself is lock-free, so nothing nests under this lock).
     pub fn create_transaction(
         &self,
         db: &Database,
         max_staleness_ms: u64,
         min_version: u64,
     ) -> Result<Transaction> {
-        let now = db.clock_ms();
-        let cached = *lock_ranked(&self.state, LockRank::ReadVersionCache);
-        if let Some((version, fetched_at)) = cached {
-            if now.saturating_sub(fetched_at) <= max_staleness_ms && version >= min_version {
-                return db.create_transaction_at(version);
+        let now = self.now_ticks(db);
+        let version = {
+            let mut st = lock_ranked(&self.state, LockRank::ReadVersionCache);
+            match *st {
+                Some((version, fetched_at))
+                    if now.saturating_sub(fetched_at) <= max_staleness_ms
+                        && version >= min_version =>
+                {
+                    version
+                }
+                _ => {
+                    let version = db.get_read_version();
+                    *st = Some((version, now));
+                    version
+                }
             }
-        }
-        let version = db.get_read_version();
-        *lock_ranked(&self.state, LockRank::ReadVersionCache) = Some((version, now));
+        };
         db.create_transaction_at(version)
     }
 
     /// Record a version observed via some other channel (e.g. a commit),
     /// refreshing the cache for free.
     pub fn observe(&self, db: &Database, version: u64) {
-        let now = db.clock_ms();
+        let now = self.now_ticks(db);
         let mut st = lock_ranked(&self.state, LockRank::ReadVersionCache);
         if st.is_none_or(|(v, _)| version >= v) {
             *st = Some((version, now));
@@ -830,6 +1232,194 @@ mod tests {
     }
 
     #[test]
+    fn read_version_cache_staleness_with_injected_ticks() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+
+        // Staleness runs on the injected counter: the database clock
+        // never moves in this test.
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t2 = ticks.clone();
+        let cache = ReadVersionCache::with_tick_source(move || t2.load(Ordering::Relaxed));
+
+        let before = db.grv_call_count();
+        let _ = cache.create_transaction(&db, 100, 0).unwrap();
+        ticks.store(100, Ordering::Relaxed); // exactly at the bound: fresh
+        let _ = cache.create_transaction(&db, 100, 0).unwrap();
+        assert_eq!(db.grv_call_count(), before + 1);
+        ticks.store(101, Ordering::Relaxed); // one past: stale
+        let _ = cache.create_transaction(&db, 100, 0).unwrap();
+        assert_eq!(db.grv_call_count(), before + 2);
+    }
+
+    #[test]
+    fn read_version_cache_coalesces_concurrent_refreshes() {
+        let db = Database::new();
+        let tx = db.create_transaction();
+        tx.set(b"k", b"v");
+        tx.commit().unwrap();
+
+        let cache = Arc::new(ReadVersionCache::new());
+        // Warm, then make stale.
+        let _ = cache.create_transaction(&db, 1_000, 0).unwrap();
+        db.advance_clock(5_000);
+
+        let before = db.grv_call_count();
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let db = db.clone();
+                let cache = cache.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.create_transaction(&db, 1_000, 0).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // The refresh happened under the cache lock: one GRV, seven reuses.
+        assert_eq!(db.grv_call_count(), before + 1);
+    }
+
+    #[test]
+    fn shard_masks_cover_their_ranges() {
+        // A point write conflict spans one shard.
+        let key = b"t3/k42".to_vec();
+        let end = crate::key_after(&key);
+        assert_eq!(range_shard_mask(&key, &end).count_ones(), 1);
+        // A range within one two-byte prefix stays on one shard.
+        assert_eq!(range_shard_mask(b"t3/a", b"t3/z").count_ones(), 1);
+        // A wide range covers every shard.
+        assert_eq!(
+            range_shard_mask(b"a", b"z"),
+            u16::MAX >> (16 - CONFLICT_SHARDS)
+        );
+        // An end key that equals the two-byte prefix excludes that prefix.
+        assert_eq!(
+            range_shard_mask(b"t3", b"t4"),
+            1 << shard_of_prefix(prefix_value(b"t3"))
+        );
+        // Membership: any key inside a range maps into the range's mask.
+        let (begin, end) = (b"ab".to_vec(), b"ae/tail".to_vec());
+        let mask = range_shard_mask(&begin, &end);
+        for key in [&b"ab"[..], b"abz", b"ac", b"ad/x", b"ae", b"ae/taik"] {
+            assert!(
+                mask & (1 << shard_of_prefix(prefix_value(key))) != 0,
+                "key {key:?} escapes mask {mask:#018b}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_tenant_commits_use_disjoint_shards() {
+        // Tenant prefixes "t0/".."t7/" land on eight distinct shards, the
+        // layout the concurrency_scaling bench relies on.
+        let mut shards = std::collections::HashSet::new();
+        for t in 0..8 {
+            let key = format!("t{t}/row");
+            let end = crate::key_after(key.as_bytes());
+            let mask = range_shard_mask(key.as_bytes(), &end);
+            assert_eq!(mask.count_ones(), 1);
+            shards.insert(mask);
+        }
+        assert_eq!(shards.len(), 8);
+    }
+
+    #[test]
+    fn group_commit_shares_version_and_orders_members() {
+        let db = Database::new();
+        let batch = (0..3)
+            .map(|i| PendingCommit {
+                ticket: i,
+                commands: vec![Command::Set {
+                    key: format!("b{i}").into_bytes(),
+                    value: b"v".to_vec(),
+                }],
+            })
+            .collect();
+        let results = db.lead_batch(batch);
+        assert_eq!(results.len(), 3);
+        let receipts: Vec<_> = results.into_iter().map(|(_, r)| r.unwrap()).collect();
+        // One version allocation for the whole batch...
+        assert!(receipts.iter().all(|r| r.version == receipts[0].version));
+        // ...members distinguished by batch order...
+        let orders: Vec<_> = receipts.iter().map(|r| r.batch_order).collect();
+        assert_eq!(orders, vec![0, 1, 2]);
+        // ...and every member's writes visible at that version.
+        let tx = db.create_transaction();
+        for i in 0..3 {
+            assert_eq!(
+                tx.get(format!("b{i}").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn group_commit_batch_pays_one_wal_frame() {
+        let db = Database::with_options(DatabaseOptions {
+            engine: EngineKind::Paged(PagedConfig::ephemeral(EvictionPolicy::Lru)),
+            ..DatabaseOptions::default()
+        });
+        let before = db.metrics().io_counters().snapshot().log_appends;
+        let batch = (0..4)
+            .map(|i| PendingCommit {
+                ticket: i,
+                commands: vec![Command::Set {
+                    key: format!("w{i}").into_bytes(),
+                    value: vec![0u8; 32],
+                }],
+            })
+            .collect();
+        for (_, r) in db.lead_batch(batch) {
+            r.unwrap();
+        }
+        let after = db.metrics().io_counters().snapshot().log_appends;
+        assert_eq!(after - before, 1, "4 batched commits, one WAL frame");
+    }
+
+    #[test]
+    fn batch_member_with_bad_operand_fails_without_partial_writes() {
+        let db = Database::new();
+        let batch = vec![
+            PendingCommit {
+                ticket: 0,
+                commands: vec![Command::Set {
+                    key: b"good".to_vec(),
+                    value: b"v".to_vec(),
+                }],
+            },
+            PendingCommit {
+                ticket: 1,
+                commands: vec![
+                    Command::Set {
+                        key: b"bad-first".to_vec(),
+                        value: b"v".to_vec(),
+                    },
+                    Command::Atomic {
+                        key: b"bad".to_vec(),
+                        op: MutationType::Add,
+                        param: vec![0u8; 17], // ADD operand too wide
+                    },
+                ],
+            },
+        ];
+        let results = db.lead_batch(batch);
+        assert!(results[0].1.is_ok());
+        assert!(results[1].1.is_err());
+        let tx = db.create_transaction();
+        assert_eq!(tx.get(b"good").unwrap(), Some(b"v".to_vec()));
+        // The failed member left nothing behind — not even the Set that
+        // preceded its bad atomic.
+        assert_eq!(tx.get(b"bad-first").unwrap(), None);
+    }
+
+    #[test]
     fn concurrent_commits_from_threads() {
         let db = Database::new();
         let threads: Vec<_> = (0..8)
@@ -853,5 +1443,38 @@ mod tests {
         let tx = db.create_transaction();
         let v = tx.get(b"ctr").unwrap().unwrap();
         assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 400);
+    }
+
+    #[test]
+    fn concurrent_disjoint_tenants_commit_without_conflicts() {
+        let db = Database::new();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        let tx = db.create_transaction();
+                        let key = format!("t{t}/row{j}");
+                        let _ = tx.get(key.as_bytes()).unwrap();
+                        tx.set(key.as_bytes(), b"v");
+                        // Disjoint tenants never touch a shared shard, so
+                        // a conflict abort here would be a sharding bug.
+                        tx.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let tx = db.create_transaction();
+        for t in 0..8 {
+            let begin = format!("t{t}/");
+            let end = format!("t{t}0");
+            let kvs = tx
+                .get_range(begin.as_bytes(), end.as_bytes(), RangeOptions::default())
+                .unwrap();
+            assert_eq!(kvs.len(), 50);
+        }
     }
 }

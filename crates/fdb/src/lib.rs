@@ -57,7 +57,10 @@ pub use kv::{KeySelector, KeyValue};
 pub use range::{RangeOptions, StreamingMode};
 pub use storage::{EvictionPolicy, StorageEngine};
 pub use subspace::Subspace;
-pub use sync::{lock, lock_ranked, LockRank};
+pub use sync::{
+    lock, lock_ranked, lock_ranked_indexed, read_ranked, write_ranked, LockRank, RankedGuard,
+    RankedReadGuard, RankedWriteGuard,
+};
 pub use transaction::Transaction;
 pub use version::Versionstamp;
 

@@ -7,7 +7,7 @@
 //! copy-on-write B-tree + write-ahead log). [`crate::DatabaseOptions`]
 //! selects between them.
 
-pub use rl_storage::{EvictionPolicy, MemoryEngine, PagedEngine, StorageEngine};
+pub use rl_storage::{EvictionPolicy, MemoryEngine, PagedEngine, SharedRead, StorageEngine};
 
 /// Historical name for the in-memory engine, kept for existing callers.
 pub type VersionedStore = MemoryEngine;

@@ -9,7 +9,7 @@
 //! bypasses these helpers and that the *visible* nested-lock graph is
 //! acyclic; the tracker catches the nestings the lexical pass cannot see
 //! (a lock taken inside a call into another file). Together they are the
-//! safety net the sharded-MVCC / parallel-commit roadmap work relies on.
+//! safety net the sharded-MVCC / parallel-commit pipeline relies on.
 //!
 //! The declared order (lower ranks first):
 //!
@@ -17,14 +17,26 @@
 //!    held across a database call.
 //! 2. [`LockRank::TransactionState`] — a transaction's buffered-write
 //!    state; held while the commit pipeline runs.
-//! 3. [`LockRank::DatabaseInner`] — the cluster's store + conflict
-//!    window; the innermost lock, acquired with transaction state held.
+//! 3. [`LockRank::ConflictShard`] — one shard of the recent-writes
+//!    conflict index. An **indexed band**: a thread may hold several
+//!    shard locks at once as long as it acquires them in ascending
+//!    shard order (see [`lock_ranked_indexed`]).
+//! 4. [`LockRank::CommitBatch`] — the group-commit batcher's queue;
+//!    taken with shard locks held, released while a batch leader runs.
+//! 5. [`LockRank::VersionCore`] — version allocation + compaction
+//!    bookkeeping; a short critical section only the batch leader takes.
+//! 6. [`LockRank::DatabaseStore`] — the storage engine `RwLock`; the
+//!    innermost lock. Acquired shared for MVCC snapshot reads on engines
+//!    that support them ([`read_ranked`]) and exclusive for commit
+//!    application ([`write_ranked`]).
 //!
 //! In release builds the tracker compiles away entirely: [`lock_ranked`]
 //! is exactly [`lock`].
 
 use std::ops::{Deref, DerefMut};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// Lock a mutex, explicitly recovering from poisoning: a panic in another
 /// thread mid-commit leaves the simulated cluster state intact enough for
@@ -36,7 +48,9 @@ pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// The global lock order. Acquiring a rank less than or equal to one the
 /// current thread already holds is an ordering violation (and a potential
-/// deadlock against a thread acquiring in the declared order).
+/// deadlock against a thread acquiring in the declared order). The one
+/// exception is the indexed [`LockRank::ConflictShard`] band, where
+/// same-rank acquisition in ascending index order is part of the protocol.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 #[repr(u8)]
 pub enum LockRank {
@@ -44,8 +58,16 @@ pub enum LockRank {
     ReadVersionCache = 10,
     /// `Transaction::state`.
     TransactionState = 20,
-    /// `Database::inner` (store, conflict window, MVCC horizon).
-    DatabaseInner = 30,
+    /// One `Database` conflict-index shard (indexed band; ascending
+    /// shard order).
+    ConflictShard = 30,
+    /// The group-commit batcher's shared queue state.
+    CommitBatch = 40,
+    /// Version allocation + compaction counters (batch leader only).
+    VersionCore = 50,
+    /// The storage-engine `RwLock` (shared for reads, exclusive for
+    /// commit application).
+    DatabaseStore = 60,
 }
 
 impl LockRank {
@@ -54,7 +76,10 @@ impl LockRank {
         match self {
             LockRank::ReadVersionCache => "ReadVersionCache::state",
             LockRank::TransactionState => "Transaction::state",
-            LockRank::DatabaseInner => "Database::inner",
+            LockRank::ConflictShard => "Database::shards[i]",
+            LockRank::CommitBatch => "CommitBatcher::state",
+            LockRank::VersionCore => "Database::core",
+            LockRank::DatabaseStore => "Database::store",
         }
     }
 }
@@ -62,28 +87,44 @@ impl LockRank {
 /// A `MutexGuard` whose acquisition was checked against the thread's held
 /// ranks; releases its rank entry on drop.
 pub struct RankedGuard<'a, T> {
-    guard: MutexGuard<'a, T>,
+    /// `Some` except transiently inside [`RankedGuard::wait_on`].
+    guard: Option<MutexGuard<'a, T>>,
     #[cfg(debug_assertions)]
     rank: LockRank,
+    #[cfg(debug_assertions)]
+    index: Option<usize>,
 }
 
 impl<T> Deref for RankedGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.guard
+        self.guard.as_ref().expect("guard present outside wait_on")
     }
 }
 
 impl<T> DerefMut for RankedGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.guard
+        self.guard.as_mut().expect("guard present outside wait_on")
     }
 }
 
 #[cfg(debug_assertions)]
 impl<T> Drop for RankedGuard<'_, T> {
     fn drop(&mut self) {
-        tracker::release(self.rank);
+        tracker::release(self.rank, self.index);
+    }
+}
+
+impl<'a, T> RankedGuard<'a, T> {
+    /// Block on `cv` until notified, releasing the mutex for the duration
+    /// exactly like `Condvar::wait`. The *rank* stays held: a parked
+    /// thread does nothing else, and keeping the entry means a spurious
+    /// wakeup can immediately re-examine state and wait again without
+    /// re-checking the order. Poisoning is recovered like [`lock`].
+    pub fn wait_on(&mut self, cv: &Condvar) {
+        let g = self.guard.take().expect("guard present outside wait_on");
+        let g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        self.guard = Some(g);
     }
 }
 
@@ -92,11 +133,111 @@ impl<T> Drop for RankedGuard<'_, T> {
 /// already holds a lock of the same or higher rank.
 pub fn lock_ranked<T>(m: &Mutex<T>, rank: LockRank) -> RankedGuard<'_, T> {
     #[cfg(debug_assertions)]
-    tracker::acquire(rank);
+    tracker::acquire(rank, None);
     #[cfg(not(debug_assertions))]
     let _ = rank;
     RankedGuard {
-        guard: lock(m),
+        guard: Some(lock(m)),
+        #[cfg(debug_assertions)]
+        rank,
+        #[cfg(debug_assertions)]
+        index: None,
+    }
+}
+
+/// Lock one mutex of an indexed same-rank band (the conflict-index
+/// shards). Multiple locks of the same rank may be held simultaneously
+/// as long as their indices strictly ascend; acquiring an index less
+/// than or equal to one already held at the same rank panics under
+/// `debug_assertions`, as does mixing indexed and unindexed acquisition
+/// of the same rank.
+pub fn lock_ranked_indexed<T>(m: &Mutex<T>, rank: LockRank, index: usize) -> RankedGuard<'_, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(rank, Some(index));
+    #[cfg(not(debug_assertions))]
+    let _ = (rank, index);
+    RankedGuard {
+        guard: Some(lock(m)),
+        #[cfg(debug_assertions)]
+        rank,
+        #[cfg(debug_assertions)]
+        index: Some(index),
+    }
+}
+
+/// A ranked shared (read) guard over an `RwLock`.
+pub struct RankedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T> Deref for RankedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RankedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        tracker::release(self.rank, None);
+    }
+}
+
+/// A ranked exclusive (write) guard over an `RwLock`.
+pub struct RankedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T> Deref for RankedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for RankedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RankedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        tracker::release(self.rank, None);
+    }
+}
+
+/// Acquire an `RwLock` shared, at a declared rank, recovering from
+/// poisoning like [`lock`]. Shared acquisition still participates in the
+/// rank order: readers and the exclusive writer are interchangeable from
+/// a deadlock-ordering perspective.
+pub fn read_ranked<T>(l: &RwLock<T>, rank: LockRank) -> RankedReadGuard<'_, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(rank, None);
+    #[cfg(not(debug_assertions))]
+    let _ = rank;
+    RankedReadGuard {
+        guard: l.read().unwrap_or_else(PoisonError::into_inner),
+        #[cfg(debug_assertions)]
+        rank,
+    }
+}
+
+/// Acquire an `RwLock` exclusive, at a declared rank, recovering from
+/// poisoning like [`lock`].
+pub fn write_ranked<T>(l: &RwLock<T>, rank: LockRank) -> RankedWriteGuard<'_, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(rank, None);
+    #[cfg(not(debug_assertions))]
+    let _ = rank;
+    RankedWriteGuard {
+        guard: l.write().unwrap_or_else(PoisonError::into_inner),
         #[cfg(debug_assertions)]
         rank,
     }
@@ -108,42 +249,63 @@ mod tracker {
     use std::cell::RefCell;
 
     thread_local! {
-        /// Ranks held by this thread, in acquisition order.
-        static HELD: RefCell<Vec<LockRank>> = const { RefCell::new(Vec::new()) };
+        /// (rank, index) pairs held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<(LockRank, Option<usize>)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Whether acquiring `next` is legal with `top` as the most recent
+    /// holding. Strictly higher ranks always are; the same rank is legal
+    /// only inside an indexed band with a strictly greater index.
+    fn allowed(top: (LockRank, Option<usize>), next: (LockRank, Option<usize>)) -> bool {
+        if next.0 != top.0 {
+            return next.0 > top.0;
+        }
+        match (top.1, next.1) {
+            (Some(held), Some(acquiring)) => acquiring > held,
+            _ => false,
+        }
     }
 
     /// Record an acquisition attempt, panicking on an order violation.
     /// The violation check runs *before* blocking on the mutex — the
     /// point is to catch the misordering even when it doesn't happen to
     /// deadlock this run.
-    pub fn acquire(rank: LockRank) {
+    pub fn acquire(rank: LockRank, index: Option<usize>) {
         HELD.with(|h| {
             let mut held = h.borrow_mut();
             if let Some(&top) = held.last() {
-                if rank <= top {
-                    let chain: Vec<&str> = held.iter().map(|r| r.name()).collect();
+                if !allowed(top, (rank, index)) {
+                    let chain: Vec<String> = held
+                        .iter()
+                        .map(|(r, i)| match i {
+                            Some(i) => format!("{}#{i}", r.name()),
+                            None => r.name().to_string(),
+                        })
+                        .collect();
                     // Leave the thread's tracker usable for whoever
                     // catches the panic (tests).
                     held.clear();
                     panic!(
-                        "lock-rank violation: acquiring `{}` while holding {:?} — \
+                        "lock-rank violation: acquiring `{}`{} while holding {:?} — \
                          declared order is ReadVersionCache < TransactionState < \
-                         DatabaseInner (see rl_fdb::sync)",
+                         ConflictShard (ascending indices) < CommitBatch < \
+                         VersionCore < DatabaseStore (see rl_fdb::sync)",
                         rank.name(),
+                        index.map(|i| format!("#{i}")).unwrap_or_default(),
                         chain,
                     );
                 }
             }
-            held.push(rank);
+            held.push((rank, index));
         });
     }
 
-    /// Release the most recent acquisition of `rank` (guards may drop
-    /// out of LIFO order).
-    pub fn release(rank: LockRank) {
+    /// Release the most recent acquisition of `(rank, index)` (guards may
+    /// drop out of LIFO order).
+    pub fn release(rank: LockRank, index: Option<usize>) {
         HELD.with(|h| {
             let mut held = h.borrow_mut();
-            if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+            if let Some(pos) = held.iter().rposition(|&e| e == (rank, index)) {
                 held.remove(pos);
             }
         });
@@ -184,9 +346,11 @@ mod tests {
         let a = Mutex::new(());
         let b = Mutex::new(());
         let c = Mutex::new(());
+        let d = RwLock::new(());
         let _ga = lock_ranked(&a, LockRank::ReadVersionCache);
         let _gb = lock_ranked(&b, LockRank::TransactionState);
-        let _gc = lock_ranked(&c, LockRank::DatabaseInner);
+        let _gc = lock_ranked(&c, LockRank::VersionCore);
+        let _gd = write_ranked(&d, LockRank::DatabaseStore);
     }
 
     #[cfg(debug_assertions)]
@@ -197,7 +361,7 @@ mod tests {
         let result = std::thread::spawn(|| {
             let hi = Mutex::new(());
             let lo = Mutex::new(());
-            let _g_hi = lock_ranked(&hi, LockRank::DatabaseInner);
+            let _g_hi = lock_ranked(&hi, LockRank::VersionCore);
             let _g_lo = lock_ranked(&lo, LockRank::TransactionState); // inversion
         })
         .join();
@@ -220,14 +384,111 @@ mod tests {
     }
 
     #[test]
+    fn ascending_shard_indices_are_allowed() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        let _ga = lock_ranked_indexed(&a, LockRank::ConflictShard, 0);
+        let _gb = lock_ranked_indexed(&b, LockRank::ConflictShard, 3);
+        let _gc = lock_ranked_indexed(&c, LockRank::ConflictShard, 15);
+        // And the band still ascends into higher ranks.
+        let d = Mutex::new(());
+        let _gd = lock_ranked(&d, LockRank::CommitBatch);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn descending_shard_indices_panic() {
+        let result = std::thread::spawn(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let _ga = lock_ranked_indexed(&a, LockRank::ConflictShard, 5);
+            let _gb = lock_ranked_indexed(&b, LockRank::ConflictShard, 5); // re-acquire
+        })
+        .join();
+        assert!(result.is_err());
+        let result = std::thread::spawn(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let _ga = lock_ranked_indexed(&a, LockRank::ConflictShard, 5);
+            let _gb = lock_ranked_indexed(&b, LockRank::ConflictShard, 2); // descending
+        })
+        .join();
+        assert!(result.is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn mixing_indexed_and_unindexed_same_rank_panics() {
+        let result = std::thread::spawn(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let _ga = lock_ranked_indexed(&a, LockRank::ConflictShard, 1);
+            let _gb = lock_ranked(&b, LockRank::ConflictShard);
+        })
+        .join();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn rwlock_guards_track_ranks() {
+        let l = RwLock::new(5);
+        {
+            let g = read_ranked(&l, LockRank::DatabaseStore);
+            assert_eq!(*g, 5);
+        }
+        {
+            let mut g = write_ranked(&l, LockRank::DatabaseStore);
+            *g += 1;
+        }
+        let g = read_ranked(&l, LockRank::DatabaseStore);
+        assert_eq!(*g, 6);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn rwlock_read_after_write_rank_panics() {
+        let result = std::thread::spawn(|| {
+            let a = RwLock::new(());
+            let b = Mutex::new(());
+            let _ga = write_ranked(&a, LockRank::DatabaseStore);
+            let _gb = lock_ranked(&b, LockRank::VersionCore); // inversion
+        })
+        .join();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn wait_on_reacquires_the_mutex() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = lock_ranked(m, LockRank::CommitBatch);
+            while !*g {
+                g.wait_on(cv);
+            }
+            *g
+        });
+        {
+            let (m, cv) = &*pair;
+            let mut g = lock_ranked(m, LockRank::CommitBatch);
+            *g = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
     fn out_of_order_drops_release_correctly() {
         let a = Mutex::new(());
         let b = Mutex::new(());
         let ga = lock_ranked(&a, LockRank::TransactionState);
-        let gb = lock_ranked(&b, LockRank::DatabaseInner);
+        let gb = lock_ranked(&b, LockRank::VersionCore);
         drop(ga); // dropped before gb: release must not pop gb's rank
         let c = Mutex::new(());
-        // TransactionState is free again; DatabaseInner still held, so
+        // TransactionState is free again; VersionCore still held, so
         // acquiring TransactionState now would be an inversion — but
         // re-acquiring after dropping gb too must succeed.
         drop(gb);

@@ -101,6 +101,9 @@ struct TxState {
     size: usize,
     committed: bool,
     commit_version: Option<u64>,
+    /// Position within the group-commit batch that carried this
+    /// transaction (the middle 2 bytes of its versionstamp).
+    commit_order: u16,
     /// Per-transaction read/write attribution (see [`TxnTrace`]).
     trace: TxnTrace,
     /// Free-form attribution tag for this transaction's span (tenant,
@@ -211,11 +214,15 @@ impl Transaction {
         lock_ranked(&self.state, LockRank::TransactionState).commit_version
     }
 
-    /// The 10-byte transaction versionstamp, available after commit.
+    /// The 10-byte transaction versionstamp (8-byte commit version, then
+    /// the 2-byte batch order), available after commit.
     pub fn versionstamp(&self) -> Option<[u8; 10]> {
-        self.committed_version().map(|v| {
+        let st = lock_ranked(&self.state, LockRank::TransactionState);
+        let order = st.commit_order;
+        st.commit_version.map(|v| {
             let mut out = [0u8; 10];
             out[0..8].copy_from_slice(&v.to_be_bytes());
+            out[8..10].copy_from_slice(&order.to_be_bytes());
             out
         })
     }
@@ -660,9 +667,10 @@ impl Transaction {
             &st.write_conflicts,
             &st.commands,
         ) {
-            Ok((version, keys_written, bytes_written)) => {
+            Ok((version, batch_order, keys_written, bytes_written)) => {
                 st.committed = true;
                 st.commit_version = Some(version);
+                st.commit_order = batch_order;
                 st.trace.keys_written = keys_written;
                 st.trace.bytes_written = bytes_written;
                 self.emit_txn_span(&st, "committed");

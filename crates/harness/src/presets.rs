@@ -18,6 +18,8 @@ pub fn all() -> Vec<Scenario> {
         fig5_rank_index(),
         table1_concurrency(),
         table2_text_bunching(),
+        concurrency_scaling(),
+        concurrency_contended(),
     ]
 }
 
@@ -57,6 +59,8 @@ pub fn mixed_default() -> Scenario {
             update: 15,
         },
         zipf_s: 1.1,
+        partition_tenants: false,
+        think_time_us: 0,
         threads: 4,
         total_ops: 20_000,
         seed: 42,
@@ -97,6 +101,8 @@ pub fn fig1_store_sizes() -> Scenario {
             ..OpMix::none()
         },
         zipf_s: 1.05,
+        partition_tenants: false,
+        think_time_us: 0,
         threads: 2,
         total_ops: 4_000,
         seed: 42,
@@ -131,6 +137,8 @@ pub fn fig5_rank_index() -> Scenario {
             ..OpMix::none()
         },
         zipf_s: 1.1,
+        partition_tenants: false,
+        think_time_us: 0,
         threads: 2,
         total_ops: 8_000,
         seed: 5,
@@ -165,9 +173,92 @@ pub fn table1_concurrency() -> Scenario {
             ..OpMix::none()
         },
         zipf_s: 1.3,
+        partition_tenants: false,
+        think_time_us: 250,
         threads: 8,
         total_ops: 8_000,
         seed: 1,
+        extras: vec![],
+    }
+}
+
+/// The scaling half of the parallel-simulator bench: each worker is
+/// pinned to its own tenant, and tenants occupy disjoint key prefixes,
+/// so commits validate and apply through disjoint conflict shards.
+/// Read-leaning so snapshot reads (which share the store lock) dominate;
+/// the write share exercises group commit under the shared budget.
+/// `fig_concurrency` sweeps this at 1/2/4/8 threads per engine.
+pub fn concurrency_scaling() -> Scenario {
+    Scenario {
+        name: "concurrency_scaling".into(),
+        description: "disjoint-tenant workers through disjoint conflict shards (scaling)".into(),
+        tenants: 8,
+        records_per_tenant: 1000,
+        groups: 8,
+        score_mod: 100,
+        payload: SizeDist::Fixed(64),
+        body_bytes: 0,
+        indexes: IndexMix {
+            value: true,
+            rank: false,
+            atomic: false,
+            version: true,
+            text: false,
+        },
+        ops: OpMix {
+            point_get: 55,
+            range_scan: 15,
+            covering_scan: 10,
+            update: 15,
+            insert: 5,
+            ..OpMix::none()
+        },
+        zipf_s: 1.1,
+        partition_tenants: true,
+        think_time_us: 250,
+        threads: 8,
+        total_ops: 16_000,
+        seed: 11,
+        extras: vec![],
+    }
+}
+
+/// The contended counterpart of [`concurrency_scaling`]: identical op
+/// mix and budget, but every worker hammers the same single tenant with
+/// hot-set skew, so commits collide in the same conflict shards and the
+/// sweep shows where sharding stops helping (conflict rate climbs with
+/// threads instead of throughput).
+pub fn concurrency_contended() -> Scenario {
+    Scenario {
+        name: "concurrency_contended".into(),
+        description: "one hot tenant shared by all workers (contended counterpart)".into(),
+        tenants: 1,
+        records_per_tenant: 1000,
+        groups: 8,
+        score_mod: 100,
+        payload: SizeDist::Fixed(64),
+        body_bytes: 0,
+        indexes: IndexMix {
+            value: true,
+            rank: false,
+            atomic: false,
+            version: true,
+            text: false,
+        },
+        ops: OpMix {
+            point_get: 55,
+            range_scan: 15,
+            covering_scan: 10,
+            update: 15,
+            insert: 5,
+            ..OpMix::none()
+        },
+        zipf_s: 1.3,
+        partition_tenants: false,
+        think_time_us: 250,
+        threads: 8,
+        total_ops: 16_000,
+        seed: 11,
         extras: vec![],
     }
 }
@@ -200,6 +291,8 @@ pub fn table2_text_bunching() -> Scenario {
             ..OpMix::none()
         },
         zipf_s: 0.9,
+        partition_tenants: false,
+        think_time_us: 0,
         threads: 2,
         total_ops: 2_000,
         seed: 7,
@@ -251,5 +344,21 @@ mod tests {
         ] {
             assert!(by_name(name).is_some(), "missing preset {name}");
         }
+    }
+
+    #[test]
+    fn concurrency_pair_differs_only_in_contention() {
+        let scaling = by_name("concurrency_scaling").unwrap();
+        let contended = by_name("concurrency_contended").unwrap();
+        assert!(scaling.partition_tenants);
+        assert!(scaling.tenants >= scaling.threads);
+        assert!(!contended.partition_tenants);
+        assert_eq!(contended.tenants, 1);
+        // Same op mix and budget: the sweep isolates contention, not load.
+        assert_eq!(
+            scaling.ops.json().to_pretty(),
+            contended.ops.json().to_pretty()
+        );
+        assert_eq!(scaling.total_ops, contended.total_ops);
     }
 }

@@ -91,6 +91,19 @@ pub struct Scenario {
     pub ops: OpMix,
     /// Zipfian exponent for record/tenant selection skew.
     pub zipf_s: f64,
+    /// Pin worker `i` to tenant `i % tenants` instead of sampling the
+    /// tenant Zipfian per op. Disjoint tenants occupy disjoint key
+    /// prefixes, so partitioned workers commit through disjoint
+    /// conflict shards — the scaling half of `concurrency_scaling`.
+    pub partition_tenants: bool,
+    /// Modeled client round-trip per completed op, in µs (YCSB think
+    /// time). `0` = closed loop at full speed. The concurrency sweeps
+    /// use this to measure *overlap*: with an RTT between ops, adding
+    /// worker threads raises throughput only as far as the simulator
+    /// lets their in-flight ops proceed concurrently, so a reintroduced
+    /// global serialization point shows up as a flat sweep. Think time
+    /// is excluded from the reported op latency percentiles.
+    pub think_time_us: u64,
     pub threads: usize,
     /// Closed-loop op budget shared by all workers.
     pub total_ops: u64,
@@ -231,6 +244,8 @@ impl Scenario {
             )
             .with("ops", self.ops.json())
             .with("zipf_s", self.zipf_s)
+            .with("partition_tenants", self.partition_tenants)
+            .with("think_time_us", self.think_time_us)
             .with("threads", self.threads)
             .with("total_ops", self.total_ops)
             .with("seed", self.seed)
@@ -275,6 +290,8 @@ mod tests {
                 ..OpMix::none()
             },
             zipf_s: 1.0,
+            partition_tenants: false,
+            think_time_us: 0,
             threads: 1,
             total_ops: 10,
             seed: 1,

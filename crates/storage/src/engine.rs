@@ -4,8 +4,11 @@
 //! The method set is exactly the API the original in-memory `VersionedStore`
 //! grew inside `rl_fdb`, so both engines are drop-in replacements for each
 //! other. All methods take `&mut self`: the database serializes access
-//! behind its inner lock, and the paged engine mutates buffer-pool state
-//! even on reads.
+//! behind its store lock, and the paged engine mutates buffer-pool state
+//! even on reads. Engines whose reads are genuinely side-effect-free can
+//! additionally expose a [`SharedRead`] view via
+//! [`StorageEngine::as_shared_read`], letting the database run MVCC
+//! snapshot reads under a shared lock, concurrently with each other.
 
 use std::str::FromStr;
 
@@ -58,7 +61,7 @@ impl FromStr for EvictionPolicy {
 /// Versions must be applied in nondecreasing order (the commit pipeline
 /// guarantees this); reads at `read_version` observe, for each key, the
 /// newest write with version `<= read_version`.
-pub trait StorageEngine: Send + std::fmt::Debug {
+pub trait StorageEngine: Send + Sync + std::fmt::Debug {
     /// Record a write (set, or clear via `None`) at `version`.
     fn write(&mut self, key: Vec<u8>, value: Option<Vec<u8>>, version: u64);
 
@@ -105,6 +108,35 @@ pub trait StorageEngine: Send + std::fmt::Debug {
 
     /// Short human-readable engine description for diagnostics.
     fn describe(&self) -> String;
+
+    /// A shared, side-effect-free view of this engine's read path, if it
+    /// has one. The in-memory engine returns `Some` (its reads never
+    /// mutate); the paged engine returns `None` because even a point read
+    /// touches buffer-pool recency state, so its reads stay behind the
+    /// exclusive lock.
+    fn as_shared_read(&self) -> Option<&dyn SharedRead> {
+        None
+    }
+}
+
+/// Read-only MVCC access that is safe under a shared lock: many readers
+/// (and no writer) at once. Semantics match the corresponding
+/// [`StorageEngine`] methods exactly.
+pub trait SharedRead: Sync {
+    /// Read the value of `key` visible at `read_version`.
+    fn get(&self, key: &[u8], read_version: u64) -> Option<Vec<u8>>;
+
+    /// Iterate keys in `[begin, end)` visible at `read_version`, in order.
+    fn range(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        read_version: u64,
+        reverse: bool,
+    ) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Number of live keys at `read_version`.
+    fn live_key_count(&self, read_version: u64) -> usize;
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ pub mod pool;
 pub mod replacer;
 pub mod wal;
 
-pub use engine::{EvictionPolicy, StorageEngine};
+pub use engine::{EvictionPolicy, SharedRead, StorageEngine};
 pub use memory::MemoryEngine;
 pub use paged::PagedEngine;
 pub use replacer::{ClockReplacer, LruReplacer, Replacer, SieveReplacer};

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-use crate::engine::StorageEngine;
+use crate::engine::{SharedRead, StorageEngine};
 
 /// One versioned write to a key: `None` is a tombstone (clear).
 #[derive(Debug, Clone)]
@@ -229,6 +229,30 @@ impl StorageEngine for MemoryEngine {
 
     fn describe(&self) -> String {
         format!("memory(keys={})", self.map.len())
+    }
+
+    fn as_shared_read(&self) -> Option<&dyn SharedRead> {
+        Some(self)
+    }
+}
+
+impl SharedRead for MemoryEngine {
+    fn get(&self, key: &[u8], read_version: u64) -> Option<Vec<u8>> {
+        MemoryEngine::get(self, key, read_version)
+    }
+
+    fn range(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        read_version: u64,
+        reverse: bool,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        MemoryEngine::range(self, begin, end, read_version, reverse)
+    }
+
+    fn live_key_count(&self, read_version: u64) -> usize {
+        MemoryEngine::live_key_count(self, read_version)
     }
 }
 

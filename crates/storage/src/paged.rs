@@ -5,7 +5,11 @@
 //! Each [`StorageEngine::write`]/[`StorageEngine::clear_range`] is buffered
 //! into the WAL *and* applied to the tree immediately; nothing reaches the
 //! log file until [`StorageEngine::commit_batch`] appends the buffered ops
-//! as one checksummed frame. The tree pages the batch dirtied stay in the
+//! as one checksummed frame. This is also the group-commit contract the
+//! database's commit batcher relies on: it applies every transaction in a
+//! batch, then seals them with a *single* `commit_batch`, so N concurrent
+//! committers pay one WAL frame (one `log_appends` tick) instead of N.
+//! The tree pages the batch dirtied stay in the
 //! buffer pool (or get evicted to disk) without any ordering constraint,
 //! because the on-disk meta root still points at the last checkpoint's
 //! tree — shadow paging guarantees eviction can never damage it.
@@ -453,6 +457,33 @@ mod tests {
         assert_eq!(e.get(b"committed", 30), Some(b"yes".to_vec()));
         assert_eq!(e.get(b"uncommitted", 30), None);
         e.check_consistency().unwrap();
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn one_commit_batch_seals_many_transactions_in_one_frame() {
+        // The group-commit contract: several transactions' writes (here,
+        // at distinct versions) buffered between commit_batch calls land
+        // as exactly one WAL frame — one log_appends tick for the batch.
+        let d = dir("groupcommit");
+        let counters = IoCounters::new_shared();
+        let mut e = PagedEngine::open(&d, 32, EvictionPolicy::Lru, counters.clone()).unwrap();
+        let before = counters.snapshot().log_appends;
+        for t in 0..4u64 {
+            for k in 0..8u32 {
+                e.write(
+                    format!("txn{t}-k{k}").into_bytes(),
+                    Some(b"v".to_vec()),
+                    10 + t,
+                );
+            }
+        }
+        e.commit_batch();
+        assert_eq!(counters.snapshot().log_appends - before, 1);
+        // And the whole batch is atomic across a crash+reopen.
+        e.simulate_crash();
+        let mut e = open(&d, 32);
+        assert_eq!(e.live_key_count(100), 32);
         std::fs::remove_dir_all(&d).unwrap();
     }
 

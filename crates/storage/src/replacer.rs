@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 use crate::engine::EvictionPolicy;
 
 /// Eviction strategy over pool frame indices.
-pub trait Replacer: Send + std::fmt::Debug {
+pub trait Replacer: Send + Sync + std::fmt::Debug {
     /// A frame has been filled with a new page.
     fn insert(&mut self, frame: usize);
     /// A tracked frame has been accessed (hit).
