@@ -215,12 +215,16 @@ fn shard_of_prefix(prefix: u16) -> usize {
 /// every shard.
 fn range_shard_mask(begin: &[u8], end: &[u8]) -> u16 {
     let lo = prefix_value(begin);
-    // Keys below `end` carry `end`'s own prefix only if `end` has bytes
-    // past the prefix; otherwise the prefix interval stops one short.
-    let hi = if end.len() > 2 {
-        prefix_value(end)
-    } else {
+    // Keys below `end` carry `end`'s own prefix whenever `end` has bytes
+    // past the prefix. They also do when `end` is of the form [b, 0x00]
+    // — exactly what `key_after` yields for the one-byte key [b], which
+    // is in-range and zero-pads to `end`'s own prefix. Only a one-byte
+    // `end`, or [b, c] with c != 0, lets the interval stop one short.
+    let ends_prefix_unreachable = end.len() == 1 || (end.len() == 2 && end[1] != 0);
+    let hi = if ends_prefix_unreachable {
         prefix_value(end).saturating_sub(1)
+    } else {
+        prefix_value(end)
     }
     .max(lo);
     if (hi - lo) as usize >= CONFLICT_SHARDS - 1 {
@@ -343,6 +347,10 @@ pub struct Database {
     clock_ms: Arc<AtomicU64>,
     metrics: SharedMetrics,
     grv_calls: Arc<AtomicU64>,
+    /// Test-only: make the next batch leader panic inside
+    /// [`Self::lead_batch`], exercising the abdication-on-unwind path.
+    #[cfg(test)]
+    panic_next_batch: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl Database {
@@ -370,6 +378,8 @@ impl Database {
             clock_ms: Arc::new(AtomicU64::new(0)),
             metrics,
             grv_calls: Arc::new(AtomicU64::new(0)),
+            #[cfg(test)]
+            panic_next_batch: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
     }
 
@@ -659,13 +669,53 @@ impl Database {
     /// hand leadership off. (Separate from [`Self::batched_apply`] so the
     /// batcher lock is provably released before the leader re-acquires
     /// it.)
+    ///
+    /// If the leader panics mid-batch (say a storage-engine bug while it
+    /// holds the store write lock), leadership is still handed back on
+    /// unwind and every parked follower gets a `CommitUnknownResult`
+    /// receipt — otherwise `leader_active` would stay set forever and
+    /// every later committer would park on the condvar indefinitely,
+    /// defeating the poison recovery `sync` promises.
     fn lead_and_publish(&self, ticket: u64, batch: Vec<PendingCommit>) -> Result<CommitReceipt> {
+        /// Clears `leader_active` and fails the followers' commits if the
+        /// leader unwinds before publishing; disarmed on the normal path.
+        struct AbdicateOnUnwind<'a> {
+            batcher: &'a CommitBatcher,
+            follower_tickets: Vec<u64>,
+            armed: bool,
+        }
+        impl Drop for AbdicateOnUnwind<'_> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let mut st = lock_ranked(&self.batcher.state, LockRank::CommitBatch);
+                st.leader_active = false;
+                for &t in &self.follower_tickets {
+                    st.results.push((t, Err(Error::CommitUnknownResult)));
+                }
+                drop(st);
+                self.batcher.done.notify_all();
+            }
+        }
+        // The leader's own caller observes the panic directly; publishing
+        // a receipt for it would leave an orphan in `results` forever.
+        let mut guard = AbdicateOnUnwind {
+            batcher: &self.batcher,
+            follower_tickets: batch
+                .iter()
+                .map(|p| p.ticket)
+                .filter(|t| *t != ticket)
+                .collect(),
+            armed: true,
+        };
         let mut results = self.lead_batch(batch);
         let own = results
             .iter()
             .position(|(t, _)| *t == ticket)
             .expect("leader's own commit in batch");
         let own = results.swap_remove(own).1;
+        guard.armed = false;
         let mut st = lock_ranked(&self.batcher.state, LockRank::CommitBatch);
         st.leader_active = false;
         st.results.append(&mut results);
@@ -695,6 +745,12 @@ impl Database {
 
         let horizon = version.saturating_sub(self.options.mvcc_window_versions);
         let mut store = write_ranked(&self.store, LockRank::DatabaseStore);
+        // Injected while the store write lock is held — the worst spot a
+        // real storage-engine bug could fire.
+        #[cfg(test)]
+        if self.panic_next_batch.swap(false, Ordering::AcqRel) {
+            panic!("injected leader failure");
+        }
         let mut results = Vec::with_capacity(batch.len());
         for (order, pending) in batch.into_iter().enumerate() {
             let order = order as u16;
@@ -1313,6 +1369,17 @@ mod tests {
                 "key {key:?} escapes mask {mask:#018b}"
             );
         }
+        // Regression: an end of the form [b, 0x00] — key_after of the
+        // one-byte key [b] — still admits [b] itself, whose zero-padded
+        // prefix equals end's own. Its shard must stay in the mask even
+        // when the range is narrow enough to dodge the full-mask
+        // fallback: [b"a\xf5", b"b\x00") contains b"b".
+        let end = crate::key_after(b"b");
+        let mask = range_shard_mask(b"a\xf5", &end);
+        assert!(
+            mask & (1 << shard_of_prefix(prefix_value(b"b"))) != 0,
+            "one-byte key b\"b\" escapes mask {mask:#018b} for range [a\\xf5, b\\x00)"
+        );
     }
 
     #[test]
@@ -1358,6 +1425,79 @@ mod tests {
                 Some(b"v".to_vec())
             );
         }
+    }
+
+    #[test]
+    fn leader_panic_hands_leadership_back() {
+        let db = Database::new();
+        // A leader that dies mid-batch (while holding the store write
+        // lock) must abdicate on unwind; otherwise `leader_active` stays
+        // set and every later committer parks on the condvar forever.
+        db.panic_next_batch
+            .store(true, std::sync::atomic::Ordering::Release);
+        let worker = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let tx = db.create_transaction();
+                tx.set(b"doomed", b"v");
+                tx.commit()
+            })
+        };
+        assert!(
+            worker.join().is_err(),
+            "injected leader failure should unwind the committing thread"
+        );
+        // The cluster keeps accepting commits afterwards.
+        let tx = db.create_transaction();
+        tx.set(b"survivor", b"v");
+        tx.commit().unwrap();
+        let tx = db.create_transaction();
+        assert_eq!(tx.get(b"survivor").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn leader_unwind_fails_followers_instead_of_hanging_them() {
+        // Drive the guard directly: a batch of three where the leader
+        // (ticket 1) panics must publish `CommitUnknownResult` receipts
+        // for the two followers and clear `leader_active`.
+        let db = Database::new();
+        db.panic_next_batch
+            .store(true, std::sync::atomic::Ordering::Release);
+        {
+            let mut st = lock_ranked(&db.batcher.state, LockRank::CommitBatch);
+            st.leader_active = true;
+            st.next_ticket = 3;
+        }
+        let batch: Vec<PendingCommit> = (0..3)
+            .map(|i| PendingCommit {
+                ticket: i,
+                commands: vec![Command::Set {
+                    key: format!("f{i}").into_bytes(),
+                    value: b"v".to_vec(),
+                }],
+            })
+            .collect();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            db.lead_and_publish(1, batch)
+        }));
+        assert!(unwound.is_err(), "injected panic should reach the caller");
+        let st = lock_ranked(&db.batcher.state, LockRank::CommitBatch);
+        assert!(!st.leader_active, "leadership must be handed back");
+        let mut failed: Vec<u64> = st
+            .results
+            .iter()
+            .map(|(t, r)| {
+                assert!(
+                    matches!(r, Err(Error::CommitUnknownResult)),
+                    "follower {t} should see commit_unknown_result, got {r:?}"
+                );
+                *t
+            })
+            .collect();
+        failed.sort_unstable();
+        // Followers 0 and 2 get receipts; the leader's own caller sees
+        // the panic directly, so no orphan receipt for ticket 1.
+        assert_eq!(failed, vec![0, 2]);
     }
 
     #[test]
